@@ -1,0 +1,37 @@
+"""Bench: the analytical baseline ladder (extension study).
+
+CSMA -> busy tone -> RTS/CTS -> directional beams, swept over data
+length within the paper's model.  Asserts the two classic crossovers
+that frame the paper's contribution.
+"""
+
+from repro.experiments import format_baseline_table, run_baseline_ladder
+
+
+def test_baseline_ladder(benchmark):
+    rows = benchmark.pedantic(
+        run_baseline_ladder, rounds=1, iterations=1,
+        kwargs={"n_neighbors": 5.0, "beamwidth_deg": 30.0},
+    )
+    print("\nBaseline ladder (N=5, theta=30dg), max throughput vs data length")
+    print(format_baseline_table(rows))
+
+    by_length = {row.l_data: row.throughput for row in rows}
+
+    # Crossover 1: with short data, zero-overhead coordination (busy
+    # tone) beats the handshake; with long data the handshake wins.
+    assert by_length[10.0]["BTMA-ideal"] > by_length[10.0]["ORTS-OCTS"]
+    assert by_length[100.0]["ORTS-OCTS"] > by_length[100.0]["BTMA-ideal"]
+
+    # CSMA collapses as data grows (the hidden-terminal disaster).
+    assert by_length[200.0]["NP-CSMA"] < 0.1 * by_length[200.0]["ORTS-OCTS"]
+
+    # Crossover 2 (the paper's point): narrow-beam spatial reuse tops
+    # the ladder at the paper's operating point (data 20x control).
+    for l_data in (50.0, 100.0):
+        assert rows[[r.l_data for r in rows].index(l_data)].winner() == "DRTS-DCTS"
+
+    # Crossover 3 (a finding of this ladder): with *very* long data the
+    # unprotected directional handshake becomes fragile and the fully
+    # protected omni handshake retakes the lead at theta = 30 degrees.
+    assert rows[[r.l_data for r in rows].index(200.0)].winner() == "ORTS-OCTS"

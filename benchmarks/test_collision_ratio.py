@@ -1,0 +1,46 @@
+"""Bench: the Section-4 collision-ratio statistic.
+
+The paper (figure omitted for space): "the DRTS-DCTS and DRTS-OCTS
+schemes have higher collision occurrences than ORTS-OCTS ... because
+both schemes are more aggressive in achieving spatial reuse and do not
+force all the neighbors around the sending and receiving nodes to defer"
+and "the collision ratio is still rather high" for large N.
+"""
+
+from repro.experiments import CollisionCell, format_collision_table
+from repro.metrics import summarize
+
+from .conftest import mean_metric
+
+
+def test_collision_ratio(benchmark, sim_grid):
+    config, cells = sim_grid
+
+    def summarize_grid():
+        return [
+            CollisionCell(
+                n=c.n,
+                scheme=c.scheme,
+                beamwidth_deg=c.beamwidth_deg,
+                collision_ratio=summarize(c.metric("inner_collision_ratio")),
+            )
+            for c in cells
+        ]
+
+    table = benchmark.pedantic(summarize_grid, rounds=1, iterations=1)
+    print("\nSection 4 statistic: collision ratio (ACK timeouts / data-stage handshakes)")
+    print(format_collision_table(table))
+
+    for cell in table:
+        assert 0.0 <= cell.collision_ratio.mean <= 1.0
+
+    # Directional schemes pay for spatial reuse with more collisions,
+    # at every density and beamwidth in the grid.
+    for n in config.n_values:
+        for beamwidth in config.beamwidths_deg:
+            orts = mean_metric(cells, n, "ORTS-OCTS", beamwidth, "inner_collision_ratio")
+            drts = mean_metric(cells, n, "DRTS-DCTS", beamwidth, "inner_collision_ratio")
+            assert drts > orts, (
+                f"N={n} {beamwidth}dg: DRTS-DCTS ratio {drts:.3f} should "
+                f"exceed ORTS-OCTS {orts:.3f}"
+            )

@@ -1,0 +1,103 @@
+"""Benches: extension studies beyond the paper's evaluation.
+
+1. The Nasipuri et al. scheme (omni RTS/CTS + directional DATA/ACK),
+   described in the paper's Section 1 but not simulated there.
+2. A below-saturation load sweep (the paper only evaluates saturation).
+3. The retry-limit sensitivity of the BEB-starvation mechanism the
+   paper's Section 4 discusses.
+"""
+
+import math
+import random
+
+from repro.dessim import seconds
+from repro.experiments import (
+    format_load_sweep_table,
+    format_scheme_comparison,
+    run_load_sweep,
+    run_scheme_comparison,
+)
+from repro.mac import MacParameters
+from repro.net import NetworkSimulation, TopologyConfig, generate_ring_topology
+
+
+def test_nasipuri_scheme_comparison(benchmark):
+    rows = benchmark.pedantic(
+        run_scheme_comparison, rounds=1, iterations=1,
+        kwargs={"n": 8, "topologies": 2, "sim_time_ns": seconds(1)},
+    )
+    print("\nExtension: all four schemes, N=8, theta=30dg")
+    print(format_scheme_comparison(rows))
+
+    by_name = {row.scheme: row for row in rows}
+    assert set(by_name) == {
+        "ORTS-OCTS",
+        "DRTS-DCTS",
+        "DRTS-OCTS",
+        "ORTS-OCTS-DDATA",
+        "DORTS-OCTS",
+    }
+    # All schemes carry traffic.
+    for row in rows:
+        assert row.throughput_bps > 0
+    # The paper's winner still wins with the fourth contender present.
+    assert (
+        by_name["DRTS-DCTS"].throughput_bps
+        > by_name["ORTS-OCTS"].throughput_bps
+    )
+
+
+def test_load_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_load_sweep, rounds=1, iterations=1,
+        kwargs={
+            "n": 3,
+            "rates_pps": (2.0, 10.0, 40.0),
+            "sim_time_ns": seconds(2),
+        },
+    )
+    print("\nExtension: offered-load sweep, N=3, theta=30dg")
+    print(format_load_sweep_table(points))
+
+    for scheme in ("ORTS-OCTS", "DRTS-DCTS"):
+        mine = [p for p in points if p.scheme == scheme]
+        # At light load (2 pps/node ~= 0.07 Mbps) everything arrives
+        # with near one-handshake delay.
+        light = mine[0]
+        assert light.delivery_ratio > 0.9
+        assert light.mean_delay_s < 0.05
+        # Delay grows with load.
+        delays = [p.mean_delay_s for p in mine]
+        assert delays[0] < delays[-1]
+
+
+def test_retry_limit_sensitivity(benchmark):
+    """BEB starvation: longer retry limits amplify winner-takes-all."""
+    topo = generate_ring_topology(TopologyConfig(n=3), random.Random(123))
+
+    def run_pair():
+        out = {}
+        for retry_limit in (7, 1000):
+            result = NetworkSimulation(
+                topo,
+                "DRTS-DCTS",
+                math.radians(30),
+                seed=1,
+                mac_params=MacParameters(retry_limit=retry_limit),
+            ).run(seconds(2))
+            out[retry_limit] = result
+        return out
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print("\nExtension: retry-limit sensitivity (DRTS-DCTS, N=3, 30dg)")
+    for retry_limit, result in results.items():
+        print(
+            f"  retry={retry_limit:4d}: thr={result.inner_throughput_bps / 1e6:.3f} Mbps "
+            f"fairness={result.inner_fairness:.3f} "
+            f"collisions={result.inner_collision_ratio:.3f}"
+        )
+    # With (effectively) no drops, losers camp at CW_max: fewer collisions.
+    assert (
+        results[1000].inner_collision_ratio
+        <= results[7].inner_collision_ratio + 0.05
+    )

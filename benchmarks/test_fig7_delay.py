@@ -1,0 +1,73 @@
+"""Bench: regenerate Fig. 7 (simulated average delay comparison).
+
+Same campaign as Fig. 6, summarizing mean MAC service delay.  The
+paper: "with a more aggressive way of channel access to achieve spatial
+reuse, the DRTS-DCTS scheme also enjoys on average less delay than the
+other two schemes, especially when N is large."
+"""
+
+from repro.experiments import Fig7Cell, format_fig7_table
+from repro.metrics import summarize
+
+from .conftest import mean_metric
+
+
+def test_fig7_delay(benchmark, sim_grid):
+    config, cells = sim_grid
+
+    def summarize_grid():
+        return [
+            Fig7Cell(
+                n=c.n,
+                scheme=c.scheme,
+                beamwidth_deg=c.beamwidth_deg,
+                delay_s=summarize(c.metric("inner_mean_delay_s")),
+            )
+            for c in cells
+        ]
+
+    table = benchmark.pedantic(summarize_grid, rounds=1, iterations=1)
+    print("\nFig. 7: simulated mean MAC service delay")
+    print(format_fig7_table(table))
+
+    # Tail behaviour (not in the paper, useful context): pooled delay
+    # percentiles per cell for the narrowest beamwidth.
+    from repro.metrics import delay_percentiles
+
+    narrow = min(config.beamwidths_deg)
+    print("delay percentiles (pooled over replicates, narrowest beam):")
+    for cell in cells:
+        if cell.beamwidth_deg != narrow:
+            continue
+        pooled = {}
+        for index, result in enumerate(cell.results):
+            for node_id in result.inner_ids:
+                pooled[(index, node_id)] = result.stats[node_id]
+        tails = delay_percentiles(pooled, quantiles=(0.5, 0.9, 0.99))
+        if tails:
+            print(
+                f"  N={cell.n} {cell.scheme:10s} "
+                f"p50={tails[0.5] * 1e3:7.1f}ms  "
+                f"p90={tails[0.9] * 1e3:7.1f}ms  "
+                f"p99={tails[0.99] * 1e3:7.1f}ms"
+            )
+
+    for cell in table:
+        assert 0.0 < cell.delay_s.mean < 10.0  # sane seconds range
+
+    if 8 in config.n_values:
+        narrow = min(config.beamwidths_deg)
+        drts = mean_metric(cells, 8, "DRTS-DCTS", narrow, "inner_mean_delay_s")
+        orts = mean_metric(cells, 8, "ORTS-OCTS", narrow, "inner_mean_delay_s")
+        assert drts < orts, (
+            f"DRTS-DCTS delay ({drts * 1e3:.1f} ms) should undercut "
+            f"ORTS-OCTS ({orts * 1e3:.1f} ms) at N=8"
+        )
+
+    # Delay advantage also holds at every configured density for the
+    # narrowest beam (the paper's "less time in waiting").
+    narrow = min(config.beamwidths_deg)
+    for n in config.n_values:
+        drts = mean_metric(cells, n, "DRTS-DCTS", narrow, "inner_mean_delay_s")
+        orts = mean_metric(cells, n, "ORTS-OCTS", narrow, "inner_mean_delay_s")
+        assert drts < 1.5 * orts  # never catastrophically worse

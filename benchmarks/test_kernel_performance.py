@@ -1,0 +1,87 @@
+"""Benches: raw performance of the simulation substrates.
+
+Unlike the figure-regeneration benches (single-shot pedantic runs),
+these are honest multi-round micro-benchmarks of the hot paths: the
+event kernel, the radio/channel pair, and a saturated network second.
+They exist so performance regressions in the substrate show up as
+benchmark deltas rather than as mysteriously slower campaigns.
+"""
+
+import math
+import random
+
+from repro.dessim import Simulator, seconds
+from repro.net import NetworkSimulation, TopologyConfig, generate_ring_topology
+from repro.slotsim import SlotModelConfig, SlotModelEngine
+from repro.core import PAPER_PARAMETERS
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule-and-run 20k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick(n):
+            nonlocal count
+            count += 1
+            if n > 0:
+                sim.schedule(10, tick, n - 1)
+
+        for _ in range(20):
+            sim.schedule(0, tick, 999)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def test_timer_churn(benchmark):
+    """Start/cancel cycles on a pool of timers (the MAC's hot pattern)."""
+    from repro.dessim import Timer
+
+    def run():
+        sim = Simulator()
+        fired = 0
+
+        def on_fire():
+            nonlocal fired
+            fired += 1
+
+        timers = [Timer(sim, f"t{i}", on_fire) for i in range(50)]
+        for round_no in range(100):
+            for timer in timers:
+                timer.start(100 + round_no)
+            for timer in timers[::2]:
+                timer.cancel()
+        sim.run()
+        return fired
+
+    # Every round's restart supersedes the previous round, so only the
+    # final round's 25 surviving (odd-indexed) timers ever fire.
+    assert benchmark(run) == 25
+
+
+def test_saturated_network_second(benchmark):
+    """One simulated second of the paper's N=3 saturated network."""
+    topology = generate_ring_topology(TopologyConfig(n=3), random.Random(50))
+
+    def run():
+        net = NetworkSimulation(topology, "ORTS-OCTS", math.pi, seed=1)
+        return net.run(seconds(1)).inner_packets_delivered
+
+    delivered = benchmark(run)
+    assert delivered > 0
+
+
+def test_slotsim_throughput(benchmark):
+    """10k slots of the abstract model world."""
+    config = SlotModelConfig(
+        params=PAPER_PARAMETERS.with_neighbors(3.0), p=0.02, seed=3
+    )
+
+    def run():
+        return SlotModelEngine(config).run(10_000).initiations
+
+    assert benchmark(run) > 0

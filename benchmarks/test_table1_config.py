@@ -1,0 +1,42 @@
+"""Bench: verify the Table 1 configuration and its derived air times.
+
+Table 1 is the paper's 802.11 DSSS parameter set; this bench checks
+every entry against the repo defaults and pins the frame air times and
+the resulting isolated-pair handshake duration they imply.
+"""
+
+from repro.dessim import microseconds
+from repro.experiments import format_table1, table1_entries
+from repro.mac import DSSS_MAC
+from repro.phy import DSSS_PHY, FrameType
+
+
+def test_table1_parameters(benchmark):
+    entries = benchmark.pedantic(table1_entries, rounds=1, iterations=1)
+    print("\n" + format_table1(entries))
+    mismatched = [e.name for e in entries if not e.matches]
+    assert not mismatched, f"Table 1 mismatch: {mismatched}"
+
+
+def test_table1_derived_times(benchmark):
+    def derived():
+        return {
+            ftype: DSSS_PHY.frame_airtime_ns(ftype) for ftype in FrameType
+        }
+
+    airtimes = benchmark.pedantic(derived, rounds=1, iterations=1)
+    assert airtimes[FrameType.RTS] == microseconds(272)
+    assert airtimes[FrameType.CTS] == microseconds(248)
+    assert airtimes[FrameType.ACK] == microseconds(248)
+    assert airtimes[FrameType.DATA] == microseconds(6032)
+
+    # The full four-way handshake on an isolated pair: DIFS + all four
+    # frames + 3 SIFS + 4 propagation delays = 6884 us (pinned by the
+    # MAC integration tests as the actually-simulated value).
+    handshake = (
+        DSSS_MAC.difs_ns
+        + sum(airtimes.values())
+        + 3 * DSSS_MAC.sifs_ns
+        + 4 * DSSS_PHY.propagation_delay_ns
+    )
+    assert handshake == microseconds(6884)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Directional antennas meet mobility: how fresh must bearings be?
+
+The paper grants its directional MACs "a neighbor protocol that can
+actively maintain a list of neighbors as well as their locations" and
+simulates static nodes.  This example probes the assumption: a
+saturated sender beams 15-degree transmissions at a receiver wandering
+at various speeds, while the sender's neighbor table refreshes only
+every T seconds.  The omni-directional 802.11 baseline runs alongside
+as the control.
+
+Run:  python examples/mobility_study.py   (takes ~1 minute)
+"""
+
+from repro.dessim import seconds
+from repro.experiments import format_mobility_table, run_mobility_study
+
+
+def main() -> None:
+    for speed in (10.0, 25.0):
+        print(f"=== receiver speed {speed:.0f} m/s, 15-degree beams ===")
+        points = run_mobility_study(
+            refresh_seconds=(0.0, 1.0, 3.0),
+            speed_mps=speed,
+            sim_time_ns=seconds(4),
+        )
+        print(format_mobility_table(points))
+        print()
+    print("Reading: refresh 0 s is the paper's perfect oracle; omni")
+    print("transmission never cares; narrow beams degrade once the")
+    print("bearing drift since the last refresh exceeds theta/2.")
+
+
+if __name__ == "__main__":
+    main()

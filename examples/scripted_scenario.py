@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A scripted hidden-terminal scenario, narrated from the event trace.
+
+Demonstrates the lower-level toolkit: building a network by hand,
+driving it with a generator-based process (`repro.dessim.spawn`), and
+reading the structured trace to narrate exactly how the RTS/CTS
+handshake defeats — and sometimes fails to defeat — hidden terminals.
+
+Topology (range 300 m):   a(0,0) --- b(200,0) --- c(400,0)
+a and c cannot hear each other; both talk to b.
+
+Run:  python examples/scripted_scenario.py
+"""
+
+import random
+
+from repro.dessim import RngRegistry, Simulator, Tracer, microseconds, seconds, spawn
+from repro.mac import DSSS_MAC, DcfMac, NeighborTable, ORTS_OCTS_POLICY, Packet
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+
+
+def build_network():
+    sim = Simulator()
+    tracer = Tracer(enabled=True, capacity=None)
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=300.0))
+    rng = RngRegistry(2003)
+    macs = {}
+    for node_id, (x, y) in {0: (0, 0), 1: (200, 0), 2: (400, 0)}.items():
+        radio = Radio(sim, node_id, Position(x, y), channel, tracer=tracer)
+        macs[node_id] = DcfMac(
+            sim, radio, DSSS_MAC, NeighborTable(channel, node_id),
+            ORTS_OCTS_POLICY, rng=rng.stream(f"mac{node_id}"),
+            tracer=tracer,
+        )
+    return sim, tracer, macs
+
+
+def scenario(sim, macs):
+    """The script: a sends, then c barges in mid-handshake."""
+    macs[0].enqueue(Packet(dst=1, size_bytes=1460, created_ns=sim.now))
+    yield microseconds(700)  # a's DATA is now in flight to b
+    # c wakes up with its own packet for b: its carrier is idle (it
+    # cannot hear a!) but b's CTS set c's NAV — collision avoidance.
+    macs[2].enqueue(Packet(dst=1, size_bytes=1460, created_ns=sim.now))
+    yield seconds(1)
+
+
+def narrate(tracer):
+    interesting = {
+        "rts-sent": "sent an RTS",
+        "rts-accepted": "accepted an RTS (will CTS)",
+        "cts-timeout": "timed out waiting for CTS",
+        "ack-timeout": "timed out waiting for ACK (data collided!)",
+        "delivered": "completed a four-way handshake",
+        "packet-dropped": "dropped a packet (retries exhausted)",
+    }
+    names = {0: "a", 1: "b", 2: "c"}
+    print("timeline (MAC events):")
+    for record in tracer.filter(category="mac"):
+        if record.event in interesting:
+            ms = record.time / 1e6
+            print(f"  t={ms:9.3f} ms  node {names[record.node]}: "
+                  f"{interesting[record.event]}")
+
+
+def main() -> None:
+    sim, tracer, macs = build_network()
+    spawn(sim, scenario(sim, macs))
+    sim.run(until=seconds(2))
+    narrate(tracer)
+    print()
+    a, c = macs[0].stats, macs[2].stats
+    print(f"a: delivered={a.packets_delivered} ackTO={a.ack_timeouts}")
+    print(f"c: delivered={c.packets_delivered} ackTO={c.ack_timeouts}")
+    print()
+    print("Because c overheard b's omni CTS, its NAV held it back until")
+    print("a's handshake finished — the coordination that DRTS-DCTS")
+    print("deliberately gives up in exchange for spatial reuse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 6 / Fig. 7 cells: the dense-network (N = 8) showdown.
+
+The paper's headline simulation result is clearest in dense networks:
+the all-directional DRTS-DCTS scheme beats IEEE 802.11 on throughput by
+roughly 2x and halves the delay, while paying a visibly higher
+collision ratio.  This example runs that comparison on a couple of
+N = 8 ring topologies and prints every Section-4 metric side by side.
+
+Takes a few minutes (72 saturated nodes per run).  For the full grid
+use the benchmark harness:
+    REPRO_N_VALUES=3,5,8 REPRO_BEAMWIDTHS_DEG=30,90,150 \
+        pytest benchmarks/ --benchmark-only
+
+Run:  python examples/sim_throughput_study.py
+"""
+
+import math
+import random
+
+from repro.dessim import seconds
+from repro.metrics import summarize
+from repro.net import NetworkSimulation, TopologyConfig, generate_ring_topology
+
+TOPOLOGIES = 2
+SIM_SECONDS = 2
+N = 8
+BEAMWIDTH_DEG = 30.0
+
+
+def main() -> None:
+    topologies = [
+        generate_ring_topology(TopologyConfig(n=N), random.Random(300 + i))
+        for i in range(TOPOLOGIES)
+    ]
+    print(
+        f"N = {N}: {9 * N} saturated nodes per topology, "
+        f"{TOPOLOGIES} topologies x {SIM_SECONDS}s simulated, "
+        f"beamwidth {BEAMWIDTH_DEG:.0f} degrees\n"
+    )
+    header = (
+        f"{'scheme':10s}  {'thr (Mbps)':>22} {'delay (ms)':>22} "
+        f"{'collisions':>10} {'fairness':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme in ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS"):
+        results = [
+            NetworkSimulation(
+                topo, scheme, math.radians(BEAMWIDTH_DEG), seed=i
+            ).run(seconds(SIM_SECONDS))
+            for i, topo in enumerate(topologies)
+        ]
+        thr = summarize([r.inner_throughput_bps / 1e6 for r in results])
+        delay = summarize([r.inner_mean_delay_s * 1e3 for r in results])
+        coll = summarize([r.inner_collision_ratio for r in results])
+        fair = summarize([r.inner_fairness for r in results])
+        print(
+            f"{scheme:10s}  {thr.mean:6.3f} [{thr.minimum:5.3f},{thr.maximum:5.3f}]"
+            f"  {delay.mean:6.1f} [{delay.minimum:5.1f},{delay.maximum:5.1f}]"
+            f"  {coll.mean:10.3f} {fair.mean:9.3f}"
+        )
+    print()
+    print("Expected shape (paper, Figs. 6-7 + Section 4):")
+    print("  throughput: DRTS-DCTS > DRTS-OCTS > ORTS-OCTS")
+    print("  delay:      DRTS-DCTS lowest")
+    print("  collisions: DRTS-DCTS highest (the price of spatial reuse)")
+
+
+if __name__ == "__main__":
+    main()

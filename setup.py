@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to
+``setup.py develop``.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Reproduction of Wang & Garcia-Luna-Aceves, ICDCS 2003.
+
+"Collision Avoidance in Single-Channel Ad Hoc Networks Using Directional
+Antennas" — an analytical model (:mod:`repro.core`) of three
+collision-avoidance MAC schemes plus a from-scratch discrete-event
+simulator (:mod:`repro.dessim`, :mod:`repro.phy`, :mod:`repro.mac`,
+:mod:`repro.net`) of IEEE 802.11 DCF and its directional variants that
+regenerates every figure and table in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,342 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig5 --n 5
+    python -m repro fig6 --n-values 3 --beamwidths 30,150 --topologies 2 \
+        --sim-seconds 1
+    python -m repro ablation
+    python -m repro validate --scheme DRTS-DCTS --p 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+from typing import Sequence
+
+from .core import (
+    PAPER_PARAMETERS,
+    SCHEME_FACTORIES,
+    estimate_p_ws,
+    simulate_node_chain,
+)
+from .dessim.units import seconds
+from .experiments import (
+    SimStudyConfig,
+    format_collision_table,
+    format_fairness_table,
+    format_fig5_table,
+    format_fig6_table,
+    format_fig7_table,
+    format_fixed_p_table,
+    format_table1,
+    format_tfail_table,
+    run_collision_ratio,
+    run_fairness,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fixed_p_ablation,
+    run_tfail_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_tuple(raw: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _float_tuple(raw: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in raw.split(",") if part.strip())
+
+
+def _add_sim_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-values", type=_int_tuple, default=(3, 8),
+        help="comma-separated densities N (default 3,8)",
+    )
+    parser.add_argument(
+        "--beamwidths", type=_float_tuple, default=(30.0, 150.0),
+        help="comma-separated beamwidths in degrees (default 30,150)",
+    )
+    parser.add_argument(
+        "--topologies", type=int, default=2,
+        help="random topologies per configuration (paper: 50)",
+    )
+    parser.add_argument(
+        "--sim-seconds", type=float, default=1.0,
+        help="simulated seconds per run",
+    )
+    parser.add_argument(
+        "--retry-limit", type=int, default=7, help="802.11 retry limit"
+    )
+    parser.add_argument(
+        "--capture", type=float, default=None,
+        help="SNR capture threshold (linear ratio); omit for the paper's "
+        "no-capture model",
+    )
+    parser.add_argument("--seed", type=int, default=2003, help="base seed")
+
+
+def _sim_config(args: argparse.Namespace) -> SimStudyConfig:
+    return SimStudyConfig(
+        n_values=args.n_values,
+        beamwidths_deg=args.beamwidths,
+        topologies=args.topologies,
+        sim_time_ns=seconds(args.sim_seconds),
+        base_seed=args.seed,
+        retry_limit=args.retry_limit,
+        capture_threshold=args.capture,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Wang & Garcia-Luna-Aceves (ICDCS 2003): "
+        "collision avoidance with directional antennas.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 configuration check")
+
+    fig5 = sub.add_parser("fig5", help="analytical throughput vs beamwidth")
+    fig5.add_argument(
+        "--n", type=float, default=5.0, help="mean neighbor count N"
+    )
+    fig5.add_argument(
+        "--chart", action="store_true", help="render an ASCII line chart too"
+    )
+
+    for name, help_text in (
+        ("fig6", "simulated throughput grid"),
+        ("fig7", "simulated delay grid"),
+        ("collision", "Section-4 collision-ratio statistic"),
+        ("fairness", "Section-4 fairness statistic"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        _add_sim_options(cmd)
+
+    sub.add_parser("ablation", help="analytical design-choice ablations")
+
+    baselines = sub.add_parser(
+        "baselines",
+        help="analytical ladder: CSMA / busy tone / RTS-CTS / directional",
+    )
+    baselines.add_argument("--n", type=float, default=5.0)
+    baselines.add_argument("--beamwidth", type=float, default=30.0)
+
+    topo = sub.add_parser("topology", help="generate and draw a ring topology")
+    topo.add_argument("--n", type=int, default=3)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--width", type=int, default=61)
+
+    p0 = sub.add_parser(
+        "p0",
+        help="solve the p <-> p0 channel-feedback fixed point",
+    )
+    p0.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="ORTS-OCTS"
+    )
+    p0.add_argument("--n", type=float, default=5.0)
+    p0.add_argument("--beamwidth", type=float, default=30.0)
+    p0.add_argument(
+        "--p0", dest="p0_values", type=_float_tuple,
+        default=(0.01, 0.05, 0.1, 0.2, 0.5),
+        help="comma-separated offered-load probabilities",
+    )
+
+    curve = sub.add_parser(
+        "curve",
+        help="throughput vs p for one scheme (vectorized; ASCII chart)",
+    )
+    curve.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="DRTS-DCTS"
+    )
+    curve.add_argument("--n", type=float, default=5.0)
+    curve.add_argument("--beamwidth", type=float, default=30.0)
+    curve.add_argument("--p-max", type=float, default=0.3)
+    curve.add_argument("--points", type=int, default=120)
+
+    fidelity = sub.add_parser(
+        "fidelity",
+        help="slot-level simulation of the model's world vs the closed forms",
+    )
+    fidelity.add_argument("--n", type=float, default=3.0)
+    fidelity.add_argument("--beamwidth", type=float, default=30.0)
+    fidelity.add_argument("--p", type=float, default=0.02)
+    fidelity.add_argument("--slots", type=int, default=30_000)
+    fidelity.add_argument("--seed", type=int, default=5)
+
+    validate = sub.add_parser(
+        "validate",
+        help="Monte-Carlo check of the closed-form P_ws and throughput",
+    )
+    validate.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="DRTS-DCTS"
+    )
+    validate.add_argument("--n", type=float, default=5.0)
+    validate.add_argument("--beamwidth", type=float, default=30.0)
+    validate.add_argument("--p", type=float, default=0.05)
+    validate.add_argument("--samples", type=int, default=30_000)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(format_table1())
+    elif args.command == "fig5":
+        print(f"Fig. 5 (N = {args.n:g}): max throughput vs beamwidth")
+        rows = run_fig5(n_neighbors=args.n)
+        print(format_fig5_table(rows))
+        if args.chart:
+            from .report import line_chart
+
+            series = {
+                scheme: [(r.beamwidth_deg, r.throughput[scheme]) for r in rows]
+                for scheme in sorted(SCHEME_FACTORIES)
+            }
+            print()
+            print(
+                line_chart(
+                    series,
+                    title=f"Fig. 5 (N = {args.n:g})",
+                    x_label="beamwidth (deg)",
+                    y_label="max throughput",
+                )
+            )
+    elif args.command == "fig6":
+        print(format_fig6_table(run_fig6(_sim_config(args))))
+    elif args.command == "fig7":
+        print(format_fig7_table(run_fig7(_sim_config(args))))
+    elif args.command == "collision":
+        print(format_collision_table(run_collision_ratio(_sim_config(args))))
+    elif args.command == "fairness":
+        print(format_fairness_table(run_fairness(_sim_config(args))))
+    elif args.command == "ablation":
+        print("Fixed p vs optimised p (N=5, theta=30dg):")
+        print(format_fixed_p_table(run_fixed_p_ablation()))
+        print()
+        print("DRTS-OCTS T_fail lower bound:")
+        print(format_tfail_table(run_tfail_ablation()))
+    elif args.command == "baselines":
+        from .experiments import format_baseline_table, run_baseline_ladder
+
+        rows = run_baseline_ladder(
+            n_neighbors=args.n, beamwidth_deg=args.beamwidth
+        )
+        print(
+            f"Baseline ladder (N={args.n:g}, theta={args.beamwidth:g}dg): "
+            "max throughput vs data length"
+        )
+        print(format_baseline_table(rows))
+    elif args.command == "topology":
+        from .net import TopologyConfig, generate_ring_topology
+        from .report import topology_map
+
+        topology = generate_ring_topology(
+            TopologyConfig(n=args.n), random.Random(args.seed)
+        )
+        print(topology_map(topology, width=args.width))
+    elif args.command == "p0":
+        from .core import attempt_probability
+
+        params = PAPER_PARAMETERS.with_neighbors(args.n).with_beamwidth(
+            math.radians(args.beamwidth)
+        )
+        scheme = SCHEME_FACTORIES[args.scheme](params)
+        print(
+            f"p = p0 * exp(-N*u(p)) for {args.scheme}, N={args.n:g}, "
+            f"theta={args.beamwidth:g}dg"
+        )
+        print("      p0         p    idle-prob  throughput(p)")
+        for p0_value in args.p0_values:
+            fb = attempt_probability(scheme, p0_value)
+            print(
+                f"{fb.p0:8.4f}  {fb.p:8.5f}  {fb.idle_probability:9.4f}  "
+                f"{scheme.throughput(fb.p):13.4f}"
+            )
+    elif args.command == "curve":
+        import numpy as np
+
+        from .core.fastpath import throughput_curve
+        from .report import line_chart
+
+        if not 0.0 < args.p_max < 1.0:
+            raise SystemExit(f"--p-max must be in (0, 1), got {args.p_max}")
+        params = PAPER_PARAMETERS.with_neighbors(args.n).with_beamwidth(
+            math.radians(args.beamwidth)
+        )
+        scheme = SCHEME_FACTORIES[args.scheme](params)
+        grid = np.linspace(args.p_max / args.points, args.p_max, args.points)
+        values = throughput_curve(scheme, grid)
+        best = int(values.argmax())
+        print(
+            line_chart(
+                {args.scheme: list(zip(grid.tolist(), values.tolist()))},
+                title=(
+                    f"Th(p), N={args.n:g}, theta={args.beamwidth:g}dg "
+                    f"(peak {values[best]:.4f} at p={grid[best]:.4f})"
+                ),
+                x_label="p (per-slot transmission probability)",
+                y_label="throughput",
+            )
+        )
+    elif args.command == "fidelity":
+        from .slotsim import SlotModelConfig, SlotModelEngine
+
+        print(
+            f"Model-fidelity ladder (N={args.n:g}, theta={args.beamwidth:g}dg, "
+            f"p={args.p:g}, {args.slots} slots)"
+        )
+        print("scheme      Th(formula)  Th(slot-sim)  Tfail(formula)  Tfail(measured)")
+        for scheme_name in ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS"):
+            params = PAPER_PARAMETERS.with_neighbors(args.n).with_beamwidth(
+                math.radians(args.beamwidth)
+            )
+            engine = SlotModelEngine(
+                SlotModelConfig(
+                    params=params, scheme=scheme_name, p=args.p, seed=args.seed
+                )
+            )
+            measured = engine.run(args.slots)
+            analytical = SCHEME_FACTORIES[scheme_name](params)
+            print(
+                f"{scheme_name:10s}  {analytical.throughput(args.p):11.4f}  "
+                f"{measured.throughput_per_node:12.4f}  "
+                f"{analytical.t_fail(args.p):14.2f}  "
+                f"{measured.mean_fail_duration:15.2f}"
+            )
+    elif args.command == "validate":
+        params = PAPER_PARAMETERS.with_neighbors(args.n).with_beamwidth(
+            math.radians(args.beamwidth)
+        )
+        scheme = SCHEME_FACTORIES[args.scheme](params)
+        estimate = estimate_p_ws(
+            scheme, args.p, random.Random(1), samples=args.samples
+        )
+        closed = scheme.p_ws(args.p)
+        walk = simulate_node_chain(scheme, args.p, random.Random(2))
+        formula = scheme.throughput(args.p)
+        agree = estimate.within(closed)
+        print(f"scheme={args.scheme} N={args.n:g} theta={args.beamwidth:g}dg p={args.p:g}")
+        print(
+            f"  P_ws: closed-form {closed:.6f}  monte-carlo "
+            f"{estimate.mean:.6f} +- {estimate.std_error:.6f}  "
+            f"[{'OK' if agree else 'DISAGREE'}]"
+        )
+        print(f"  Th:   formula {formula:.6f}  chain-walk {walk:.6f}")
+        if not agree:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The p <-> p0 relationship the paper deliberately skips.
+
+Section 2: "a node becomes ready independently with probability p0 at
+each time slot ... p = p0 * Prob.{Channel is sensed idle in a slot}",
+and "Here we do not analyze the relationship between p and p0, as has
+been done before [9, 10]".  This module reconstructs that relationship
+in the spirit of those references, closing the loop for users who want
+to reason in terms of offered load ``p0`` rather than the attempt
+probability ``p``.
+
+Model: a node senses the channel busy when at least one of its
+(Poisson many) neighbors is mid-handshake.  A neighbor in the
+stationary regime occupies the air for a fraction
+
+    u(p) = (pi_s * T_s + pi_f * T_f) / (pi_w * 1 + pi_s * T_s + pi_f * T_f)
+
+of slots, so by Poisson thinning the channel is sensed idle with
+probability ``exp(-N * u(p))`` and the attempt probability solves the
+fixed point
+
+    p = p0 * exp(-N * u(p)).
+
+The map's right side decreases in ``p``, so simple damped iteration
+converges; ``p <= p0`` always, and ``p`` saturates as offered load
+grows — the congestion self-throttling that carrier sensing provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schemes import CollisionAvoidanceScheme
+
+__all__ = ["ChannelFeedback", "attempt_probability", "airtime_fraction"]
+
+
+def airtime_fraction(scheme: CollisionAvoidanceScheme, p: float) -> float:
+    """Fraction of slots a saturated node spends transmitting."""
+    pi = scheme.stationary(p)
+    busy = pi.succeed * scheme.t_succeed() + pi.fail * scheme.t_fail(p)
+    total = pi.wait * 1.0 + busy
+    return busy / total
+
+
+@dataclass(frozen=True)
+class ChannelFeedback:
+    """Result of the fixed-point solve."""
+
+    p0: float
+    p: float
+    idle_probability: float
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= self.p0 <= 1.0:
+            raise ValueError(
+                f"expected 0 <= p <= p0 <= 1, got p={self.p}, p0={self.p0}"
+            )
+
+
+def attempt_probability(
+    scheme: CollisionAvoidanceScheme,
+    p0: float,
+    tolerance: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> ChannelFeedback:
+    """Solve ``p = p0 * exp(-N * u(p))`` by damped fixed-point iteration.
+
+    Args:
+        scheme: the collision-avoidance scheme (its stationary chain
+            supplies the airtime fraction).
+        p0: per-slot readiness probability (offered load), in (0, 1).
+        tolerance: absolute convergence threshold on ``p``.
+        max_iterations: iteration cap (raises if exceeded).
+
+    Returns:
+        The converged :class:`ChannelFeedback`.
+    """
+    if not 0.0 < p0 < 1.0:
+        raise ValueError(f"p0 must be in (0, 1), got {p0!r}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance!r}")
+
+    import math
+
+    n = scheme.params.n_neighbors
+    p = p0  # start from the no-feedback guess
+    for iteration in range(1, max_iterations + 1):
+        idle = math.exp(-n * airtime_fraction(scheme, p))
+        updated = p0 * idle
+        # Damping stabilises the oscillation of the decreasing map.
+        updated = 0.5 * (p + updated)
+        if abs(updated - p) < tolerance:
+            return ChannelFeedback(
+                p0=p0,
+                p=min(updated, p0),
+                idle_probability=idle,
+                iterations=iteration,
+            )
+        p = updated
+    raise RuntimeError(
+        f"fixed point did not converge within {max_iterations} iterations "
+        f"(p0={p0}, last p={p})"
+    )

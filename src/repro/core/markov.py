@@ -1,0 +1,105 @@
+"""Three-state node Markov chain shared by all analytical schemes.
+
+Every node cycles through *wait*, *succeed* and *fail* (Fig. 1 of the
+paper).  From *wait* a node moves to *succeed* with probability ``P_ws``
+(it initiates a handshake that completes), stays in *wait* with
+probability ``P_ww`` (nobody in range transmits) and moves to *fail*
+otherwise.  Both *succeed* and *fail* return to *wait* with probability
+one, because collision avoidance forbids back-to-back data packets.
+
+The stationary distribution therefore only depends on ``P_ww`` and
+``P_ws``::
+
+    pi_w = 1 / (2 - P_ww)
+    pi_s = P_ws * pi_w
+    pi_f = 1 - pi_w - pi_s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StationaryDistribution", "solve_node_chain", "stationary_from_matrix"]
+
+
+@dataclass(frozen=True)
+class StationaryDistribution:
+    """Stationary probabilities of the wait/succeed/fail node chain."""
+
+    wait: float
+    succeed: float
+    fail: float
+
+    def __post_init__(self) -> None:
+        total = self.wait + self.succeed + self.fail
+        if not abs(total - 1.0) < 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total!r}")
+        for name, value in (
+            ("wait", self.wait),
+            ("succeed", self.succeed),
+            ("fail", self.fail),
+        ):
+            if not -1e-12 <= value <= 1.0 + 1e-12:
+                raise ValueError(f"{name} probability out of [0, 1]: {value!r}")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.wait, self.succeed, self.fail)
+
+
+def solve_node_chain(p_ww: float, p_ws: float) -> StationaryDistribution:
+    """Solve the three-state chain given ``P_ww`` and ``P_ws``.
+
+    Args:
+        p_ww: probability of remaining in *wait* for another slot.
+        p_ws: probability of jumping from *wait* into a successful
+            handshake.  Must satisfy ``p_ws + p_ww <= 1``.
+
+    Returns:
+        The stationary distribution ``(pi_w, pi_s, pi_f)``.
+    """
+    if not 0.0 <= p_ww <= 1.0:
+        raise ValueError(f"p_ww must be in [0, 1], got {p_ww!r}")
+    if not 0.0 <= p_ws <= 1.0:
+        raise ValueError(f"p_ws must be in [0, 1], got {p_ws!r}")
+    if p_ws + p_ww > 1.0 + 1e-12:
+        raise ValueError(
+            f"p_ws + p_ww must not exceed 1, got {p_ws + p_ww!r}"
+        )
+    pi_w = 1.0 / (2.0 - p_ww)
+    pi_s = p_ws * pi_w
+    pi_f = max(0.0, 1.0 - pi_w - pi_s)
+    return StationaryDistribution(wait=pi_w, succeed=pi_s, fail=pi_f)
+
+
+def stationary_from_matrix(transition: np.ndarray) -> np.ndarray:
+    """Stationary distribution of an arbitrary finite Markov chain.
+
+    Solves ``pi P = pi`` with ``sum(pi) = 1`` via a least-squares
+    formulation.  Used in tests to cross-check the closed form of
+    :func:`solve_node_chain` and available for model extensions with
+    richer state spaces.
+
+    Args:
+        transition: a right-stochastic square matrix (rows sum to one).
+
+    Returns:
+        The stationary row vector as a 1-D numpy array.
+    """
+    matrix = np.asarray(transition, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"transition matrix must be square, got {matrix.shape}")
+    rows = matrix.sum(axis=1)
+    if not np.allclose(rows, 1.0, atol=1e-9):
+        raise ValueError(f"rows must sum to 1, got row sums {rows}")
+    if (matrix < -1e-12).any():
+        raise ValueError("transition probabilities must be non-negative")
+    n = matrix.shape[0]
+    # pi (P - I) = 0  and  pi 1 = 1  =>  solve the stacked system.
+    a = np.vstack([matrix.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    return solution / solution.sum()

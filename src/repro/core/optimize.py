@@ -1,0 +1,84 @@
+"""Maximum achievable throughput over the transmission probability ``p``.
+
+Fig. 5 of the paper plots the *maximum* throughput of each scheme, i.e.
+``max_p Th(p)``.  ``Th(p)`` is smooth and unimodal in practice (it
+vanishes at both ends of ``(0, 1)``), so a coarse logarithmic grid scan
+followed by bounded golden-section refinement around the best grid cell
+is robust and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize as _sciopt
+
+from .schemes import CollisionAvoidanceScheme
+
+__all__ = ["ThroughputOptimum", "maximize_throughput"]
+
+#: Smallest/largest transmission probabilities considered.  The paper
+#: notes that collision avoidance keeps p small (≤ ~0.1), but we search a
+#: wider range so the optimum is never clipped artificially.
+DEFAULT_P_MIN = 1e-5
+DEFAULT_P_MAX = 0.5
+
+
+@dataclass(frozen=True)
+class ThroughputOptimum:
+    """Result of the throughput maximisation for one scheme instance."""
+
+    p_opt: float
+    throughput: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_opt < 1.0:
+            raise ValueError(f"p_opt out of (0, 1): {self.p_opt!r}")
+        if self.throughput < 0.0:
+            raise ValueError(f"negative throughput: {self.throughput!r}")
+
+
+def maximize_throughput(
+    scheme: CollisionAvoidanceScheme,
+    p_min: float = DEFAULT_P_MIN,
+    p_max: float = DEFAULT_P_MAX,
+    grid_points: int = 48,
+) -> ThroughputOptimum:
+    """Find ``max_p Th(p)`` for one scheme.
+
+    Args:
+        scheme: a configured scheme instance.
+        p_min: lower edge of the search interval (exclusive of 0).
+        p_max: upper edge of the search interval (exclusive of 1).
+        grid_points: size of the initial logarithmic scan grid.
+
+    Returns:
+        The optimising probability and the throughput it achieves.
+    """
+    if not 0.0 < p_min < p_max < 1.0:
+        raise ValueError(
+            f"need 0 < p_min < p_max < 1, got [{p_min!r}, {p_max!r}]"
+        )
+    if grid_points < 4:
+        raise ValueError(f"grid_points must be >= 4, got {grid_points!r}")
+
+    grid = np.logspace(np.log10(p_min), np.log10(p_max), grid_points)
+    values = np.array([scheme.throughput(float(p)) for p in grid])
+    best = int(values.argmax())
+
+    lo = grid[max(best - 1, 0)]
+    hi = grid[min(best + 1, grid_points - 1)]
+    result = _sciopt.minimize_scalar(
+        lambda p: -scheme.throughput(float(p)),
+        bounds=(float(lo), float(hi)),
+        method="bounded",
+        options={"xatol": 1e-7},
+    )
+    p_refined = float(result.x)
+    th_refined = -float(result.fun)
+    # Keep whichever of grid / refined is better (refinement can only
+    # help inside its bracket, which always contains the grid best).
+    if th_refined >= values[best]:
+        return ThroughputOptimum(p_opt=p_refined, throughput=th_refined)
+    return ThroughputOptimum(p_opt=float(grid[best]), throughput=float(values[best]))

@@ -1,0 +1,97 @@
+"""Protocol parameters for the analytical model.
+
+The analytical model of the paper works in *normalized* units:
+
+* distances are normalized to the transmission range ``R`` (so the
+  sender-receiver distance ``r`` lies in ``(0, 1]``),
+* areas are normalized to ``pi * R**2`` (the area of the hearing disk),
+* packet lengths are expressed in time slots of duration ``tau``.
+
+``N = lambda * pi * R**2`` is the mean number of nodes inside a hearing
+disk, which is the only way node density enters the formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+__all__ = ["ProtocolParameters", "PAPER_PARAMETERS"]
+
+
+@dataclass(frozen=True)
+class ProtocolParameters:
+    """Inputs shared by all three analytical schemes.
+
+    Attributes:
+        l_rts: RTS transmission time in slots.
+        l_cts: CTS transmission time in slots.
+        l_data: Data packet transmission time in slots.
+        l_ack: ACK transmission time in slots.
+        n_neighbors: ``N``, the average number of nodes within a circle
+            of radius ``R`` (``N = lambda * pi * R**2``).
+        beamwidth: Antenna beamwidth ``theta`` in radians.  Ignored by
+            the all-omni-directional scheme.  Must lie in ``(0, 2*pi]``.
+    """
+
+    l_rts: float = 5.0
+    l_cts: float = 5.0
+    l_data: float = 100.0
+    l_ack: float = 5.0
+    n_neighbors: float = 3.0
+    beamwidth: float = math.pi / 6
+
+    def __post_init__(self) -> None:
+        for name in ("l_rts", "l_cts", "l_data", "l_ack"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if not self.n_neighbors > 0:
+            raise ValueError(
+                f"n_neighbors must be positive, got {self.n_neighbors!r}"
+            )
+        if not 0 < self.beamwidth <= 2 * math.pi:
+            raise ValueError(
+                "beamwidth must be in (0, 2*pi] radians, got "
+                f"{self.beamwidth!r}"
+            )
+
+    @property
+    def t_succeed(self) -> float:
+        """Duration of a successful four-way handshake in slots.
+
+        ``T_succeed = l_rts + l_cts + l_data + l_ack + 4`` — each packet
+        costs its length plus one slot of turnaround/propagation.
+        """
+        return self.l_rts + self.l_cts + self.l_data + self.l_ack + 4
+
+    @property
+    def t_fail_omni(self) -> float:
+        """Duration of a failed handshake under ORTS-OCTS in slots.
+
+        With correct (conservative) collision avoidance a failure is
+        always detected after the RTS/CTS exchange window:
+        ``T_fail = l_rts + l_cts + 2``.
+        """
+        return self.l_rts + self.l_cts + 2
+
+    @property
+    def directional_fraction(self) -> float:
+        """``theta / (2*pi)``: the fraction of the plane covered by one beam."""
+        return self.beamwidth / (2 * math.pi)
+
+    def with_beamwidth(self, beamwidth: float) -> "ProtocolParameters":
+        """Return a copy with a different antenna beamwidth."""
+        return replace(self, beamwidth=beamwidth)
+
+    def with_neighbors(self, n_neighbors: float) -> "ProtocolParameters":
+        """Return a copy with a different mean neighbor count ``N``."""
+        return replace(self, n_neighbors=n_neighbors)
+
+
+#: The configuration used for all numerical results in the paper
+#: (Section 3): RTS, CTS and ACK last 5 slots and data packets 100.
+PAPER_PARAMETERS = ProtocolParameters(
+    l_rts=5.0, l_cts=5.0, l_data=100.0, l_ack=5.0
+)

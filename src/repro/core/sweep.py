@@ -1,0 +1,113 @@
+"""Parameter sweeps over the analytical model.
+
+These helpers produce exactly the series plotted in the paper's Fig. 5:
+maximum achievable throughput versus antenna beamwidth (15deg..180deg in
+15deg steps) for each of the three collision-avoidance schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .drts_dcts import DrtsDcts
+from .drts_octs import DrtsOcts
+from .optimize import ThroughputOptimum, maximize_throughput
+from .orts_octs import OrtsOcts
+from .params import ProtocolParameters
+from .schemes import CollisionAvoidanceScheme
+
+__all__ = [
+    "SweepPoint",
+    "SweepSeries",
+    "paper_beamwidths",
+    "beamwidth_sweep",
+    "fig5_series",
+    "SCHEME_FACTORIES",
+]
+
+#: Constructors for the three schemes analysed in the paper, keyed by
+#: the names used throughout the paper and this repository.
+SCHEME_FACTORIES: dict[str, Callable[[ProtocolParameters], CollisionAvoidanceScheme]] = {
+    "ORTS-OCTS": OrtsOcts,
+    "DRTS-DCTS": DrtsDcts,
+    "DRTS-OCTS": DrtsOcts,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (beamwidth, optimal p, max throughput) sample."""
+
+    beamwidth: float
+    p_opt: float
+    throughput: float
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """A named series of sweep points for one scheme."""
+
+    scheme: str
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def beamwidths(self) -> tuple[float, ...]:
+        return tuple(pt.beamwidth for pt in self.points)
+
+    @property
+    def throughputs(self) -> tuple[float, ...]:
+        return tuple(pt.throughput for pt in self.points)
+
+
+def paper_beamwidths() -> tuple[float, ...]:
+    """The Fig. 5 sweep: 15deg to 180deg in 15deg increments, in radians."""
+    return tuple(math.radians(15 * k) for k in range(1, 13))
+
+
+def beamwidth_sweep(
+    scheme_name: str,
+    params: ProtocolParameters,
+    beamwidths: Sequence[float] | None = None,
+) -> SweepSeries:
+    """Maximum throughput of one scheme across antenna beamwidths.
+
+    Args:
+        scheme_name: one of ``"ORTS-OCTS"``, ``"DRTS-DCTS"``,
+            ``"DRTS-OCTS"``.
+        params: protocol parameters; the ``beamwidth`` field is replaced
+            by each sweep value in turn.
+        beamwidths: beamwidths in radians; defaults to the paper's grid.
+
+    Returns:
+        A series of per-beamwidth optima.  For ORTS-OCTS the curve is
+        flat by construction (the scheme ignores beamwidth) but is still
+        evaluated pointwise for uniformity.
+    """
+    if scheme_name not in SCHEME_FACTORIES:
+        raise KeyError(
+            f"unknown scheme {scheme_name!r}; expected one of "
+            f"{sorted(SCHEME_FACTORIES)}"
+        )
+    factory = SCHEME_FACTORIES[scheme_name]
+    widths = tuple(beamwidths) if beamwidths is not None else paper_beamwidths()
+    points = []
+    for theta in widths:
+        scheme = factory(params.with_beamwidth(theta))
+        optimum: ThroughputOptimum = maximize_throughput(scheme)
+        points.append(
+            SweepPoint(beamwidth=theta, p_opt=optimum.p_opt, throughput=optimum.throughput)
+        )
+    return SweepSeries(scheme=scheme_name, points=tuple(points))
+
+
+def fig5_series(
+    params: ProtocolParameters,
+    beamwidths: Sequence[float] | None = None,
+) -> dict[str, SweepSeries]:
+    """All three Fig. 5 curves for one parameter set."""
+    return {
+        name: beamwidth_sweep(name, params, beamwidths)
+        for name in SCHEME_FACTORIES
+    }

@@ -1,0 +1,65 @@
+"""Truncated geometric distribution for failed-handshake durations.
+
+The directional schemes cannot bound when a handshake is disrupted, so
+the paper models the failed period ``T_fail`` as a geometric random
+variable truncated to ``[lower, upper]`` (equation (3))::
+
+    T_fail = (1 - p) / (1 - p^(T2 - T1 + 1)) * sum_{i=0}^{T2-T1} p^i (T1 + i)
+
+Small ``p`` means failures are detected early (mass concentrated near
+the lower bound); ``p -> 1`` pushes the mean toward the midpoint.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["truncated_geometric_mean", "truncated_geometric_pmf"]
+
+
+def _validate(p: float, lower: float, upper: float) -> int:
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p!r}")
+    if lower <= 0 or upper <= 0:
+        raise ValueError(f"bounds must be positive, got [{lower!r}, {upper!r}]")
+    if upper < lower:
+        raise ValueError(f"upper bound {upper!r} below lower bound {lower!r}")
+    span = int(round(upper - lower))
+    if not math.isclose(upper - lower, span, abs_tol=1e-9):
+        raise ValueError(
+            "bounds must differ by an integer number of slots, got "
+            f"[{lower!r}, {upper!r}]"
+        )
+    return span
+
+
+def truncated_geometric_pmf(p: float, lower: float, upper: float) -> list[float]:
+    """Probability mass of durations ``lower, lower+1, ..., upper``.
+
+    ``P(T = lower + i) = (1 - p) p^i / (1 - p^(span + 1))``.
+    """
+    span = _validate(p, lower, upper)
+    if p == 0.0:
+        return [1.0] + [0.0] * span
+    norm = (1.0 - p) / (1.0 - p ** (span + 1))
+    return [norm * p**i for i in range(span + 1)]
+
+
+def truncated_geometric_mean(p: float, lower: float, upper: float) -> float:
+    """Mean duration of a failed handshake (equation (3) of the paper).
+
+    Args:
+        p: per-slot transmission probability, in ``[0, 1)``.
+        lower: shortest possible failed period ``T1`` in slots.
+        upper: longest possible failed period ``T2`` in slots.
+
+    Returns:
+        The expected failed-period length in slots; always within
+        ``[lower, upper]``.
+    """
+    span = _validate(p, lower, upper)
+    if p == 0.0 or span == 0:
+        return float(lower)
+    norm = (1.0 - p) / (1.0 - p ** (span + 1))
+    total = sum(p**i * (lower + i) for i in range(span + 1))
+    return norm * total

@@ -1,0 +1,96 @@
+"""Generator-based processes on top of the event engine.
+
+The MAC layers are written as explicit state machines (faster, and
+their states map one-to-one to 802.11's), but test scenarios and
+traffic scripts read better as straight-line code.  A *process* is a
+generator that yields:
+
+* an ``int`` — sleep that many nanoseconds, or
+* another :class:`Process` — wait until it finishes.
+
+Example::
+
+    def scenario(sim, mac):
+        yield 1_000_000                  # let the network settle 1 ms
+        mac.enqueue(packet_a)
+        yield 20_000_000
+        mac.enqueue(packet_b)
+
+    spawn(sim, scenario(sim, mac))
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Process", "spawn"]
+
+Yieldable = "int | Process"
+
+
+class Process:
+    """A running generator coupled to the simulator clock."""
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        self.sim = sim
+        self._generator = generator
+        self.alive = True
+        self.cancelled = False
+        self._pending: Event | None = None
+        self._waiters: list["Process"] = []
+
+    def cancel(self) -> None:
+        """Stop the process; it never resumes and counts as finished."""
+        if not self.alive:
+            return
+        self.cancelled = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._generator.close()
+        self._finish()
+
+    # ------------------------------------------------------------------
+
+    def _resume(self) -> None:
+        self._pending = None
+        if not self.alive:  # pragma: no cover - cancelled in flight
+            return
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self._finish()
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded) -> None:
+        if isinstance(yielded, bool) or not isinstance(yielded, (int, Process)):
+            self.cancel()
+            raise SimulationError(
+                f"process yielded {yielded!r}; expected an int delay or a Process"
+            )
+        if isinstance(yielded, int):
+            if yielded < 0:
+                self.cancel()
+                raise SimulationError(f"process yielded negative delay {yielded}")
+            self._pending = self.sim.schedule(yielded, self._resume)
+        else:
+            if yielded.alive:
+                yielded._waiters.append(self)
+            else:
+                self._pending = self.sim.schedule(0, self._resume)
+
+    def _finish(self) -> None:
+        self.alive = False
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter._pending = self.sim.schedule(0, waiter._resume)
+
+
+def spawn(sim: Simulator, generator: Generator) -> Process:
+    """Start a process; its first step runs at the current time."""
+    process = Process(sim, generator)
+    process._pending = sim.schedule(0, process._resume)
+    return process

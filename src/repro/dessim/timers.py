@@ -1,0 +1,83 @@
+"""Restartable named timers on top of the event engine.
+
+MAC protocols live on timeouts — CTS timeout, ACK timeout, DIFS/SIFS
+deferral, backoff slots.  A :class:`Timer` wraps the schedule/cancel
+dance so protocol code reads declaratively::
+
+    self.cts_timeout = Timer(sim, "cts-timeout", self._on_cts_timeout)
+    self.cts_timeout.start(timeout_ns)
+    ...
+    self.cts_timeout.cancel()      # CTS arrived in time
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """A cancellable, restartable one-shot timer.
+
+    Restarting a pending timer cancels the previous expiry; the timer
+    fires at most once per :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        callback: Callable[..., None],
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self._callback = callback
+        self._event: Event | None = None
+        self._expiry: int | None = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed and has not yet fired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> int | None:
+        """Absolute expiry time in ns, or ``None`` when idle."""
+        return self._expiry if self.pending else None
+
+    @property
+    def remaining(self) -> int | None:
+        """Nanoseconds until expiry, or ``None`` when idle."""
+        if not self.pending:
+            return None
+        assert self._expiry is not None
+        return self._expiry - self._sim.now
+
+    def start(self, delay: int, *args: Any) -> None:
+        """Arm (or re-arm) the timer ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"timer {self.name!r}: negative delay {delay}"
+            )
+        self.cancel()
+        self._expiry = self._sim.now + delay
+        self._event = self._sim.schedule(delay, self._fire, args)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending (idempotent)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+            self._expiry = None
+
+    def _fire(self, args: tuple[Any, ...]) -> None:
+        self._event = None
+        self._expiry = None
+        self._callback(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"expires@{self._expiry}" if self.pending else "idle"
+        return f"Timer({self.name!r}, {state})"

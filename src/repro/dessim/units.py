@@ -1,0 +1,52 @@
+"""Time units for the discrete-event simulator.
+
+The simulator clock is an **integer number of nanoseconds**.  Every
+quantity in Table 1 of the paper (slot 20 us, SIFS 10 us, DIFS 50 us,
+sync 192 us, propagation delay 1 us, 2 Mbps bit rate => 500 ns per bit)
+is an exact integer in nanoseconds, so the simulation is free of
+floating-point time drift by construction.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "microseconds",
+    "milliseconds",
+    "seconds",
+    "to_seconds",
+    "to_microseconds",
+]
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return round(value * MICROSECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return round(value * SECOND)
+
+
+def to_seconds(time_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return time_ns / SECOND
+
+
+def to_microseconds(time_ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return time_ns / MICROSECOND

@@ -1,0 +1,88 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`~repro.experiments.fig5` — analytical throughput vs beamwidth,
+* :mod:`~repro.experiments.fig6` — simulated throughput grid,
+* :mod:`~repro.experiments.fig7` — simulated delay grid,
+* :mod:`~repro.experiments.table1` — the DSSS configuration check,
+* :mod:`~repro.experiments.collision_ratio` — the Section-4 statistic,
+* :mod:`~repro.experiments.fairness` — the Section-4 fairness claims,
+* :mod:`~repro.experiments.ablation` — design-choice ablations.
+"""
+
+from .ablation import (
+    Area3SpanRow,
+    FixedPRow,
+    TFailRow,
+    format_area3_span_table,
+    format_fixed_p_table,
+    format_tfail_table,
+    run_area3_span_ablation,
+    run_fixed_p_ablation,
+    run_tfail_ablation,
+)
+from .baselines import BaselineRow, format_baseline_table, run_baseline_ladder
+from .collision_ratio import CollisionCell, format_collision_table, run_collision_ratio
+from .config import SimStudyConfig, from_environment
+from .fairness import FairnessCell, format_fairness_table, run_fairness
+from .extension_schemes import (
+    SchemeComparison,
+    format_scheme_comparison,
+    run_scheme_comparison,
+)
+from .fig5 import Fig5Row, format_fig5_table, run_fig5
+from .load_sweep import LoadPoint, format_load_sweep_table, run_load_sweep
+from .mobility_study import (
+    MobilityPoint,
+    format_mobility_table,
+    run_mobility_study,
+)
+from .fig6 import Fig6Cell, format_fig6_table, run_fig6
+from .fig7 import Fig7Cell, format_fig7_table, run_fig7
+from .runner import CellResult, SimStudyRunner
+from .table1 import Table1Entry, format_table1, table1_entries
+
+__all__ = [
+    "SimStudyConfig",
+    "from_environment",
+    "SimStudyRunner",
+    "CellResult",
+    "Fig5Row",
+    "run_fig5",
+    "format_fig5_table",
+    "Fig6Cell",
+    "run_fig6",
+    "format_fig6_table",
+    "Fig7Cell",
+    "run_fig7",
+    "format_fig7_table",
+    "Table1Entry",
+    "table1_entries",
+    "format_table1",
+    "CollisionCell",
+    "run_collision_ratio",
+    "format_collision_table",
+    "FairnessCell",
+    "run_fairness",
+    "format_fairness_table",
+    "LoadPoint",
+    "MobilityPoint",
+    "run_mobility_study",
+    "format_mobility_table",
+    "run_load_sweep",
+    "format_load_sweep_table",
+    "SchemeComparison",
+    "run_scheme_comparison",
+    "format_scheme_comparison",
+    "FixedPRow",
+    "run_fixed_p_ablation",
+    "TFailRow",
+    "run_tfail_ablation",
+    "Area3SpanRow",
+    "run_area3_span_ablation",
+    "BaselineRow",
+    "run_baseline_ladder",
+    "format_baseline_table",
+    "format_fixed_p_table",
+    "format_tfail_table",
+    "format_area3_span_table",
+]

@@ -1,0 +1,70 @@
+"""Section 4's fairness discussion, quantified.
+
+The paper observes (results omitted for space) that BEB "always favors
+the node that succeeds last", that starvation is "much more unfair when
+transmission beamwidth is wider", and that "when N is larger, the
+fairness problem is less severe".  This experiment quantifies all three
+claims with Jain's fairness index over the inner nodes' individual
+throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.summary import ReplicateSummary, summarize
+from .config import SimStudyConfig, from_environment
+from .runner import SimStudyRunner
+
+__all__ = ["FairnessCell", "run_fairness", "format_fairness_table"]
+
+
+@dataclass(frozen=True)
+class FairnessCell:
+    """Jain-index summary for one (N, scheme, beamwidth) cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    jain: ReplicateSummary
+
+
+def run_fairness(config: SimStudyConfig | None = None) -> list[FairnessCell]:
+    """Run the grid and summarize inner-node fairness."""
+    cfg = config if config is not None else from_environment()
+    runner = SimStudyRunner(cfg)
+    cells = []
+    for cell in runner.run_grid():
+        cells.append(
+            FairnessCell(
+                n=cell.n,
+                scheme=cell.scheme,
+                beamwidth_deg=cell.beamwidth_deg,
+                jain=summarize(cell.metric("inner_fairness")),
+            )
+        )
+    return cells
+
+
+def format_fairness_table(cells: Sequence[FairnessCell]) -> str:
+    """Aligned text table grouped by N."""
+    lines = []
+    schemes = sorted({c.scheme for c in cells}, key=str)
+    for n in sorted({c.n for c in cells}):
+        lines.append(f"N = {n}  (Jain fairness index of inner-node throughputs)")
+        lines.append("  beamwidth  " + "  ".join(f"{s:>12}" for s in schemes))
+        for beamwidth in sorted({c.beamwidth_deg for c in cells if c.n == n}):
+            row = [f"  {beamwidth:7.0f}dg "]
+            for scheme in schemes:
+                match = [
+                    c
+                    for c in cells
+                    if c.n == n
+                    and c.scheme == scheme
+                    and c.beamwidth_deg == beamwidth
+                ]
+                row.append(f"{match[0].jain.mean:12.3f}" if match else " " * 12)
+            lines.append("  ".join(row))
+        lines.append("")
+    return "\n".join(lines)

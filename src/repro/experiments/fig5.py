@@ -1,0 +1,73 @@
+"""Fig. 5 — analytical maximum throughput versus antenna beamwidth.
+
+Regenerates the paper's Figure 5: for beamwidths 15..180 degrees (15
+degree steps) and the Section-3 packet lengths (RTS = CTS = ACK = 5
+slots, data = 100 slots), the maximum achievable throughput of the
+three collision-avoidance schemes, maximised over the per-slot
+transmission probability ``p``.
+
+The paper plots one density; since Fig. 5's ``N`` is not stated, we
+expose it as a parameter and default to ``N = 5`` (mid-range of the
+simulated densities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.params import PAPER_PARAMETERS, ProtocolParameters
+from ..core.sweep import SCHEME_FACTORIES, SweepSeries, fig5_series, paper_beamwidths
+
+__all__ = ["Fig5Row", "run_fig5", "format_fig5_table"]
+
+import math
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One beamwidth row of the Fig. 5 data."""
+
+    beamwidth_deg: float
+    throughput: dict[str, float]
+
+
+def run_fig5(
+    n_neighbors: float = 5.0,
+    beamwidths: Sequence[float] | None = None,
+    params: ProtocolParameters | None = None,
+) -> list[Fig5Row]:
+    """Compute the Fig. 5 series.
+
+    Args:
+        n_neighbors: mean neighbor count ``N``.
+        beamwidths: beamwidths in radians (paper grid by default).
+        params: packet lengths (paper's Section 3 values by default).
+    """
+    base = params if params is not None else PAPER_PARAMETERS
+    base = base.with_neighbors(n_neighbors)
+    widths = tuple(beamwidths) if beamwidths is not None else paper_beamwidths()
+    series: dict[str, SweepSeries] = fig5_series(base, widths)
+    rows = []
+    for index, width in enumerate(widths):
+        rows.append(
+            Fig5Row(
+                beamwidth_deg=math.degrees(width),
+                throughput={
+                    name: series[name].points[index].throughput
+                    for name in SCHEME_FACTORIES
+                },
+            )
+        )
+    return rows
+
+
+def format_fig5_table(rows: Sequence[Fig5Row]) -> str:
+    """Render rows as the aligned text table printed by the bench."""
+    schemes = list(SCHEME_FACTORIES)
+    header = "beamwidth_deg  " + "  ".join(f"{s:>10}" for s in schemes)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = "  ".join(f"{row.throughput[s]:10.4f}" for s in schemes)
+        lines.append(f"{row.beamwidth_deg:13.0f}  {cells}")
+    return "\n".join(lines)

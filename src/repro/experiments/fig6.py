@@ -1,0 +1,76 @@
+"""Fig. 6 — simulated throughput comparison.
+
+Regenerates the paper's Figure 6: aggregate saturation throughput of
+the innermost ``N`` nodes for IEEE 802.11 (ORTS-OCTS) and its
+directional variants, for ``N`` in {3, 5, 8} and beamwidths
+{30, 90, 150} degrees, averaged over random ring topologies with the
+min-max range (the paper's vertical bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.summary import ReplicateSummary, summarize
+from .config import SimStudyConfig, from_environment
+from .runner import SimStudyRunner
+
+__all__ = ["Fig6Cell", "run_fig6", "format_fig6_table"]
+
+
+@dataclass(frozen=True)
+class Fig6Cell:
+    """Throughput summary for one (N, scheme, beamwidth) cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    throughput_bps: ReplicateSummary
+
+
+def run_fig6(config: SimStudyConfig | None = None) -> list[Fig6Cell]:
+    """Run the Fig. 6 grid and summarize throughput per cell."""
+    cfg = config if config is not None else from_environment()
+    runner = SimStudyRunner(cfg)
+    cells = []
+    for cell in runner.run_grid():
+        cells.append(
+            Fig6Cell(
+                n=cell.n,
+                scheme=cell.scheme,
+                beamwidth_deg=cell.beamwidth_deg,
+                throughput_bps=summarize(cell.metric("inner_throughput_bps")),
+            )
+        )
+    return cells
+
+
+def format_fig6_table(cells: Sequence[Fig6Cell]) -> str:
+    """Aligned text table grouped by N, one row per beamwidth."""
+    lines = []
+    schemes = sorted({c.scheme for c in cells}, key=str)
+    for n in sorted({c.n for c in cells}):
+        lines.append(f"N = {n}  (throughput of inner {n} nodes, Mbps)")
+        header = "  beamwidth  " + "  ".join(f"{s:>24}" for s in schemes)
+        lines.append(header)
+        for beamwidth in sorted({c.beamwidth_deg for c in cells if c.n == n}):
+            row = [f"  {beamwidth:7.0f}dg "]
+            for scheme in schemes:
+                match = [
+                    c
+                    for c in cells
+                    if c.n == n
+                    and c.scheme == scheme
+                    and c.beamwidth_deg == beamwidth
+                ]
+                if match:
+                    s = match[0].throughput_bps
+                    row.append(
+                        f"{s.mean / 1e6:6.3f} [{s.minimum / 1e6:5.3f},{s.maximum / 1e6:5.3f}]"
+                    )
+                else:
+                    row.append(" " * 24)
+            lines.append("  ".join(row))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Fig. 7 — simulated average delay comparison.
+
+Regenerates the paper's Figure 7: mean MAC service delay (enqueue to
+ACK) of packets originated by the innermost ``N`` nodes, for the same
+grid as Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.summary import ReplicateSummary, summarize
+from .config import SimStudyConfig, from_environment
+from .runner import SimStudyRunner
+
+__all__ = ["Fig7Cell", "run_fig7", "format_fig7_table"]
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    """Delay summary for one (N, scheme, beamwidth) cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    delay_s: ReplicateSummary
+
+
+def run_fig7(config: SimStudyConfig | None = None) -> list[Fig7Cell]:
+    """Run the Fig. 7 grid and summarize mean delay per cell."""
+    cfg = config if config is not None else from_environment()
+    runner = SimStudyRunner(cfg)
+    cells = []
+    for cell in runner.run_grid():
+        cells.append(
+            Fig7Cell(
+                n=cell.n,
+                scheme=cell.scheme,
+                beamwidth_deg=cell.beamwidth_deg,
+                delay_s=summarize(cell.metric("inner_mean_delay_s")),
+            )
+        )
+    return cells
+
+
+def format_fig7_table(cells: Sequence[Fig7Cell]) -> str:
+    """Aligned text table grouped by N, delays in milliseconds."""
+    lines = []
+    schemes = sorted({c.scheme for c in cells}, key=str)
+    for n in sorted({c.n for c in cells}):
+        lines.append(f"N = {n}  (mean MAC service delay of inner nodes, ms)")
+        header = "  beamwidth  " + "  ".join(f"{s:>24}" for s in schemes)
+        lines.append(header)
+        for beamwidth in sorted({c.beamwidth_deg for c in cells if c.n == n}):
+            row = [f"  {beamwidth:7.0f}dg "]
+            for scheme in schemes:
+                match = [
+                    c
+                    for c in cells
+                    if c.n == n
+                    and c.scheme == scheme
+                    and c.beamwidth_deg == beamwidth
+                ]
+                if match:
+                    s = match[0].delay_s
+                    row.append(
+                        f"{s.mean * 1e3:6.1f} [{s.minimum * 1e3:5.1f},{s.maximum * 1e3:5.1f}]"
+                    )
+                else:
+                    row.append(" " * 24)
+            lines.append("  ".join(row))
+        lines.append("")
+    return "\n".join(lines)

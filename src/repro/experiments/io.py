@@ -1,0 +1,93 @@
+"""Persistence for experiment results.
+
+Benches and long campaigns want artifacts: this module round-trips the
+simulation grid (``CellResult`` lists) and the analytical Fig. 5 rows
+through JSON, and exports flat CSVs for external plotting.  Only
+summary-level data is stored (per-replicate metrics, not event traces).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Sequence
+
+from .fig5 import Fig5Row
+from .runner import CellResult
+
+__all__ = [
+    "grid_to_records",
+    "save_grid_json",
+    "load_grid_records",
+    "save_grid_csv",
+    "save_fig5_csv",
+]
+
+#: The SimulationResult properties exported per replicate.
+_METRICS = (
+    "inner_throughput_bps",
+    "inner_mean_delay_s",
+    "inner_collision_ratio",
+    "inner_fairness",
+    "inner_packets_delivered",
+)
+
+
+def grid_to_records(cells: Sequence[CellResult]) -> list[dict]:
+    """Flatten grid cells into one record per replicate."""
+    records = []
+    for cell in cells:
+        for replicate, result in enumerate(cell.results):
+            record = {
+                "n": cell.n,
+                "scheme": cell.scheme,
+                "beamwidth_deg": cell.beamwidth_deg,
+                "replicate": replicate,
+                "duration_ns": result.duration_ns,
+            }
+            for metric in _METRICS:
+                record[metric] = getattr(result, metric)
+            records.append(record)
+    return records
+
+
+def save_grid_json(cells: Sequence[CellResult], path: str | pathlib.Path) -> None:
+    """Write the flattened grid to a JSON file."""
+    payload = {"format": "repro-grid-v1", "records": grid_to_records(cells)}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_grid_records(path: str | pathlib.Path) -> list[dict]:
+    """Read records written by :func:`save_grid_json`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro-grid-v1":
+        raise ValueError(
+            f"{path}: not a repro grid file (format={payload.get('format')!r})"
+        )
+    return payload["records"]
+
+
+def save_grid_csv(cells: Sequence[CellResult], path: str | pathlib.Path) -> None:
+    """Write the flattened grid to a CSV file."""
+    records = grid_to_records(cells)
+    if not records:
+        raise ValueError("cannot write an empty grid")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+
+
+def save_fig5_csv(rows: Sequence[Fig5Row], path: str | pathlib.Path) -> None:
+    """Write Fig. 5 rows (beamwidth x scheme throughputs) to CSV."""
+    if not rows:
+        raise ValueError("cannot write an empty Fig. 5 table")
+    schemes = sorted(rows[0].throughput)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["beamwidth_deg", *schemes])
+        for row in rows:
+            writer.writerow(
+                [row.beamwidth_deg, *(row.throughput[s] for s in schemes)]
+            )

@@ -1,0 +1,81 @@
+"""Shared orchestration for the simulation experiments.
+
+The cardinal rule, inherited from the paper: **compare schemes on
+identical topologies**.  Topologies are generated once per ``(N, seed)``
+and cached; every scheme/beamwidth combination then runs on the same
+placements, so differences are attributable to the MAC, not the draw.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..net.network import NetworkSimulation, SimulationResult
+from ..net.topology import Topology, TopologyConfig, generate_ring_topology
+from .config import SimStudyConfig
+
+__all__ = ["CellResult", "SimStudyRunner"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All replicate results for one (N, scheme, beamwidth) grid cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    results: tuple[SimulationResult, ...]
+
+    def metric(self, name: str) -> list[float]:
+        """Extract one metric across replicates by property name."""
+        return [getattr(result, name) for result in self.results]
+
+
+class SimStudyRunner:
+    """Runs the (N, scheme, beamwidth) grid with cached topologies."""
+
+    def __init__(self, config: SimStudyConfig) -> None:
+        self.config = config
+        self._topologies: dict[tuple[int, int], Topology] = {}
+
+    def topology(self, n: int, replicate: int) -> Topology:
+        """The cached topology for (N, replicate)."""
+        key = (n, replicate)
+        if key not in self._topologies:
+            seed = self.config.base_seed * 1_000 + n * 100 + replicate
+            self._topologies[key] = generate_ring_topology(
+                TopologyConfig(n=n), random.Random(seed)
+            )
+        return self._topologies[key]
+
+    def run_cell(self, n: int, scheme: str, beamwidth_deg: float) -> CellResult:
+        """Run all replicates of one grid cell."""
+        results = []
+        for replicate in range(self.config.topologies):
+            topology = self.topology(n, replicate)
+            simulation = NetworkSimulation(
+                topology,
+                scheme,
+                math.radians(beamwidth_deg),
+                seed=self.config.base_seed + replicate,
+                mac_params=self.config.mac_params,
+                phy_params=self.config.phy_params,
+            )
+            results.append(simulation.run(self.config.sim_time_ns))
+        return CellResult(
+            n=n,
+            scheme=scheme,
+            beamwidth_deg=beamwidth_deg,
+            results=tuple(results),
+        )
+
+    def run_grid(self) -> list[CellResult]:
+        """Run every (N, scheme, beamwidth) combination."""
+        cells = []
+        for n in self.config.n_values:
+            for scheme in self.config.schemes:
+                for beamwidth in self.config.beamwidths_deg:
+                    cells.append(self.run_cell(n, scheme, beamwidth))
+        return cells

@@ -1,0 +1,49 @@
+"""IEEE 802.11 DCF MAC and its directional-antenna variants.
+
+The :class:`~repro.mac.dcf.DcfMac` state machine implements the DCF
+four-way handshake with physical + virtual carrier sense, BEB and
+timeouts; an :class:`~repro.mac.policy.AntennaPolicy` plugs in the
+paper's three schemes (ORTS-OCTS / DRTS-DCTS / DRTS-OCTS) by choosing
+omni or beamed transmission per frame type.  The
+:class:`~repro.mac.neighbors.NeighborTable` is the oracle neighbor
+protocol the paper assumes.
+"""
+
+from .backoff import BackoffManager
+from .config import DSSS_MAC, MacParameters
+from .dcf import DcfMac, DcfPhase
+from .nav import Nav
+from .neighbors import NeighborTable, SnapshotNeighborTable
+from .packet import Packet
+from .policy import (
+    DRTS_DCTS_POLICY,
+    DRTS_OCTS_POLICY,
+    KO_ALTERNATING_POLICY,
+    NASIPURI_POLICY,
+    ORTS_OCTS_POLICY,
+    POLICIES,
+    AlternatingRtsPolicy,
+    AntennaPolicy,
+)
+from .stats import MacStats
+
+__all__ = [
+    "BackoffManager",
+    "MacParameters",
+    "DSSS_MAC",
+    "DcfMac",
+    "DcfPhase",
+    "Nav",
+    "NeighborTable",
+    "SnapshotNeighborTable",
+    "Packet",
+    "AntennaPolicy",
+    "ORTS_OCTS_POLICY",
+    "DRTS_DCTS_POLICY",
+    "DRTS_OCTS_POLICY",
+    "NASIPURI_POLICY",
+    "KO_ALTERNATING_POLICY",
+    "AlternatingRtsPolicy",
+    "POLICIES",
+    "MacStats",
+]

@@ -1,0 +1,59 @@
+"""Binary exponential backoff (BEB).
+
+The contention window starts at ``cw_min``, doubles (as
+``2*(cw+1) - 1``, staying of the form ``2^k - 1``) after every failed
+handshake up to ``cw_max``, and resets after a success or a drop.
+Backoff draws are uniform integers on ``[0, cw]``.
+
+Section 4 of the paper leans on BEB's pathology — the node that last
+succeeded keeps the smallest window and tends to monopolize the channel
+— to explain the fairness results, so this implementation keeps the
+exact doubling schedule of IEEE 802.11.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .config import MacParameters
+
+__all__ = ["BackoffManager"]
+
+
+class BackoffManager:
+    """Contention-window state plus the uniform slot draw."""
+
+    def __init__(self, params: MacParameters, rng: random.Random) -> None:
+        self.params = params
+        self._rng = rng
+        self._cw = params.cw_min
+
+    @property
+    def cw(self) -> int:
+        """Current contention window (upper bound of the draw)."""
+        return self._cw
+
+    def draw(self) -> int:
+        """Draw a fresh backoff duration in whole slots."""
+        return self._rng.randint(0, self._cw)
+
+    def double(self) -> None:
+        """Escalate after a failed handshake (capped at ``cw_max``)."""
+        self._cw = min(2 * (self._cw + 1) - 1, self.params.cw_max)
+
+    def reset(self) -> None:
+        """Return to ``cw_min`` after a success or a final drop."""
+        self._cw = self.params.cw_min
+
+    @property
+    def stage(self) -> int:
+        """How many doublings the window has undergone (0-based)."""
+        stage = 0
+        cw = self.params.cw_min
+        while cw < self._cw:
+            cw = 2 * (cw + 1) - 1
+            stage += 1
+        return stage
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackoffManager(cw={self._cw})"

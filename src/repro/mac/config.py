@@ -1,0 +1,102 @@
+"""IEEE 802.11 DCF timing configuration (Table 1 of the paper).
+
+All durations are integer nanoseconds.  Defaults reproduce the paper's
+DSSS parameter set: DIFS 50 us, SIFS 10 us, slot 20 us, contention
+window 31-1023, 2 Mbps channel with a 192 us sync preamble and 1 us
+propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dessim.units import microseconds
+from ..phy.frames import FrameType, PhyParameters
+
+__all__ = ["MacParameters", "DSSS_MAC"]
+
+
+@dataclass(frozen=True)
+class MacParameters:
+    """DCF timing and retry knobs.
+
+    Attributes:
+        slot_time_ns: backoff slot duration.
+        sifs_ns: short interframe space (between handshake frames).
+        difs_ns: DCF interframe space (before contention).
+        cw_min: initial contention window (slots); backoff draws are
+            uniform on ``[0, cw]``.
+        cw_max: contention window ceiling.
+        retry_limit: handshake attempts per packet before it is dropped.
+    """
+
+    slot_time_ns: int = microseconds(20)
+    sifs_ns: int = microseconds(10)
+    difs_ns: int = microseconds(50)
+    cw_min: int = 31
+    cw_max: int = 1023
+    retry_limit: int = 7
+
+    def __post_init__(self) -> None:
+        for name in ("slot_time_ns", "sifs_ns", "difs_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.cw_min < 1:
+            raise ValueError(f"cw_min must be >= 1, got {self.cw_min}")
+        if self.cw_max < self.cw_min:
+            raise ValueError(
+                f"cw_max ({self.cw_max}) must be >= cw_min ({self.cw_min})"
+            )
+        if self.retry_limit < 1:
+            raise ValueError(f"retry_limit must be >= 1, got {self.retry_limit}")
+
+    # ------------------------------------------------------------------
+    # Derived timeouts.  Each allows SIFS turnaround, the response air
+    # time, two propagation delays, and one slot of slack.
+    # ------------------------------------------------------------------
+
+    def cts_timeout_ns(self, phy: PhyParameters) -> int:
+        """How long to wait for a CTS after our RTS leaves the antenna."""
+        return (
+            self.sifs_ns
+            + phy.frame_airtime_ns(FrameType.CTS)
+            + 2 * phy.propagation_delay_ns
+            + self.slot_time_ns
+        )
+
+    def ack_timeout_ns(self, phy: PhyParameters) -> int:
+        """How long to wait for an ACK after our DATA leaves the antenna."""
+        return (
+            self.sifs_ns
+            + phy.frame_airtime_ns(FrameType.ACK)
+            + 2 * phy.propagation_delay_ns
+            + self.slot_time_ns
+        )
+
+    def data_start_timeout_ns(self, phy: PhyParameters) -> int:
+        """Responder's wait for the DATA to *start arriving* after its
+        CTS leaves the antenna.  If the medium is still idle when this
+        expires the initiator never got our CTS; resume normal DCF
+        instead of idling through a whole data airtime."""
+        return (
+            self.sifs_ns
+            + 2 * phy.propagation_delay_ns
+            + self.slot_time_ns
+        )
+
+    def data_timeout_ns(self, phy: PhyParameters) -> int:
+        """Responder's full wait for a DATA that has started arriving."""
+        return (
+            self.sifs_ns
+            + phy.frame_airtime_ns(FrameType.DATA)
+            + 2 * phy.propagation_delay_ns
+            + self.slot_time_ns
+        )
+
+    def eifs_ns(self, phy: PhyParameters) -> int:
+        """Extended IFS after a garbled reception (802.11-1999 9.2.3.4)."""
+        return self.sifs_ns + phy.frame_airtime_ns(FrameType.ACK) + self.difs_ns
+
+
+#: Table 1 configuration.
+DSSS_MAC = MacParameters()

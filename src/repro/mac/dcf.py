@@ -1,0 +1,511 @@
+"""IEEE 802.11 DCF (DFWMAC) with pluggable antenna policies.
+
+One state machine serves all three schemes of the paper; the
+:class:`~repro.mac.policy.AntennaPolicy` decides, per frame type,
+whether to beam at the peer or transmit omni-directionally.
+
+Implemented DCF behaviour:
+
+* physical + virtual carrier sense (NAV from overheard Duration fields),
+* DIFS deference, EIFS after garbled receptions,
+* binary exponential backoff (CW 31-1023), frozen while the medium is
+  busy, post-transmission backoff after every handshake,
+* RTS -> SIFS -> CTS -> SIFS -> DATA -> SIFS -> ACK with CTS/ACK
+  timeouts and a retry limit,
+* responder logic: SIFS-spaced CTS/ACK replies that (per the standard)
+  do not carrier-sense, suppression of CTS while the NAV is busy, and
+  a DATA-expectation timeout.
+
+Known simplification, documented in DESIGN.md: like GloMoSim 2.0's
+802.11 model, we do not implement the 802.11 NAV-reset subtlety for
+nodes that overheard an RTS whose handshake never continued.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from collections import deque
+from typing import Callable
+
+from ..dessim.engine import Simulator
+from ..dessim.timers import Timer
+from ..dessim.trace import Tracer
+from ..phy.frames import FRAME_SIZES, Frame, FrameType
+from ..phy.radio import Radio
+from .backoff import BackoffManager
+from .config import MacParameters
+from .nav import Nav
+from .neighbors import NeighborTable
+from .packet import Packet
+from .policy import AntennaPolicy, ORTS_OCTS_POLICY
+from .stats import MacStats
+
+__all__ = ["DcfMac", "DcfPhase"]
+
+
+class DcfPhase(enum.Enum):
+    """Initiator-side phase of the DCF state machine."""
+
+    NO_PACKET = "no-packet"        # nothing to send
+    ACCESS_WAIT = "access-wait"    # have a packet, medium busy
+    ACCESS_IFS = "access-ifs"      # DIFS/EIFS running
+    ACCESS_BACKOFF = "backoff"     # counting down slots
+    AWAIT_CTS = "await-cts"        # RTS on the air / waiting for CTS
+    SEND_DATA = "send-data"        # CTS in hand, SIFS before DATA
+    AWAIT_ACK = "await-ack"        # DATA on the air / waiting for ACK
+
+
+_INITIATION_PHASES = frozenset(
+    {
+        DcfPhase.NO_PACKET,
+        DcfPhase.ACCESS_WAIT,
+        DcfPhase.ACCESS_IFS,
+        DcfPhase.ACCESS_BACKOFF,
+    }
+)
+
+
+class DcfMac:
+    """One node's MAC entity.  Implements :class:`repro.phy.MacListener`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        params: MacParameters,
+        neighbor_table: NeighborTable,
+        policy: AntennaPolicy = ORTS_OCTS_POLICY,
+        beamwidth: float | None = None,
+        rng=None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.radio = radio
+        self.params = params
+        self.neighbors = neighbor_table
+        self.policy = policy
+        self.beamwidth = beamwidth if beamwidth is not None else 2 * math.pi
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.node_id = radio.node_id
+        self.stats = MacStats()
+
+        self.backoff = BackoffManager(
+            params, rng if rng is not None else random.Random(0)
+        )
+        self.nav = Nav()
+
+        self.phase = DcfPhase.NO_PACKET
+        self.queue: deque[Packet] = deque()
+        self._retries = 0
+        self._backoff_remaining = 0
+        self._use_eifs = False
+        self._next_handshake = 0
+        self._current_handshake = -1
+
+        # Responder state.
+        self._responding = False
+        self._response_peer = -1
+
+        # Timers.
+        self._ifs_timer = Timer(sim, f"n{self.node_id}-ifs", self._on_ifs_expired)
+        self._slot_timer = Timer(sim, f"n{self.node_id}-slot", self._on_slot_expired)
+        self._cts_timer = Timer(sim, f"n{self.node_id}-cts-to", self._on_cts_timeout)
+        self._ack_timer = Timer(sim, f"n{self.node_id}-ack-to", self._on_ack_timeout)
+        self._data_timer = Timer(
+            sim, f"n{self.node_id}-data-to", self._on_data_timeout
+        )
+        self._data_start_probe = Timer(
+            sim, f"n{self.node_id}-data-probe", self._on_data_start_timeout
+        )
+        self._response_timer = Timer(
+            sim, f"n{self.node_id}-sifs-resp", self._fire_response
+        )
+        # The initiator's own SIFS (CTS received -> DATA) runs on a
+        # separate timer so a concurrent responder action (e.g. ACKing
+        # a stale DATA under capture physics) can never cancel it.
+        self._initiator_timer = Timer(
+            sim, f"n{self.node_id}-sifs-data", self._fire_send_data
+        )
+        self._nav_timer = Timer(sim, f"n{self.node_id}-nav", self._on_nav_expired)
+        self._pending_response: Callable[[], None] | None = None
+
+        # Hooks: called with (packet, delivered) when service finishes,
+        # and with (frame,) when a DATA frame is received for us.
+        self.service_listeners: list[Callable[[Packet, bool], None]] = []
+        self.delivery_listeners: list[Callable[[Frame], None]] = []
+
+        radio.set_mac(self)
+
+    # ==================================================================
+    # Upper-layer API.
+    # ==================================================================
+
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a packet for transmission."""
+        self.stats.packets_enqueued += 1
+        self.queue.append(packet)
+        if self.phase is DcfPhase.NO_PACKET:
+            self.phase = DcfPhase.ACCESS_WAIT
+            self._maybe_begin_ifs()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    # ==================================================================
+    # Medium access (initiator side).
+    # ==================================================================
+
+    def _virtual_idle(self) -> bool:
+        return not self.radio.carrier_busy and not self.nav.busy(self.sim.now)
+
+    def _maybe_begin_ifs(self) -> None:
+        """Start the DIFS/EIFS wait if we may contend right now."""
+        if self.phase is not DcfPhase.ACCESS_WAIT and self.phase is not DcfPhase.NO_PACKET:
+            return
+        if self._responding:
+            return
+        if not self.queue:
+            self.phase = DcfPhase.NO_PACKET
+            return
+        self.phase = DcfPhase.ACCESS_WAIT
+        if self.radio.carrier_busy:
+            return  # the idle edge will bring us back
+        if self.nav.busy(self.sim.now):
+            # Physically idle but virtually reserved: wake at NAV expiry.
+            self._nav_timer.start(self.nav.remaining(self.sim.now))
+            return
+        self.phase = DcfPhase.ACCESS_IFS
+        ifs = (
+            self.params.eifs_ns(self.radio.channel.phy)
+            if self._use_eifs
+            else self.params.difs_ns
+        )
+        self._ifs_timer.start(ifs)
+
+    def _interrupt_access(self) -> None:
+        """Medium went busy during DIFS/backoff: freeze."""
+        if self.phase in (DcfPhase.ACCESS_IFS, DcfPhase.ACCESS_BACKOFF):
+            self._ifs_timer.cancel()
+            self._slot_timer.cancel()
+            self.phase = DcfPhase.ACCESS_WAIT
+
+    def _on_ifs_expired(self) -> None:
+        if self._backoff_remaining > 0:
+            self.phase = DcfPhase.ACCESS_BACKOFF
+            self._slot_timer.start(self.params.slot_time_ns)
+        else:
+            self._transmit_rts()
+
+    def _on_slot_expired(self) -> None:
+        self._backoff_remaining -= 1
+        if self._backoff_remaining <= 0:
+            self._transmit_rts()
+        else:
+            self._slot_timer.start(self.params.slot_time_ns)
+
+    def _on_nav_expired(self) -> None:
+        self._maybe_begin_ifs()
+
+    # ------------------------------------------------------------------
+
+    def _handshake_tail_ns(self, after: FrameType, data_bytes: int) -> int:
+        """Duration-field value: medium time left after ``after`` ends."""
+        phy = self.radio.channel.phy
+        sifs = self.params.sifs_ns
+        prop = phy.propagation_delay_ns
+        cts = phy.frame_airtime_ns(FrameType.CTS)
+        ack = phy.frame_airtime_ns(FrameType.ACK)
+        data = phy.airtime_ns(data_bytes)
+        if after is FrameType.RTS:
+            return 3 * sifs + cts + data + ack + 3 * prop
+        if after is FrameType.CTS:
+            return 2 * sifs + data + ack + 2 * prop
+        if after is FrameType.DATA:
+            return sifs + ack + prop
+        return 0
+
+    def _pattern(self, ftype: FrameType, peer: int):
+        bearing = self.neighbors.bearing_to(peer)
+        return self.policy.pattern_for(
+            ftype, bearing, self.beamwidth, retries=self._retries
+        )
+
+    def _transmit_rts(self) -> None:
+        packet = self.queue[0]
+        self._current_handshake = (self.node_id << 24) | self._next_handshake
+        self._next_handshake += 1
+        frame = Frame(
+            FrameType.RTS,
+            src=self.node_id,
+            dst=packet.dst,
+            size_bytes=FRAME_SIZES[FrameType.RTS],
+            duration_ns=self._handshake_tail_ns(FrameType.RTS, packet.size_bytes),
+            handshake_id=self._current_handshake,
+        )
+        self.phase = DcfPhase.AWAIT_CTS
+        self.stats.rts_sent += 1
+        self.tracer.record(
+            self.sim.now, "mac", self.node_id, "rts-sent",
+            dst=packet.dst, retries=self._retries,
+        )
+        self.radio.transmit(frame, self._pattern(FrameType.RTS, packet.dst))
+
+    def _fire_send_data(self) -> None:
+        if self.phase is not DcfPhase.SEND_DATA:  # pragma: no cover
+            return
+        if self.radio.transmitting:
+            # Physically possible only under capture physics (a stale
+            # responder ACK still on the air): treat as a failed
+            # attempt rather than violating half-duplex.
+            self._handshake_failed()
+            return
+        self._send_data()
+
+    def _send_data(self) -> None:
+        packet = self.queue[0]
+        frame = Frame(
+            FrameType.DATA,
+            src=self.node_id,
+            dst=packet.dst,
+            size_bytes=packet.size_bytes,
+            duration_ns=self._handshake_tail_ns(FrameType.DATA, packet.size_bytes),
+            handshake_id=self._current_handshake,
+            created_ns=packet.created_ns,
+        )
+        self.phase = DcfPhase.AWAIT_ACK
+        self.stats.data_sent += 1
+        self.radio.transmit(frame, self._pattern(FrameType.DATA, packet.dst))
+
+    # ------------------------------------------------------------------
+    # Handshake outcomes.
+    # ------------------------------------------------------------------
+
+    def _on_cts_timeout(self) -> None:
+        self.stats.cts_timeouts += 1
+        self.tracer.record(self.sim.now, "mac", self.node_id, "cts-timeout")
+        self._handshake_failed()
+
+    def _on_ack_timeout(self) -> None:
+        self.stats.ack_timeouts += 1
+        self.tracer.record(self.sim.now, "mac", self.node_id, "ack-timeout")
+        self._handshake_failed()
+
+    def _handshake_failed(self) -> None:
+        self._initiator_timer.cancel()
+        self._retries += 1
+        if self._retries >= self.params.retry_limit:
+            packet = self.queue.popleft()
+            self.stats.packets_dropped += 1
+            self.tracer.record(
+                self.sim.now, "mac", self.node_id, "packet-dropped", dst=packet.dst
+            )
+            self._notify_serviced(packet, delivered=False)
+            self.backoff.reset()
+            self._retries = 0
+        else:
+            self.backoff.double()
+        self._backoff_remaining = self.backoff.draw()
+        self.phase = DcfPhase.ACCESS_WAIT if self.queue else DcfPhase.NO_PACKET
+        self._maybe_begin_ifs()
+
+    def _handshake_succeeded(self) -> None:
+        packet = self.queue.popleft()
+        delay = self.sim.now - packet.created_ns
+        self.stats.record_delivery(packet.size_bytes * 8, delay)
+        self.tracer.record(
+            self.sim.now, "mac", self.node_id, "delivered",
+            dst=packet.dst, delay_ns=delay,
+        )
+        self._notify_serviced(packet, delivered=True)
+        self.backoff.reset()
+        self._retries = 0
+        self._backoff_remaining = self.backoff.draw()  # post-TX backoff
+        self.phase = DcfPhase.ACCESS_WAIT if self.queue else DcfPhase.NO_PACKET
+        self._maybe_begin_ifs()
+
+    def _notify_serviced(self, packet: Packet, delivered: bool) -> None:
+        for listener in self.service_listeners:
+            listener(packet, delivered)
+
+    # ==================================================================
+    # Responder side.
+    # ==================================================================
+
+    def _handle_rts(self, frame: Frame) -> None:
+        if self._responding:
+            return  # already committed to another handshake
+        if self.phase not in _INITIATION_PHASES:
+            return  # mid own handshake
+        if self.nav.busy(self.sim.now):
+            return  # 802.11: no CTS while NAV is set
+        self._responding = True
+        self._response_peer = frame.src
+        incoming_handshake = frame.handshake_id
+        self.tracer.record(
+            self.sim.now, "mac", self.node_id, "rts-accepted", src=frame.src
+        )
+
+        def respond() -> None:
+            self._send_cts(frame.src, frame.duration_ns, incoming_handshake)
+
+        self._schedule_response(respond)
+
+    def _send_cts(self, peer: int, rts_duration_ns: int, handshake_id: int) -> None:
+        if self.radio.transmitting:  # pragma: no cover - defensive
+            self._end_response()
+            return
+        phy = self.radio.channel.phy
+        # Whatever the RTS reserved, minus SIFS and our own CTS air time.
+        duration = max(
+            0,
+            rts_duration_ns
+            - self.params.sifs_ns
+            - phy.frame_airtime_ns(FrameType.CTS),
+        )
+        frame = Frame(
+            FrameType.CTS,
+            src=self.node_id,
+            dst=peer,
+            size_bytes=FRAME_SIZES[FrameType.CTS],
+            duration_ns=duration,
+            handshake_id=handshake_id,
+        )
+        self.stats.cts_sent += 1
+        self.radio.transmit(frame, self._pattern(FrameType.CTS, peer))
+
+    def _handle_data(self, frame: Frame) -> None:
+        self._data_timer.cancel()
+        self._data_start_probe.cancel()
+        self.stats.data_received += 1
+        self.stats.bits_received += frame.size_bytes * 8
+        for listener in self.delivery_listeners:
+            listener(frame)
+
+        def respond() -> None:
+            self._send_ack(frame.src, frame.handshake_id)
+
+        self._responding = True
+        self._response_peer = frame.src
+        self._schedule_response(respond)
+
+    def _send_ack(self, peer: int, handshake_id: int) -> None:
+        if self.radio.transmitting:  # pragma: no cover - defensive
+            self._end_response()
+            return
+        frame = Frame(
+            FrameType.ACK,
+            src=self.node_id,
+            dst=peer,
+            size_bytes=FRAME_SIZES[FrameType.ACK],
+            duration_ns=0,
+            handshake_id=handshake_id,
+        )
+        self.stats.ack_sent += 1
+        self.radio.transmit(frame, self._pattern(FrameType.ACK, peer))
+
+    def _schedule_response(self, action: Callable[[], None]) -> None:
+        """Queue a SIFS-spaced response (no carrier sensing, per spec)."""
+        self._pending_response = action
+        self._response_timer.start(self.params.sifs_ns)
+
+    def _fire_response(self) -> None:
+        action = self._pending_response
+        self._pending_response = None
+        if action is not None:
+            action()
+
+    def _on_data_start_timeout(self) -> None:
+        """Short probe after our CTS: is a DATA frame arriving at all?
+
+        If the medium is busy something is inbound — allow the full
+        data window.  If it is silent the initiator missed our CTS;
+        release the responder immediately (the 802.11 behaviour —
+        a CTS sender does not idle through a whole data airtime).
+        """
+        if self.radio.carrier_busy:
+            phy = self.radio.channel.phy
+            self._data_timer.start(self.params.data_timeout_ns(phy))
+        else:
+            self._on_data_timeout()
+
+    def _on_data_timeout(self) -> None:
+        """CTS sent but the DATA never came: release the responder."""
+        self.tracer.record(self.sim.now, "mac", self.node_id, "data-timeout")
+        self._end_response()
+
+    def _end_response(self) -> None:
+        self._responding = False
+        self._response_peer = -1
+        self._pending_response = None
+        self._response_timer.cancel()
+        self._data_timer.cancel()
+        self._data_start_probe.cancel()
+        self._maybe_begin_ifs()
+
+    # ==================================================================
+    # Radio events (MacListener).
+    # ==================================================================
+
+    def on_frame_received(self, frame: Frame) -> None:
+        self._use_eifs = False  # any clean frame ends the EIFS condition
+        if frame.dst == self.node_id:
+            if frame.ftype is FrameType.RTS:
+                self._handle_rts(frame)
+            elif frame.ftype is FrameType.CTS:
+                self._handle_cts(frame)
+            elif frame.ftype is FrameType.DATA:
+                self._handle_data(frame)
+            elif frame.ftype is FrameType.ACK:
+                self._handle_ack(frame)
+        else:
+            # Overheard: virtual carrier sense.
+            if frame.duration_ns > 0:
+                self.nav.update(self.sim.now + frame.duration_ns)
+                self._interrupt_access()
+
+    def _handle_cts(self, frame: Frame) -> None:
+        if self.phase is not DcfPhase.AWAIT_CTS:
+            return
+        if frame.src != self.queue[0].dst:
+            return
+        self._cts_timer.cancel()
+        self.phase = DcfPhase.SEND_DATA
+        self._initiator_timer.start(self.params.sifs_ns)
+
+    def _handle_ack(self, frame: Frame) -> None:
+        if self.phase is not DcfPhase.AWAIT_ACK:
+            return
+        if frame.src != self.queue[0].dst:
+            return
+        self._ack_timer.cancel()
+        self._handshake_succeeded()
+
+    def on_reception_failed(self) -> None:
+        self._use_eifs = True
+
+    def on_medium_busy(self) -> None:
+        self._interrupt_access()
+
+    def on_medium_idle(self) -> None:
+        if self.phase in (DcfPhase.ACCESS_WAIT, DcfPhase.NO_PACKET):
+            self._maybe_begin_ifs()
+
+    def on_transmit_complete(self, frame: Frame) -> None:
+        phy = self.radio.channel.phy
+        if frame.ftype is FrameType.RTS:
+            self._cts_timer.start(self.params.cts_timeout_ns(phy))
+        elif frame.ftype is FrameType.CTS:
+            self._data_start_probe.start(self.params.data_start_timeout_ns(phy))
+        elif frame.ftype is FrameType.DATA:
+            self._ack_timer.start(self.params.ack_timeout_ns(phy))
+        elif frame.ftype is FrameType.ACK:
+            self._end_response()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DcfMac(node={self.node_id}, phase={self.phase.value}, "
+            f"queue={len(self.queue)}, policy={self.policy.name})"
+        )

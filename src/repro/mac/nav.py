@@ -1,0 +1,52 @@
+"""Network Allocation Vector: 802.11's virtual carrier sense.
+
+Overheard RTS/CTS/DATA frames carry a Duration field announcing how
+long the rest of their handshake will occupy the medium.  Each node
+keeps the farthest such reservation (the NAV) and treats the medium as
+busy until it passes — even when the air is physically silent.  The NAV
+only ever extends; it never shrinks before expiring.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Nav"]
+
+
+class Nav:
+    """Monotone medium reservation."""
+
+    def __init__(self) -> None:
+        self._until: int = 0
+
+    @property
+    def until(self) -> int:
+        """Absolute time (ns) the current reservation runs to."""
+        return self._until
+
+    def update(self, until: int) -> bool:
+        """Extend the reservation to ``until`` if it is farther out.
+
+        Returns:
+            ``True`` if the NAV was extended.
+        """
+        if until < 0:
+            raise ValueError(f"NAV time must be >= 0, got {until}")
+        if until > self._until:
+            self._until = until
+            return True
+        return False
+
+    def busy(self, now: int) -> bool:
+        """Whether virtual carrier sense holds the medium busy at ``now``."""
+        return now < self._until
+
+    def remaining(self, now: int) -> int:
+        """Nanoseconds of reservation left (0 when expired)."""
+        return max(0, self._until - now)
+
+    def clear(self) -> None:
+        """Drop the reservation (used by tests and resets)."""
+        self._until = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Nav(until={self._until})"

@@ -1,0 +1,117 @@
+"""The neighbor protocol, as the paper assumes it.
+
+Section 4: "we ... implement the directional schemes ... with the
+assumption that there is a neighbor protocol that can actively maintain
+a list of neighbors as well as their locations."  The paper does not
+design that protocol — it grants the MAC a perfect one.  We honour the
+same contract with an oracle backed by the channel's ground truth:
+queries always return the true neighbor set and true bearings.
+
+Keeping this behind an interface means a lossy/stale neighbor protocol
+can be substituted later without touching the MAC.
+"""
+
+from __future__ import annotations
+
+from ..phy.channel import Channel
+
+__all__ = ["NeighborTable", "SnapshotNeighborTable"]
+
+
+class NeighborTable:
+    """Perfect neighbor/location knowledge for one node."""
+
+    def __init__(self, channel: Channel, node_id: int) -> None:
+        self._channel = channel
+        self.node_id = node_id
+
+    def neighbor_ids(self) -> list[int]:
+        """Ids of all nodes currently within transmission range."""
+        return self._channel.neighbors_of(self.node_id)
+
+    def bearing_to(self, other_id: int) -> float:
+        """True bearing from this node to a neighbor, in radians."""
+        me = self._channel.position_of(self.node_id)
+        other = self._channel.position_of(other_id)
+        if me.distance_to(other) == 0.0:
+            raise ValueError(
+                f"nodes {self.node_id} and {other_id} are co-located; "
+                "bearing undefined"
+            )
+        return me.bearing_to(other)
+
+    def distance_to(self, other_id: int) -> float:
+        """True distance from this node to another, in meters."""
+        me = self._channel.position_of(self.node_id)
+        return me.distance_to(self._channel.position_of(other_id))
+
+
+class SnapshotNeighborTable(NeighborTable):
+    """A neighbor protocol that refreshes only periodically.
+
+    Between refreshes, bearings and neighbor sets are served from the
+    last snapshot — so under mobility, beams get aimed at where the
+    peer *was*.  With ``refresh_interval_ns = 0`` behaviour degrades
+    gracefully to the live oracle.
+
+    This models the realistic end of the paper's neighbor-protocol
+    assumption: Section 4 grants the MAC a perfect protocol; any real
+    one (periodic hellos) has exactly this staleness.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        node_id: int,
+        refresh_interval_ns: int,
+        sim=None,
+    ) -> None:
+        super().__init__(channel, node_id)
+        if refresh_interval_ns < 0:
+            raise ValueError(
+                f"refresh interval must be >= 0, got {refresh_interval_ns}"
+            )
+        self.refresh_interval_ns = refresh_interval_ns
+        self._sim = sim
+        self._snapshot_time: int | None = None
+        self._snapshot_neighbors: list[int] = []
+        self._snapshot_positions: dict[int, "object"] = {}
+        self.refreshes = 0
+
+    def _now(self) -> int:
+        return self._sim.now if self._sim is not None else 0
+
+    def _maybe_refresh(self) -> None:
+        now = self._now()
+        if (
+            self._snapshot_time is None
+            or self.refresh_interval_ns == 0
+            or now - self._snapshot_time >= self.refresh_interval_ns
+        ):
+            self._snapshot_time = now
+            self._snapshot_neighbors = self._channel.neighbors_of(self.node_id)
+            self._snapshot_positions = {
+                other: self._channel.position_of(other)
+                for other in self._snapshot_neighbors
+            }
+            self.refreshes += 1
+
+    def neighbor_ids(self) -> list[int]:
+        self._maybe_refresh()
+        return list(self._snapshot_neighbors)
+
+    def bearing_to(self, other_id: int) -> float:
+        self._maybe_refresh()
+        me = self._channel.position_of(self.node_id)  # own position is known
+        other = self._snapshot_positions.get(other_id)
+        if other is None:
+            # Never seen in a snapshot: fall back to the live oracle
+            # (the peer initiated contact, so a real protocol would
+            # have just learned its position from that frame).
+            return super().bearing_to(other_id)
+        if me.distance_to(other) == 0.0:
+            raise ValueError(
+                f"nodes {self.node_id} and {other_id} are co-located; "
+                "bearing undefined"
+            )
+        return me.bearing_to(other)

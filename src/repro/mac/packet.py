@@ -1,0 +1,30 @@
+"""Upper-layer packets handed to the MAC for delivery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One payload awaiting MAC service.
+
+    Attributes:
+        dst: destination node id (must be a neighbor; the paper's
+            traffic picks a random neighbor per packet).
+        size_bytes: payload size on the wire (Table 1: 1460 B).
+        created_ns: when the packet entered the MAC queue — the delay
+            measurements in Fig. 7 run from here to ACK reception.
+    """
+
+    dst: int
+    size_bytes: int
+    created_ns: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.created_ns < 0:
+            raise ValueError(f"created_ns must be >= 0, got {self.created_ns}")

@@ -1,0 +1,145 @@
+"""Per-frame antenna-mode policies: the three schemes of the paper.
+
+The MAC state machine is identical across schemes; what differs is
+*which antenna pattern each frame type uses*:
+
+========== ======= ======= ======= =======
+scheme      RTS     CTS     DATA    ACK
+========== ======= ======= ======= =======
+ORTS-OCTS   omni    omni    omni    omni
+DRTS-DCTS   beam    beam    beam    beam
+DRTS-OCTS   beam    omni    beam    beam
+========== ======= ======= ======= =======
+
+Reception is always omni-directional.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..phy.antenna import AntennaPattern, OmniAntenna, SectorAntenna
+from ..phy.frames import FrameType
+
+__all__ = [
+    "AntennaPolicy",
+    "AlternatingRtsPolicy",
+    "ORTS_OCTS_POLICY",
+    "DRTS_DCTS_POLICY",
+    "DRTS_OCTS_POLICY",
+    "NASIPURI_POLICY",
+    "KO_ALTERNATING_POLICY",
+    "POLICIES",
+]
+
+
+@dataclass(frozen=True)
+class AntennaPolicy:
+    """Maps each frame type to omni or directional transmission.
+
+    Attributes:
+        name: scheme name as used in the paper.
+        directional_frames: frame types transmitted with a sector beam
+            aimed at the peer; all other types go out omni-directionally.
+    """
+
+    name: str
+    directional_frames: frozenset[FrameType]
+
+    def is_directional(self, ftype: FrameType, retries: int = 0) -> bool:
+        """Whether this scheme beams the given frame type.
+
+        ``retries`` (the current attempt number for RTS frames) lets
+        stateful variants like Ko et al.'s alternating scheme switch
+        modes between attempts; the paper's three schemes ignore it.
+        """
+        return ftype in self.directional_frames
+
+    def pattern_for(
+        self,
+        ftype: FrameType,
+        bearing: float,
+        beamwidth: float,
+        retries: int = 0,
+    ) -> AntennaPattern:
+        """The antenna pattern for one frame.
+
+        Args:
+            ftype: frame type being sent.
+            bearing: direction to the peer, in radians.
+            beamwidth: the configured beamwidth ``theta``.
+            retries: attempt number of the current handshake (0-based).
+        """
+        if not 0.0 < beamwidth <= 2 * math.pi:
+            raise ValueError(f"beamwidth must be in (0, 2*pi], got {beamwidth!r}")
+        if self.is_directional(ftype, retries):
+            return SectorAntenna(boresight=bearing, beamwidth=beamwidth)
+        return OmniAntenna()
+
+
+@dataclass(frozen=True)
+class AlternatingRtsPolicy(AntennaPolicy):
+    """Ko et al.'s second scheme (paper Section 1): RTS transmissions
+    alternate between directional and omni-directional across attempts
+    ("using both directional and omni-directional transmission of RTS
+    packets alternately") — a directional first attempt for spatial
+    reuse, an omni retry to reach a possibly-moved or blocked receiver.
+    CTS stays omni; data and ACK are beamed.
+    """
+
+    def is_directional(self, ftype: FrameType, retries: int = 0) -> bool:
+        if ftype is FrameType.RTS:
+            return retries % 2 == 0  # directional on even attempts
+        return ftype in self.directional_frames
+
+
+#: Plain IEEE 802.11: everything omni-directional.
+ORTS_OCTS_POLICY = AntennaPolicy(name="ORTS-OCTS", directional_frames=frozenset())
+
+#: All-directional variant: every frame is beamed at the peer.
+DRTS_DCTS_POLICY = AntennaPolicy(
+    name="DRTS-DCTS",
+    directional_frames=frozenset(
+        {FrameType.RTS, FrameType.CTS, FrameType.DATA, FrameType.ACK}
+    ),
+)
+
+#: Hybrid variant (Ko et al.): omni CTS silences hidden terminals,
+#: everything else is beamed.
+DRTS_OCTS_POLICY = AntennaPolicy(
+    name="DRTS-OCTS",
+    directional_frames=frozenset(
+        {FrameType.RTS, FrameType.DATA, FrameType.ACK}
+    ),
+)
+
+#: Nasipuri et al. (WCNC 2000), as described in the paper's Section 1:
+#: "omni-directional RTS and CTS packets are first exchanged ... and
+#: then directional transmissions of data and acknowledgment packets
+#: are used."  Not analysed in Section 2; available in the simulator
+#: as an extension scheme.
+NASIPURI_POLICY = AntennaPolicy(
+    name="ORTS-OCTS-DDATA",
+    directional_frames=frozenset({FrameType.DATA, FrameType.ACK}),
+)
+
+#: Ko et al. scheme 2: alternating directional/omni RTS, omni CTS,
+#: beamed data/ACK.
+KO_ALTERNATING_POLICY = AlternatingRtsPolicy(
+    name="DORTS-OCTS",
+    directional_frames=frozenset({FrameType.DATA, FrameType.ACK}),
+)
+
+#: All simulatable schemes keyed by name (the paper's three plus the
+#: Nasipuri and Ko-scheme-2 extensions).
+POLICIES: dict[str, AntennaPolicy] = {
+    policy.name: policy
+    for policy in (
+        ORTS_OCTS_POLICY,
+        DRTS_DCTS_POLICY,
+        DRTS_OCTS_POLICY,
+        NASIPURI_POLICY,
+        KO_ALTERNATING_POLICY,
+    )
+}

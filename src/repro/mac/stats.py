@@ -1,0 +1,103 @@
+"""Per-node MAC statistics.
+
+Everything the paper's evaluation measures comes from these counters:
+
+* throughput — ``bits_delivered`` over the measurement window,
+* delay — per-packet MAC service delay samples,
+* the Section-4 **collision ratio** — RTS transmissions that reached the
+  data stage but ended in an ACK timeout, divided by all RTS
+  transmissions that reached the data stage (i.e. got their CTS):
+  "the ratio ... models imperfectness of collision avoidance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MacStats"]
+
+
+@dataclass
+class MacStats:
+    """Counter bundle for one node's MAC."""
+
+    packets_enqueued: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    bits_delivered: int = 0
+
+    rts_sent: int = 0
+    cts_sent: int = 0
+    data_sent: int = 0
+    ack_sent: int = 0
+
+    cts_timeouts: int = 0
+    ack_timeouts: int = 0
+
+    #: MAC service delay (enqueue -> ACK) per delivered packet, in ns.
+    delays_ns: list[int] = field(default_factory=list)
+
+    # Receiver-side accounting.
+    data_received: int = 0
+    bits_received: int = 0
+
+    def record_delivery(self, payload_bits: int, delay_ns: int) -> None:
+        """A four-way handshake completed for one of our packets."""
+        self.packets_delivered += 1
+        self.bits_delivered += payload_bits
+        self.delays_ns.append(delay_ns)
+
+    @property
+    def handshakes_reaching_data(self) -> int:
+        """RTS transmissions whose CTS arrived (the data stage started)."""
+        return self.packets_delivered + self.ack_timeouts
+
+    @property
+    def collision_ratio(self) -> float:
+        """ACK-timeout fraction among handshakes that reached data.
+
+        Returns 0.0 when no handshake reached the data stage.
+        """
+        total = self.handshakes_reaching_data
+        if total == 0:
+            return 0.0
+        return self.ack_timeouts / total
+
+    @property
+    def mean_delay_ns(self) -> float:
+        """Average MAC service delay, or 0.0 with no deliveries."""
+        if not self.delays_ns:
+            return 0.0
+        return sum(self.delays_ns) / len(self.delays_ns)
+
+    def reset(self) -> None:
+        """Zero every counter (used to discard warm-up transients)."""
+        self.packets_enqueued = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.bits_delivered = 0
+        self.rts_sent = 0
+        self.cts_sent = 0
+        self.data_sent = 0
+        self.ack_sent = 0
+        self.cts_timeouts = 0
+        self.ack_timeouts = 0
+        self.delays_ns.clear()
+        self.data_received = 0
+        self.bits_received = 0
+
+    def merge(self, other: "MacStats") -> None:
+        """Accumulate another node's counters into this one (for sums)."""
+        self.packets_enqueued += other.packets_enqueued
+        self.packets_delivered += other.packets_delivered
+        self.packets_dropped += other.packets_dropped
+        self.bits_delivered += other.bits_delivered
+        self.rts_sent += other.rts_sent
+        self.cts_sent += other.cts_sent
+        self.data_sent += other.data_sent
+        self.ack_sent += other.ack_sent
+        self.cts_timeouts += other.cts_timeouts
+        self.ack_timeouts += other.ack_timeouts
+        self.delays_ns.extend(other.delays_ns)
+        self.data_received += other.data_received
+        self.bits_received += other.bits_received

@@ -1,0 +1,28 @@
+"""Metrics: throughput, delay, collision ratio, fairness, aggregation."""
+
+from .confidence import ConfidenceInterval, mean_confidence_interval
+from .fairness import jain_index
+from .measures import (
+    aggregate_collision_ratio,
+    delay_percentiles,
+    aggregate_throughput_bps,
+    mean_delay_seconds,
+    per_node_throughput_bps,
+)
+from .summary import ReplicateSummary, summarize
+from .utilization import UtilizationReport, utilization_report
+
+__all__ = [
+    "jain_index",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "delay_percentiles",
+    "aggregate_throughput_bps",
+    "per_node_throughput_bps",
+    "mean_delay_seconds",
+    "aggregate_collision_ratio",
+    "ReplicateSummary",
+    "summarize",
+    "UtilizationReport",
+    "utilization_report",
+]

@@ -1,0 +1,35 @@
+"""Fairness measures.
+
+Section 4 of the paper discusses how BEB "always favors the node that
+succeeds last", starving competitors — worse with wide beams and few
+contenders.  The standard scalar for this is Jain's fairness index::
+
+    J(x) = (sum x_i)^2 / (n * sum x_i^2)
+
+``J = 1`` means perfectly equal allocations; ``J = 1/n`` means one node
+monopolizes the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["jain_index"]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector.
+
+    Returns 1.0 for an empty or all-zero vector (nothing is unfairly
+    shared when nothing is allocated).
+    """
+    values = list(allocations)
+    if any(v < 0 for v in values):
+        raise ValueError(f"allocations must be non-negative, got {values!r}")
+    total = sum(values)
+    if not values or total == 0.0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    if squares == 0.0:  # subnormal underflow: treat as all-zero
+        return 1.0
+    return min(1.0, (total * total) / (len(values) * squares))

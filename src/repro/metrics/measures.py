@@ -1,0 +1,116 @@
+"""Per-run metrics over a set of node MAC statistics.
+
+These are the quantities the paper's evaluation reports for the
+innermost ``N`` nodes of each topology:
+
+* aggregate **throughput** (Fig. 6) — delivered payload bits per second,
+* average **delay** (Fig. 7) — mean MAC service delay of delivered
+  packets,
+* the **collision ratio** (Section 4, figure omitted in the paper) —
+  ACK timeouts over handshakes that reached the data stage,
+* per-node throughput vector — input to the fairness analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..dessim.units import SECOND
+from ..mac.stats import MacStats
+
+__all__ = [
+    "aggregate_throughput_bps",
+    "per_node_throughput_bps",
+    "mean_delay_seconds",
+    "aggregate_collision_ratio",
+]
+
+
+def _select(
+    stats: Mapping[int, MacStats], node_ids: Iterable[int] | None
+) -> list[MacStats]:
+    if node_ids is None:
+        return list(stats.values())
+    return [stats[node_id] for node_id in node_ids]
+
+
+def aggregate_throughput_bps(
+    stats: Mapping[int, MacStats],
+    duration_ns: int,
+    node_ids: Iterable[int] | None = None,
+) -> float:
+    """Total delivered payload bits per second over the selected nodes."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    bits = sum(s.bits_delivered for s in _select(stats, node_ids))
+    return bits * SECOND / duration_ns
+
+
+def per_node_throughput_bps(
+    stats: Mapping[int, MacStats],
+    duration_ns: int,
+    node_ids: Iterable[int] | None = None,
+) -> list[float]:
+    """Delivered bits/s per node, in the iteration order of ``node_ids``."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    return [
+        s.bits_delivered * SECOND / duration_ns
+        for s in _select(stats, node_ids)
+    ]
+
+
+def mean_delay_seconds(
+    stats: Mapping[int, MacStats],
+    node_ids: Iterable[int] | None = None,
+) -> float:
+    """Mean MAC service delay (s) over all deliveries of selected nodes.
+
+    Returns 0.0 when nothing was delivered.
+    """
+    delays: list[int] = []
+    for node_stats in _select(stats, node_ids):
+        delays.extend(node_stats.delays_ns)
+    if not delays:
+        return 0.0
+    return sum(delays) / len(delays) / SECOND
+
+
+def delay_percentiles(
+    stats: Mapping[int, MacStats],
+    quantiles: Iterable[float] = (0.5, 0.9, 0.99),
+    node_ids: Iterable[int] | None = None,
+) -> dict[float, float]:
+    """Delay quantiles in seconds over all deliveries of selected nodes.
+
+    Tail delay is where saturation pain lives — means hide the
+    starvation episodes the paper's fairness discussion describes.
+    Returns an empty dict when nothing was delivered.
+    """
+    delays: list[int] = []
+    for node_stats in _select(stats, node_ids):
+        delays.extend(node_stats.delays_ns)
+    if not delays:
+        return {}
+    delays.sort()
+    result: dict[float, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        index = min(len(delays) - 1, max(0, round(q * (len(delays) - 1))))
+        result[q] = delays[index] / SECOND
+    return result
+
+
+def aggregate_collision_ratio(
+    stats: Mapping[int, MacStats],
+    node_ids: Iterable[int] | None = None,
+) -> float:
+    """Pooled collision ratio: sum of ACK timeouts over sum of
+    handshakes that reached the data stage.  0.0 when none did."""
+    selected = _select(stats, node_ids)
+    timeouts = sum(s.ack_timeouts for s in selected)
+    reaching = sum(s.handshakes_reaching_data for s in selected)
+    if reaching == 0:
+        return 0.0
+    return timeouts / reaching

@@ -1,0 +1,17 @@
+"""Network assembly: ring topologies and runnable simulations."""
+
+from .mobility import RandomWaypointMobility
+from .network import NetworkSimulation, SimulationResult
+from .topology import Topology, TopologyConfig, TopologyError, generate_ring_topology
+from .validate import validate_simulation
+
+__all__ = [
+    "NetworkSimulation",
+    "RandomWaypointMobility",
+    "SimulationResult",
+    "validate_simulation",
+    "Topology",
+    "TopologyConfig",
+    "TopologyError",
+    "generate_ring_topology",
+]

@@ -1,0 +1,94 @@
+"""Node mobility (extension; the paper simulates static topologies).
+
+The paper's directional schemes lean on "a neighbor protocol that can
+actively maintain a list of neighbors as well as their locations", and
+its Section 1 discussion of Ko et al. / Nasipuri et al. revolves around
+what happens to antenna pointing when nodes move.  This module supplies
+the missing ingredient for studying that: a random-waypoint mobility
+process that moves radios on the plane in discrete steps, paired with
+:class:`~repro.mac.neighbors.SnapshotNeighborTable` to model a neighbor
+protocol that only refreshes periodically — so beams get aimed at where
+the peer *was*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..dessim.engine import Simulator
+from ..dessim.units import MILLISECOND
+from ..phy.propagation import Position
+from ..phy.radio import Radio
+
+__all__ = ["RandomWaypointMobility"]
+
+
+class RandomWaypointMobility:
+    """Classic random-waypoint movement, discretised.
+
+    The node picks a uniform waypoint in the bounding box, walks toward
+    it at ``speed_mps`` (updating its radio position every
+    ``step_ns``), pauses ``pause_ns``, then repeats.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        rng: random.Random,
+        speed_mps: float,
+        bounds: tuple[float, float, float, float],
+        step_ns: int = 100 * MILLISECOND,
+        pause_ns: int = 0,
+    ) -> None:
+        x_min, y_min, x_max, y_max = bounds
+        if not (x_min < x_max and y_min < y_max):
+            raise ValueError(f"degenerate bounds {bounds!r}")
+        if speed_mps <= 0:
+            raise ValueError(f"speed must be positive, got {speed_mps!r}")
+        if step_ns <= 0:
+            raise ValueError(f"step must be positive, got {step_ns!r}")
+        if pause_ns < 0:
+            raise ValueError(f"pause must be >= 0, got {pause_ns!r}")
+        self.sim = sim
+        self.radio = radio
+        self.rng = rng
+        self.speed_mps = speed_mps
+        self.bounds = bounds
+        self.step_ns = step_ns
+        self.pause_ns = pause_ns
+        self._waypoint: Position | None = None
+        self.distance_travelled = 0.0
+
+    def start(self) -> None:
+        """Begin moving (call once)."""
+        self._pick_waypoint()
+        self.sim.schedule(self.step_ns, self._step)
+
+    def _pick_waypoint(self) -> None:
+        x_min, y_min, x_max, y_max = self.bounds
+        self._waypoint = Position(
+            x_min + self.rng.random() * (x_max - x_min),
+            y_min + self.rng.random() * (y_max - y_min),
+        )
+
+    def _step(self) -> None:
+        assert self._waypoint is not None
+        here = self.radio.position
+        remaining = here.distance_to(self._waypoint)
+        stride = self.speed_mps * self.step_ns / 1e9
+        if remaining <= stride:
+            # Arrive, pause, choose a new waypoint.
+            self.radio.position = self._waypoint
+            self.distance_travelled += remaining
+            self._pick_waypoint()
+            self.sim.schedule(self.step_ns + self.pause_ns, self._step)
+            return
+        bearing = here.bearing_to(self._waypoint)
+        self.radio.position = Position(
+            here.x + stride * math.cos(bearing),
+            here.y + stride * math.sin(bearing),
+        )
+        self.distance_travelled += stride
+        self.sim.schedule(self.step_ns, self._step)

@@ -1,0 +1,44 @@
+"""Physical layer: frames, antennas, propagation, medium, transceiver.
+
+Implements the paper's PHY assumptions exactly: unit-disk propagation
+with a common range ``R``, idealized sector beams with complete
+attenuation outside the beamwidth and omni-equal gain inside,
+omni-directional reception, no capture, and deafness while
+transmitting.  Timing follows Table 1 (2 Mbps DSSS, 192 us sync
+preamble, 1 us propagation delay).
+"""
+
+from .antenna import (
+    AntennaPattern,
+    OmniAntenna,
+    SectorAntenna,
+    angular_distance,
+    normalize_angle,
+)
+from .channel import Channel, ChannelStats, Transmission
+from .frames import CAPTURE_PHY, DSSS_PHY, FRAME_SIZES, Frame, FrameType, PhyParameters
+from .propagation import Position, UnitDiskPropagation
+from .radio import MacListener, Radio, RadioError, RadioState
+
+__all__ = [
+    "AntennaPattern",
+    "OmniAntenna",
+    "SectorAntenna",
+    "angular_distance",
+    "normalize_angle",
+    "Channel",
+    "ChannelStats",
+    "Transmission",
+    "Frame",
+    "FrameType",
+    "FRAME_SIZES",
+    "PhyParameters",
+    "DSSS_PHY",
+    "CAPTURE_PHY",
+    "Position",
+    "UnitDiskPropagation",
+    "Radio",
+    "RadioError",
+    "RadioState",
+    "MacListener",
+]

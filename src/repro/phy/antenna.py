@@ -1,0 +1,94 @@
+"""Antenna radiation patterns.
+
+The paper's model is deliberately simple: a directional transmission
+with beamwidth ``theta`` reaches exactly the nodes inside the circular
+sector of half-angle ``theta/2`` around the boresight, with *complete
+attenuation* outside and the same gain as an omni-directional
+transmission inside (achievable via power control, per Section 2).
+Reception is always omni-directional.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "normalize_angle",
+    "angular_distance",
+    "OmniAntenna",
+    "SectorAntenna",
+    "AntennaPattern",
+]
+
+
+def normalize_angle(angle: float) -> float:
+    """Wrap an angle to the interval ``(-pi, pi]``."""
+    wrapped = math.fmod(angle, 2 * math.pi)
+    if wrapped > math.pi:
+        wrapped -= 2 * math.pi
+    elif wrapped <= -math.pi:
+        wrapped += 2 * math.pi
+    return wrapped
+
+
+def angular_distance(a: float, b: float) -> float:
+    """Smallest absolute angle between two bearings, in ``[0, pi]``."""
+    return abs(normalize_angle(a - b))
+
+
+@dataclass(frozen=True)
+class OmniAntenna:
+    """Radiates equally in all directions."""
+
+    @property
+    def is_omni(self) -> bool:
+        return True
+
+    @property
+    def beamwidth(self) -> float:
+        return 2 * math.pi
+
+    def covers(self, bearing: float) -> bool:
+        """An omni pattern covers every bearing."""
+        return True
+
+
+@dataclass(frozen=True)
+class SectorAntenna:
+    """An idealized sector beam: full gain inside, nothing outside.
+
+    Attributes:
+        boresight: beam center direction in radians.
+        beamwidth: full angular width ``theta`` of the beam in radians.
+    """
+
+    boresight: float
+    beamwidth: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beamwidth <= 2 * math.pi:
+            raise ValueError(
+                f"beamwidth must be in (0, 2*pi], got {self.beamwidth!r}"
+            )
+        if not math.isfinite(self.boresight):
+            raise ValueError(f"boresight must be finite, got {self.boresight!r}")
+
+    @property
+    def is_omni(self) -> bool:
+        return self.beamwidth >= 2 * math.pi
+
+    def covers(self, bearing: float) -> bool:
+        """Whether a target at the given bearing is inside the beam.
+
+        The edge is inclusive: a node exactly on the sector boundary is
+        covered, which keeps ``beamwidth = 2*pi`` exactly equivalent to
+        an omni pattern.
+        """
+        return angular_distance(bearing, self.boresight) <= self.beamwidth / 2
+
+
+#: Anything with ``covers(bearing) -> bool`` and ``is_omni`` works as a
+#: pattern; the two concrete implementations above are what the
+#: simulator uses.
+AntennaPattern = OmniAntenna | SectorAntenna

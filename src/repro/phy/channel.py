@@ -1,0 +1,153 @@
+"""The shared single-channel radio medium.
+
+The channel knows every radio's position and, for each transmission,
+computes *who can hear it*: exactly the radios within range ``R`` whose
+bearing from the transmitter lies inside the transmit antenna pattern
+(complete attenuation outside the beam, per the paper's model).  Each
+audible radio gets a ``signal start`` event after the propagation delay
+and a ``signal end`` event one air time later; everything else —
+collision detection, capture-free corruption, deafness while
+transmitting — is the receiving radio's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..dessim.engine import Simulator
+from .antenna import AntennaPattern
+from .frames import Frame, FrameType, PhyParameters
+from .propagation import Position, UnitDiskPropagation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .radio import Radio
+
+__all__ = ["Transmission", "Channel", "ChannelStats"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One frame in flight on the medium."""
+
+    tx_id: int
+    sender: int
+    frame: Frame
+    pattern: AntennaPattern
+    start_ns: int
+    airtime_ns: int
+
+    @property
+    def end_ns(self) -> int:
+        """Time the transmitter stops radiating."""
+        return self.start_ns + self.airtime_ns
+
+
+@dataclass
+class ChannelStats:
+    """Medium-level accounting, mostly for tests and sanity checks."""
+
+    transmissions: int = 0
+    frames_by_type: dict[FrameType, int] = field(default_factory=dict)
+    airtime_ns: int = 0
+    airtime_by_type_ns: dict[FrameType, int] = field(default_factory=dict)
+
+    def record(self, frame: Frame, airtime_ns: int) -> None:
+        self.transmissions += 1
+        self.frames_by_type[frame.ftype] = (
+            self.frames_by_type.get(frame.ftype, 0) + 1
+        )
+        self.airtime_ns += airtime_ns
+        self.airtime_by_type_ns[frame.ftype] = (
+            self.airtime_by_type_ns.get(frame.ftype, 0) + airtime_ns
+        )
+
+
+class Channel:
+    """Broadcast medium connecting all attached radios."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: PhyParameters | None = None,
+        propagation: UnitDiskPropagation | None = None,
+    ) -> None:
+        self.sim = sim
+        self.phy = phy if phy is not None else PhyParameters()
+        self.propagation = (
+            propagation if propagation is not None else UnitDiskPropagation()
+        )
+        self._radios: dict[int, "Radio"] = {}
+        self._next_tx_id = 0
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+
+    def attach(self, radio: "Radio") -> None:
+        """Register a radio on the medium.  Node ids must be unique."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"node id {radio.node_id} already attached")
+        self._radios[radio.node_id] = radio
+
+    @property
+    def radios(self) -> dict[int, "Radio"]:
+        """Attached radios keyed by node id (read-only view by convention)."""
+        return self._radios
+
+    def audible_nodes(self, sender: "Radio", pattern: AntennaPattern) -> list[int]:
+        """Node ids that would hear a transmission from ``sender``."""
+        audible = []
+        for node_id, radio in self._radios.items():
+            if node_id == sender.node_id:
+                continue
+            if not self.propagation.reaches(sender.position, radio.position):
+                continue
+            bearing = sender.position.bearing_to(radio.position)
+            if not pattern.covers(bearing):
+                continue
+            audible.append(node_id)
+        return audible
+
+    def neighbors_of(self, node_id: int) -> list[int]:
+        """Node ids within range of the given node (omni ground truth)."""
+        me = self._radios[node_id]
+        return [
+            other_id
+            for other_id, radio in self._radios.items()
+            if other_id != node_id
+            and self.propagation.reaches(me.position, radio.position)
+        ]
+
+    def position_of(self, node_id: int) -> Position:
+        """Ground-truth position of a node (the oracle neighbor protocol)."""
+        return self._radios[node_id].position
+
+    # ------------------------------------------------------------------
+
+    def transmit(
+        self, sender: "Radio", frame: Frame, pattern: AntennaPattern
+    ) -> Transmission:
+        """Put a frame on the air.
+
+        Schedules signal start/end at every audible radio; returns the
+        transmission record (the sender uses it to time its own TX-done).
+        """
+        airtime = self.phy.airtime_ns(frame.size_bytes)
+        tx = Transmission(
+            tx_id=self._next_tx_id,
+            sender=sender.node_id,
+            frame=frame,
+            pattern=pattern,
+            start_ns=self.sim.now,
+            airtime_ns=airtime,
+        )
+        self._next_tx_id += 1
+        self.stats.record(frame, airtime)
+
+        for node_id in self.audible_nodes(sender, pattern):
+            radio = self._radios[node_id]
+            delay = self.propagation.delay(sender.position, radio.position)
+            power = self.propagation.rx_power(sender.position, radio.position)
+            self.sim.schedule(delay, radio.on_signal_start, tx, power)
+            self.sim.schedule(delay + airtime, radio.on_signal_end, tx)
+        return tx

@@ -1,0 +1,144 @@
+"""Frame formats and air-time arithmetic (Table 1 of the paper).
+
+The paper's simulations use IEEE 802.11 DSSS at a raw channel rate of
+2 Mbps with RTS = 20 B, CTS = ACK = 14 B, data = 1460 B, and a
+192 us synchronization (PLCP preamble + header) prepended to every
+frame.  At 2 Mbps one bit lasts exactly 500 ns, so all air times are
+exact integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dessim.units import microseconds
+
+__all__ = ["FrameType", "Frame", "PhyParameters", "DSSS_PHY", "FRAME_SIZES"]
+
+
+class FrameType(enum.Enum):
+    """The four frame types of the RTS/CTS/DATA/ACK handshake."""
+
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+    ACK = "ack"
+
+
+#: Frame sizes in bytes, from Table 1.
+FRAME_SIZES: dict[FrameType, int] = {
+    FrameType.RTS: 20,
+    FrameType.CTS: 14,
+    FrameType.DATA: 1460,
+    FrameType.ACK: 14,
+}
+
+_BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An over-the-air frame.
+
+    Attributes:
+        ftype: frame type (RTS/CTS/DATA/ACK).
+        src: sender node id.
+        dst: destination node id.
+        size_bytes: frame length on the wire.
+        duration_ns: the 802.11 Duration field — how long the rest of
+            the handshake occupies the medium after this frame ends.
+            Overhearing nodes use it to set their NAV.
+        handshake_id: tags all four frames of one handshake attempt, so
+            statistics can attribute ACK timeouts to their RTS.
+        created_ns: time the underlying payload packet entered the MAC
+            queue (DATA frames only) — used for delay measurements.
+    """
+
+    ftype: FrameType
+    src: int
+    dst: int
+    size_bytes: int
+    duration_ns: int = 0
+    handshake_id: int = field(default=-1)
+    created_ns: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.duration_ns < 0:
+            raise ValueError(f"duration_ns must be >= 0, got {self.duration_ns}")
+        if self.src == self.dst:
+            raise ValueError(f"frame src and dst must differ, got {self.src}")
+
+    @property
+    def is_control(self) -> bool:
+        """RTS/CTS/ACK are control frames; DATA is not."""
+        return self.ftype is not FrameType.DATA
+
+
+@dataclass(frozen=True)
+class PhyParameters:
+    """Physical-layer constants (defaults are the paper's Table 1).
+
+    Attributes:
+        bitrate_bps: raw channel rate (Table 1: 2 Mbps).
+        sync_time_ns: PLCP sync preamble prepended to every frame.
+        propagation_delay_ns: fixed propagation delay.
+        capture_threshold: SNR capture behaviour.  ``None`` gives the
+            paper's analytical-model physics — any overlap of audible
+            signals corrupts everything ("no capture").  A linear power
+            ratio (e.g. ``10.0`` for 10 dB) gives GloMoSim-style
+            RADIO-ACCNOISE behaviour: an ongoing reception survives
+            interference as long as its signal-to-interference ratio
+            stays at or above the threshold.
+    """
+
+    bitrate_bps: int = 2_000_000
+    sync_time_ns: int = microseconds(192)
+    propagation_delay_ns: int = microseconds(1)
+    capture_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate_bps}")
+        if self.sync_time_ns < 0:
+            raise ValueError(f"sync time must be >= 0, got {self.sync_time_ns}")
+        if self.propagation_delay_ns < 0:
+            raise ValueError(
+                f"propagation delay must be >= 0, got {self.propagation_delay_ns}"
+            )
+        if 1_000_000_000 % self.bitrate_bps != 0:
+            raise ValueError(
+                "bitrate must divide 1e9 so bit times are integer ns, got "
+                f"{self.bitrate_bps}"
+            )
+        if self.capture_threshold is not None and self.capture_threshold <= 0:
+            raise ValueError(
+                "capture_threshold must be positive or None, got "
+                f"{self.capture_threshold}"
+            )
+
+    @property
+    def bit_time_ns(self) -> int:
+        """Duration of one bit in nanoseconds (500 ns at 2 Mbps)."""
+        return 1_000_000_000 // self.bitrate_bps
+
+    def airtime_ns(self, size_bytes: int) -> int:
+        """Time to transmit a frame: sync preamble plus payload bits."""
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        return self.sync_time_ns + size_bytes * 8 * self.bit_time_ns
+
+    def frame_airtime_ns(self, ftype: FrameType) -> int:
+        """Air time of a standard-sized frame of the given type."""
+        return self.airtime_ns(FRAME_SIZES[ftype])
+
+
+#: The paper's DSSS configuration with the analytical-model collision
+#: rule (no capture).
+DSSS_PHY = PhyParameters()
+
+#: The same timing with GloMoSim-style 10 dB SNR capture — closer to
+#: the radio model behind the paper's Section 4 simulations.
+CAPTURE_PHY = PhyParameters(capture_threshold=10.0)

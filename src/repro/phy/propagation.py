@@ -1,0 +1,94 @@
+"""Positions and the unit-disk propagation model.
+
+The paper gives every node the same transmission and reception range
+``R`` and models no fading, capture or partial attenuation: a signal is
+heard iff the receiver is within range of the transmitter *and* inside
+the transmit beam.  Propagation delay is the fixed 1 us of Table 1
+(distance-independent — at 300 m ranges the true spread is ~1 us, and
+the paper treats it as a constant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dessim.units import microseconds
+
+__all__ = ["Position", "UnitDiskPropagation"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the 2-D plane (meters)."""
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"coordinates must be finite, got ({self.x}, {self.y})")
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to another position."""
+        return math.hypot(other.x - self.x, other.y - self.y)
+
+    def bearing_to(self, other: "Position") -> float:
+        """Direction from this position to another, in ``(-pi, pi]``.
+
+        The bearing of a co-located target is defined as 0; callers that
+        care should check for zero distance themselves.
+        """
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+
+@dataclass(frozen=True)
+class UnitDiskPropagation:
+    """Range-``R`` disk propagation with a constant delay.
+
+    Audibility is binary (the paper's model), but each audible signal
+    also carries a received power from a free-space-style path loss,
+    which the radio can use for SNR capture decisions
+    (GloMoSim's RADIO-ACCNOISE behaviour).
+
+    Attributes:
+        range_m: the common transmission/reception range ``R``.
+        delay_ns: fixed propagation delay (Table 1: 1 us).
+        pathloss_exponent: exponent ``alpha`` of the ``d**-alpha`` power
+            law used for relative received powers.
+    """
+
+    range_m: float = 300.0
+    delay_ns: int = microseconds(1)
+    pathloss_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.range_m > 0:
+            raise ValueError(f"range must be positive, got {self.range_m!r}")
+        if self.delay_ns < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay_ns!r}")
+        if not self.pathloss_exponent > 0:
+            raise ValueError(
+                f"pathloss exponent must be positive, got {self.pathloss_exponent!r}"
+            )
+
+    def reaches(self, src: Position, dst: Position) -> bool:
+        """Whether a transmission from ``src`` can impinge on ``dst``.
+
+        The range edge is inclusive, matching the analytical model where
+        the neighbor distance density ``f(r) = 2r`` extends to ``r = R``.
+        """
+        return src.distance_to(dst) <= self.range_m
+
+    def delay(self, src: Position, dst: Position) -> int:
+        """Propagation delay from ``src`` to ``dst`` in nanoseconds."""
+        return self.delay_ns
+
+    def rx_power(self, src: Position, dst: Position) -> float:
+        """Relative received power under the ``d**-alpha`` path loss.
+
+        Normalized so a receiver 1 m away sees power 1.0; distances
+        below 1 m are clamped to avoid singularities.
+        """
+        distance = max(src.distance_to(dst), 1.0)
+        return distance**-self.pathloss_exponent

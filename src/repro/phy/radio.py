@@ -1,0 +1,269 @@
+"""The transceiver: carrier sense, reception, collisions, deafness.
+
+Semantics implemented here, straight from the paper's assumptions:
+
+* **Omni-directional reception** — a radio decodes whatever impinges on
+  it, regardless of the direction it last transmitted in.
+* **No capture** — if two audible signals overlap in time at a receiver,
+  both are corrupted, whatever their relative timing.
+* **Deaf while transmitting** — a transmitting node "appears blind to
+  other directions": it cannot carrier-sense nor begin decoding a frame
+  while its own transmitter is on.  A signal that *starts* during our
+  transmission can never be decoded (we missed its preamble), though its
+  energy still counts for carrier sense once we stop transmitting.
+
+The radio reports four things upward to the MAC: decoded frames, failed
+receptions (for EIFS), medium busy/idle transitions, and transmit
+completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..dessim.engine import Simulator
+from ..dessim.trace import Tracer
+from .antenna import AntennaPattern, OmniAntenna
+from .channel import Channel, Transmission
+from .frames import Frame
+from .propagation import Position
+
+__all__ = ["Radio", "RadioState", "MacListener", "RadioError"]
+
+
+class RadioError(RuntimeError):
+    """Raised on physically impossible requests (e.g. TX while TX)."""
+
+
+class RadioState(enum.Enum):
+    IDLE = "idle"
+    TRANSMITTING = "transmitting"
+
+
+class MacListener(Protocol):
+    """What a MAC layer must implement to sit on top of a radio."""
+
+    def on_frame_received(self, frame: Frame) -> None:
+        """A frame addressed to anyone was decoded successfully."""
+
+    def on_reception_failed(self) -> None:
+        """A reception ended in garbage (collision) — EIFS trigger."""
+
+    def on_medium_busy(self) -> None:
+        """Carrier sense went from idle to busy."""
+
+    def on_medium_idle(self) -> None:
+        """Carrier sense went from busy to idle."""
+
+    def on_transmit_complete(self, frame: Frame) -> None:
+        """Our own transmission left the antenna completely."""
+
+
+@dataclass
+class _SignalRecord:
+    """Book-keeping for one signal currently impinging on this radio."""
+
+    tx: Transmission
+    power: float = 1.0
+    corrupted: bool = False
+    missed: bool = False  # preamble lost (we were deaf when it started)
+
+
+class Radio:
+    """A single half-duplex transceiver bound to one position."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        position: Position,
+        channel: Channel,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.position = position
+        self.channel = channel
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.state = RadioState.IDLE
+        self._mac: MacListener | None = None
+        self._incoming: dict[int, _SignalRecord] = {}
+        self._rx_current: int | None = None
+        self._was_busy = False
+        # Counters (cheap, always on).
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.receptions_corrupted = 0
+        self.receptions_missed = 0
+        channel.attach(self)
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    def set_mac(self, mac: MacListener) -> None:
+        """Attach the MAC layer that consumes this radio's events."""
+        self._mac = mac
+
+    @property
+    def mac(self) -> MacListener:
+        if self._mac is None:
+            raise RadioError(f"node {self.node_id}: no MAC attached")
+        return self._mac
+
+    # ------------------------------------------------------------------
+    # MAC-facing API.
+    # ------------------------------------------------------------------
+
+    @property
+    def transmitting(self) -> bool:
+        return self.state is RadioState.TRANSMITTING
+
+    @property
+    def carrier_busy(self) -> bool:
+        """Whether the medium appears busy to this node right now.
+
+        Our own transmission counts as busy (the MAC must not start a
+        second one), and any impinging signal counts as busy.
+        """
+        return self.transmitting or bool(self._incoming)
+
+    def transmit(self, frame: Frame, pattern: AntennaPattern | None = None) -> None:
+        """Radiate a frame with the given antenna pattern (omni default).
+
+        Going into TX makes us deaf: any reception in progress is
+        abandoned (it will not be delivered even if it ends cleanly
+        after we finish, because we lost the middle of it).
+        """
+        if self.transmitting:
+            raise RadioError(f"node {self.node_id}: transmit while transmitting")
+        if pattern is None:
+            pattern = OmniAntenna()
+
+        # Abandon any in-progress decode; the energy stays tracked.
+        for record in self._incoming.values():
+            record.missed = True
+        self._rx_current = None
+
+        self.state = RadioState.TRANSMITTING
+        self.frames_sent += 1
+        tx = self.channel.transmit(self, frame, pattern)
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "tx-start",
+            ftype=frame.ftype.value, dst=frame.dst, tx_id=tx.tx_id,
+        )
+        self.sim.schedule(tx.airtime_ns, self._finish_transmit, frame)
+        self._update_carrier()
+
+    # ------------------------------------------------------------------
+    # Channel-facing API.
+    # ------------------------------------------------------------------
+
+    def on_signal_start(self, tx: Transmission, power: float = 1.0) -> None:
+        """A signal begins impinging on this radio.
+
+        With ``capture_threshold = None`` (the paper's analytical
+        physics) any overlap of audible signals corrupts everything.
+        With a threshold, an ongoing reception survives as long as its
+        signal-to-interference ratio stays at or above it, and a new
+        signal can be captured over background garbage if strong enough.
+        """
+        record = _SignalRecord(tx=tx, power=power)
+        threshold = self.channel.phy.capture_threshold
+        if self.transmitting:
+            # Deaf: the preamble is lost forever.
+            record.missed = True
+            self.receptions_missed += 1
+        elif self._incoming:
+            if threshold is None:
+                # No capture: everything in the air here is garbage.
+                record.corrupted = True
+                for other in self._incoming.values():
+                    other.corrupted = True
+                self._rx_current = None
+            elif self._rx_current is not None:
+                # SNR check for the ongoing reception; the newcomer's
+                # preamble overlapped it either way.
+                current = self._incoming[self._rx_current]
+                interference = (
+                    sum(s.power for s in self._incoming.values())
+                    - current.power
+                    + power
+                )
+                if current.power < threshold * interference:
+                    current.corrupted = True
+                    self._rx_current = None
+                record.missed = True
+            else:
+                # Background garbage only: capture the newcomer if it
+                # dominates the sum of everything else.
+                interference = sum(s.power for s in self._incoming.values())
+                if power >= threshold * interference:
+                    self._rx_current = tx.tx_id
+                else:
+                    record.missed = True
+        else:
+            # Clean start on an idle medium: begin decoding.
+            self._rx_current = tx.tx_id
+        self._incoming[tx.tx_id] = record
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "signal-start",
+            src=tx.sender, ftype=tx.frame.ftype.value,
+            clean=self._rx_current == tx.tx_id,
+        )
+        self._update_carrier()
+
+    def on_signal_end(self, tx: Transmission) -> None:
+        """A signal stops impinging on this radio."""
+        record = self._incoming.pop(tx.tx_id, None)
+        if record is None:  # pragma: no cover - channel never double-ends
+            return
+        decoded = self._rx_current == tx.tx_id
+        if decoded:
+            self._rx_current = None
+
+        if decoded and not record.corrupted and not record.missed:
+            self.frames_received += 1
+            self.tracer.record(
+                self.sim.now, "phy", self.node_id, "rx-ok",
+                src=tx.sender, ftype=tx.frame.ftype.value,
+            )
+            self.mac.on_frame_received(tx.frame)
+        elif record.corrupted and not record.missed and not self.transmitting:
+            # We heard noise start-to-finish: 802.11 reacts with EIFS.
+            self.receptions_corrupted += 1
+            self.tracer.record(
+                self.sim.now, "phy", self.node_id, "rx-error",
+                src=tx.sender, ftype=tx.frame.ftype.value,
+            )
+            self.mac.on_reception_failed()
+        self._update_carrier()
+
+    # ------------------------------------------------------------------
+
+    def _finish_transmit(self, frame: Frame) -> None:
+        self.state = RadioState.IDLE
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "tx-end",
+            ftype=frame.ftype.value, dst=frame.dst,
+        )
+        self.mac.on_transmit_complete(frame)
+        self._update_carrier()
+
+    def _update_carrier(self) -> None:
+        """Emit busy/idle edges to the MAC on state changes."""
+        busy = self.carrier_busy
+        if busy and not self._was_busy:
+            self._was_busy = True
+            self.mac.on_medium_busy()
+        elif not busy and self._was_busy:
+            self._was_busy = False
+            self.mac.on_medium_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Radio(node={self.node_id}, state={self.state.value}, "
+            f"incoming={len(self._incoming)})"
+        )

@@ -1,0 +1,6 @@
+"""Terminal reporting helpers (ASCII charts and topology maps)."""
+
+from .ascii_chart import line_chart
+from .topology_map import topology_map
+
+__all__ = ["line_chart", "topology_map"]

@@ -1,0 +1,106 @@
+"""Terminal line charts.
+
+The paper's results are *figures*; with no plotting stack available
+offline, this module renders multi-series line charts on a character
+grid so benches and the CLI can show curve shapes, not just tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+#: Series markers, assigned in iteration order.
+MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    Args:
+        series: mapping of series name to (x, y) points.
+        width: plot-area width in characters.
+        height: plot-area height in rows.
+        title: optional title line.
+        x_label: label under the x axis.
+        y_label: label above the y axis.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if not all(map(math.isfinite, (x_min, x_max, y_min, y_max))):
+        raise ValueError("series contain non-finite values")
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for marker, (name, pts) in zip(MARKERS, series.items()):
+        for x, y in pts:
+            plot(x, y, marker)
+
+    left_pad = max(len(_format_tick(y_max)), len(_format_tick(y_min))) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label}")
+    for i, row in enumerate(grid):
+        if i == 0:
+            tick = _format_tick(y_max)
+        elif i == height - 1:
+            tick = _format_tick(y_min)
+        else:
+            tick = ""
+        lines.append(f"{tick:>{left_pad}} |" + "".join(row))
+    lines.append(" " * left_pad + " +" + "-" * width)
+    x_axis = (
+        f"{_format_tick(x_min)}"
+        + " " * max(1, width - len(_format_tick(x_min)) - len(_format_tick(x_max)))
+        + f"{_format_tick(x_max)}"
+    )
+    lines.append(" " * (left_pad + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (left_pad + 2) + x_label)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * (left_pad + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""ASCII rendering of ring topologies.
+
+Quickly eyeball a generated placement: inner (measured) nodes render as
+``#``, middle-ring nodes as ``+``, outer-ring nodes as ``.``, with the
+origin marked.  Aspect ratio is roughly corrected for terminal cells.
+"""
+
+from __future__ import annotations
+
+from ..net.topology import Topology
+
+__all__ = ["topology_map"]
+
+_RING_MARKERS = "#+.~"
+
+
+def topology_map(topology: Topology, width: int = 61) -> str:
+    """Render a topology as an ASCII scatter map.
+
+    Args:
+        topology: the placement to draw.
+        width: map width in characters (height follows, halved for the
+            ~2:1 character aspect ratio).
+    """
+    if width < 21:
+        raise ValueError(f"width must be >= 21, got {width}")
+    extent = topology.config.rings * topology.config.range_m
+    height = max(11, width // 2)
+    if height % 2 == 0:
+        height += 1
+    if width % 2 == 0:
+        width += 1
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x + extent) / (2 * extent) * (width - 1))
+        row = round((extent - y) / (2 * extent) * (height - 1))
+        return row, col
+
+    center_row, center_col = to_cell(0.0, 0.0)
+    grid[center_row][center_col] = "o"
+
+    for node_id, position in sorted(topology.positions.items()):
+        ring = topology.ring_of[node_id]
+        marker = _RING_MARKERS[min(ring, len(_RING_MARKERS) - 1)]
+        row, col = to_cell(position.x, position.y)
+        grid[row][col] = marker
+
+    lines = ["".join(row).rstrip() for row in grid]
+    legend = (
+        f"o origin | # inner ({len(topology.ids_in_ring(0))} measured) | "
+        f"+ ring 2 | . ring 3 | extent {extent:g} m"
+    )
+    return "\n".join([*lines, legend])

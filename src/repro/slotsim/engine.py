@@ -1,0 +1,264 @@
+"""The slot-model engine: scripted four-way handshakes in slot time.
+
+Each handshake follows the analytical model's timeline exactly::
+
+    RTS (l_rts) | 1 | CTS (l_cts) | 1 | DATA (l_data) | 1 | ACK (l_ack) | 1
+    => T_succeed = l_rts + l_cts + l_data + l_ack + 4 slots
+
+with protocol checkpoints: if the RTS or CTS leg fails, the initiator
+gives up after ``l_rts + l_cts + 2`` slots (the paper's omni ``T_fail``);
+if the DATA or ACK leg fails, the full ``T_succeed`` is spent.  A
+reception slot is corrupted when the listener itself transmits or any
+third transmission is audible at it (omni reception, no capture —
+Section 2's assumptions).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..phy.frames import FrameType
+from .model import SlotModelConfig, TorusGeometry
+
+__all__ = ["SlotModelEngine", "SlotModelResults"]
+
+
+@dataclass
+class _Handshake:
+    sender: int
+    receiver: int
+    start: int
+    # Leg integrity, falsified by per-slot interference checks.
+    rts_ok: bool = True
+    cts_ok: bool = True
+    data_ok: bool = True
+    ack_ok: bool = True
+    responded: bool = False  # receiver decided to send the CTS
+    proceeded: bool = False  # sender decided to send the DATA
+    end: int = -1  # filled when the outcome is known
+
+
+@dataclass
+class SlotModelResults:
+    """Measured outcomes of one slot-model run."""
+
+    slots: int
+    node_count: int
+    mean_degree: float
+    initiations: int = 0
+    successes: int = 0
+    failures: int = 0
+    payload_slots: float = 0.0
+    fail_durations: Counter = field(default_factory=Counter)
+
+    @property
+    def throughput_per_node(self) -> float:
+        """Delivered payload slots per node per slot — the empirical
+        counterpart of the analytical ``Th``."""
+        if self.slots == 0:
+            return 0.0
+        return self.payload_slots / (self.slots * self.node_count)
+
+    @property
+    def success_ratio(self) -> float:
+        """Completed handshakes over initiated handshakes."""
+        if self.initiations == 0:
+            return 0.0
+        return self.successes / self.initiations
+
+    @property
+    def mean_fail_duration(self) -> float:
+        """Empirical ``T_fail`` (compare the truncated-geometric mean)."""
+        total = sum(self.fail_durations.values())
+        if total == 0:
+            return 0.0
+        return sum(d * c for d, c in self.fail_durations.items()) / total
+
+
+class SlotModelEngine:
+    """Runs the abstract slotted protocol on a torus."""
+
+    def __init__(
+        self, config: SlotModelConfig, geometry: TorusGeometry | None = None
+    ) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.geometry = (
+            geometry if geometry is not None else TorusGeometry(config, self.rng)
+        )
+        prm = config.params
+        self._l = {
+            FrameType.RTS: int(prm.l_rts),
+            FrameType.CTS: int(prm.l_cts),
+            FrameType.DATA: int(prm.l_data),
+            FrameType.ACK: int(prm.l_ack),
+        }
+        # Phase boundaries relative to the start slot.
+        self.rts_end = self._l[FrameType.RTS]
+        self.cts_start = self.rts_end + 1
+        self.cts_end = self.cts_start + self._l[FrameType.CTS]
+        self.data_start = self.cts_end + 1
+        self.data_end = self.data_start + self._l[FrameType.DATA]
+        self.ack_start = self.data_end + 1
+        self.ack_end = self.ack_start + self._l[FrameType.ACK]
+        self.t_succeed = self.ack_end + 1
+        self.t_fail_early = self.cts_end + 1  # l_rts + l_cts + 2
+
+        self._engaged: dict[int, _Handshake] = {}
+        self._active: list[_Handshake] = []
+
+    # ------------------------------------------------------------------
+
+    def _beamwidth_for(self, ftype: FrameType, retries: int = 0) -> float:
+        """Effective beamwidth of one frame under the configured policy."""
+        import math
+
+        if self.config.policy.is_directional(ftype, retries):
+            return self.config.params.beamwidth
+        return 2 * math.pi
+
+    def _frame_on_air(
+        self, hs: _Handshake, offset: int
+    ) -> tuple[int, int, FrameType] | None:
+        """(transmitter, aimed_at, ftype) if this handshake radiates at
+        the given slot offset, else None."""
+        if offset < self.rts_end:
+            return (hs.sender, hs.receiver, FrameType.RTS)
+        if hs.responded and self.cts_start <= offset < self.cts_end:
+            return (hs.receiver, hs.sender, FrameType.CTS)
+        if hs.proceeded:
+            if self.data_start <= offset < self.data_end:
+                return (hs.sender, hs.receiver, FrameType.DATA)
+            # The receiver only radiates an ACK for a DATA it decoded.
+            if (
+                hs.responded
+                and hs.data_ok
+                and self.ack_start <= offset < self.ack_end
+            ):
+                return (hs.receiver, hs.sender, FrameType.ACK)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def run(self, slots: int) -> SlotModelResults:
+        """Advance the world ``slots`` slots and return the measurements."""
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        geo = self.geometry
+        cfg = self.config
+        results = SlotModelResults(
+            slots=slots,
+            node_count=geo.count,
+            mean_degree=geo.mean_degree(),
+        )
+
+        for now in range(slots):
+            # 1. New initiations by free nodes.
+            for node in range(geo.count):
+                if node in self._engaged:
+                    continue
+                if not geo.neighbors[node]:
+                    continue
+                if self.rng.random() >= cfg.p:
+                    continue
+                receiver = self.rng.choice(geo.neighbors[node])
+                hs = _Handshake(sender=node, receiver=receiver, start=now)
+                self._engaged[node] = hs
+                self._active.append(hs)
+                results.initiations += 1
+
+            # 2. Collect transmissions on the air this slot.
+            on_air: list[tuple[int, int, FrameType]] = []
+            transmitting: set[int] = set()
+            for hs in self._active:
+                frame = self._frame_on_air(hs, now - hs.start)
+                if frame is not None:
+                    on_air.append(frame)
+                    transmitting.add(frame[0])
+
+            # 3. Interference checks for every listening leg.
+            for hs in self._active:
+                offset = now - hs.start
+                frame = self._frame_on_air(hs, offset)
+                if frame is None:
+                    continue
+                transmitter, _aimed, ftype = frame
+                listener = (
+                    hs.receiver if transmitter == hs.sender else hs.sender
+                )
+                if not self._slot_clean(listener, transmitter, on_air, transmitting):
+                    if ftype is FrameType.RTS:
+                        hs.rts_ok = False
+                    elif ftype is FrameType.CTS:
+                        hs.cts_ok = False
+                    elif ftype is FrameType.DATA:
+                        hs.data_ok = False
+                    else:
+                        hs.ack_ok = False
+
+            # 4. Checkpoint decisions and completions.
+            self._advance(now, results)
+
+        return results
+
+    def _slot_clean(
+        self,
+        listener: int,
+        peer: int,
+        on_air: list[tuple[int, int, FrameType]],
+        transmitting: set[int],
+    ) -> bool:
+        """No interference at ``listener`` for the frame from ``peer``."""
+        if listener in transmitting:
+            return False  # deaf while transmitting
+        geo = self.geometry
+        for transmitter, aimed, ftype in on_air:
+            if transmitter in (peer, listener):
+                continue
+            beamwidth = self._beamwidth_for(ftype)
+            if geo.covers(transmitter, aimed, listener, beamwidth):
+                return False
+        return True
+
+    def _advance(self, now: int, results: SlotModelResults) -> None:
+        finished: list[_Handshake] = []
+        for hs in self._active:
+            offset = now - hs.start
+
+            if offset == self.rts_end - 1:
+                # End of the RTS: the receiver replies iff it heard the
+                # RTS cleanly and is not otherwise occupied.
+                receiver_free = hs.receiver not in self._engaged
+                hs.responded = hs.rts_ok and receiver_free
+                if hs.responded:
+                    self._engaged[hs.receiver] = hs
+
+            elif offset == self.cts_end - 1:
+                hs.proceeded = hs.responded and hs.cts_ok
+
+            elif offset == self.t_fail_early - 1 and not hs.proceeded:
+                # No (clean) CTS: the initiator gives up now.
+                hs.end = now + 1
+                finished.append(hs)
+
+            elif offset == self.t_succeed - 1:
+                hs.end = now + 1
+                finished.append(hs)
+
+        for hs in finished:
+            duration = hs.end - hs.start
+            success = (
+                hs.proceeded and hs.data_ok and hs.ack_ok
+            )
+            if success:
+                results.successes += 1
+                results.payload_slots += self.config.params.l_data
+            else:
+                results.failures += 1
+                results.fail_durations[duration] += 1
+            self._active.remove(hs)
+            del self._engaged[hs.sender]
+            if hs.responded:
+                del self._engaged[hs.receiver]

@@ -1,0 +1,6 @@
+"""Traffic generators: the paper's saturated CBR workload and a
+fixed-rate CBR variant for below-saturation studies."""
+
+from .cbr import DEFAULT_PACKET_BYTES, CbrSource, SaturatedCbrSource
+
+__all__ = ["SaturatedCbrSource", "CbrSource", "DEFAULT_PACKET_BYTES"]

@@ -1,0 +1,118 @@
+"""Traffic sources.
+
+The paper's workload: "each node has a constant-bit-rate (CBR) traffic
+generator with data packet size of 1460 bytes, and one of its neighbors
+is randomly chosen as the destination for each packet generated.  All
+nodes are always backlogged."
+
+:class:`SaturatedCbrSource` reproduces that — it keeps exactly one
+packet in the MAC queue at all times, drawing a fresh uniform-random
+neighbor for every packet.  :class:`CbrSource` is the non-saturated
+variant (fixed inter-arrival interval) used by examples that study the
+network below saturation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..dessim.engine import Simulator
+from ..mac.dcf import DcfMac
+from ..mac.packet import Packet
+
+__all__ = ["SaturatedCbrSource", "CbrSource"]
+
+#: Table 1 data packet size.
+DEFAULT_PACKET_BYTES = 1460
+
+
+class SaturatedCbrSource:
+    """Always-backlogged source: a new packet the instant one is serviced."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: DcfMac,
+        destinations: Sequence[int],
+        rng: random.Random,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ) -> None:
+        if not destinations:
+            raise ValueError(
+                f"node {mac.node_id}: saturated source needs >= 1 destination"
+            )
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {packet_bytes}")
+        self.sim = sim
+        self.mac = mac
+        self.destinations = list(destinations)
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.packets_generated = 0
+        mac.service_listeners.append(self._on_serviced)
+
+    def start(self) -> None:
+        """Inject the first packet (call once after construction)."""
+        self._generate()
+
+    def _generate(self) -> None:
+        dst = self.rng.choice(self.destinations)
+        self.mac.enqueue(
+            Packet(dst=dst, size_bytes=self.packet_bytes, created_ns=self.sim.now)
+        )
+        self.packets_generated += 1
+
+    def _on_serviced(self, _packet: Packet, _delivered: bool) -> None:
+        self._generate()
+
+
+class CbrSource:
+    """Fixed-interval CBR source (below-saturation studies)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: DcfMac,
+        destinations: Sequence[int],
+        rng: random.Random,
+        interval_ns: int,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        max_queue: int = 50,
+    ) -> None:
+        if not destinations:
+            raise ValueError(
+                f"node {mac.node_id}: CBR source needs >= 1 destination"
+            )
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {packet_bytes}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.sim = sim
+        self.mac = mac
+        self.destinations = list(destinations)
+        self.rng = rng
+        self.interval_ns = interval_ns
+        self.packet_bytes = packet_bytes
+        self.max_queue = max_queue
+        self.packets_generated = 0
+        self.packets_dropped_at_queue = 0
+
+    def start(self) -> None:
+        """Begin periodic generation (call once)."""
+        self._tick()
+
+    def _tick(self) -> None:
+        if self.mac.queue_length < self.max_queue:
+            dst = self.rng.choice(self.destinations)
+            self.mac.enqueue(
+                Packet(
+                    dst=dst, size_bytes=self.packet_bytes, created_ns=self.sim.now
+                )
+            )
+            self.packets_generated += 1
+        else:
+            self.packets_dropped_at_queue += 1
+        self.sim.schedule(self.interval_ns, self._tick)

@@ -1,0 +1,100 @@
+"""Tests for the BTMA baseline and the analytical service delay."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    PAPER_PARAMETERS,
+    DrtsDcts,
+    IdealizedBtma,
+    NonPersistentCsma,
+    OrtsOcts,
+    maximize_throughput,
+)
+
+
+def make(cls, n=5.0, theta_deg=30.0):
+    return cls(
+        PAPER_PARAMETERS.with_neighbors(n).with_beamwidth(math.radians(theta_deg))
+    )
+
+
+class TestIdealizedBtma:
+    def test_beats_csma(self):
+        # Perfect busy tones dominate plain carrier sensing.
+        p = 0.02
+        assert make(IdealizedBtma).throughput(p) > make(
+            NonPersistentCsma
+        ).throughput(p)
+
+    def test_handshake_crossover_with_data_length(self):
+        # The Section-3 warrant for RTS/CTS, as a crossover: with short
+        # data BTMA's zero control overhead wins; with long data the
+        # full-frame collision losses hand the win to the handshake.
+        from repro.core.params import ProtocolParameters
+
+        short = ProtocolParameters(l_data=10.0, n_neighbors=5.0)
+        long = ProtocolParameters(l_data=100.0, n_neighbors=5.0)
+        assert (
+            maximize_throughput(IdealizedBtma(short)).throughput
+            > maximize_throughput(OrtsOcts(short)).throughput
+        )
+        assert (
+            maximize_throughput(IdealizedBtma(long)).throughput
+            < maximize_throughput(OrtsOcts(long)).throughput
+        )
+
+    def test_loses_to_narrow_beam_reuse(self):
+        # The paper's thesis in one comparison: perfect coordination
+        # without spatial reuse loses to narrow-beam reuse.
+        params_n8 = PAPER_PARAMETERS.with_neighbors(8.0)
+        btma = maximize_throughput(IdealizedBtma(params_n8)).throughput
+        drts = maximize_throughput(
+            DrtsDcts(params_n8.with_beamwidth(math.radians(15)))
+        ).throughput
+        assert drts > btma
+
+    def test_t_succeed_has_no_handshake(self):
+        scheme = make(IdealizedBtma)
+        assert scheme.t_succeed() == pytest.approx(107.0)  # 100 + 5 + 2
+
+    def test_failure_wastes_data_frame(self):
+        assert make(IdealizedBtma).t_fail(0.05) == pytest.approx(101.0)
+
+    def test_throughput_bounded(self):
+        scheme = make(IdealizedBtma)
+        for p in (0.01, 0.05, 0.2):
+            assert 0.0 < scheme.throughput(p) < 1.0
+
+
+class TestExpectedServiceSlots:
+    def test_inverse_of_throughput(self):
+        scheme = make(OrtsOcts)
+        p = 0.03
+        assert scheme.expected_service_slots(p) == pytest.approx(
+            scheme.params.l_data / scheme.throughput(p)
+        )
+
+    def test_directional_faster_at_narrow_beam(self):
+        # Fig. 7's analytical counterpart: DRTS-DCTS serves packets
+        # faster than ORTS-OCTS at its optimal operating point.
+        orts = make(OrtsOcts)
+        drts = make(DrtsDcts, theta_deg=15.0)
+        p_orts = maximize_throughput(orts).p_opt
+        p_drts = maximize_throughput(drts).p_opt
+        assert drts.expected_service_slots(p_drts) < orts.expected_service_slots(
+            p_orts
+        )
+
+    def test_more_than_one_handshake(self):
+        scheme = make(OrtsOcts)
+        assert scheme.expected_service_slots(0.03) > scheme.t_succeed()
+
+    def test_degenerate_p_gives_huge_delay(self):
+        scheme = make(OrtsOcts)
+        assert scheme.expected_service_slots(1e-6) > 1e4
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            make(OrtsOcts).expected_service_slots(0.0)

@@ -1,0 +1,151 @@
+"""Unit and property tests for the analytical geometry helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.geometry import (
+    disk_overlap_area,
+    drts_dcts_areas,
+    drts_octs_areas,
+    hidden_area,
+    q_takagi_kleinrock,
+)
+
+
+class TestQTakagiKleinrock:
+    def test_at_zero(self):
+        assert q_takagi_kleinrock(0.0) == pytest.approx(math.pi / 2)
+
+    def test_at_one(self):
+        assert q_takagi_kleinrock(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_at_half(self):
+        expected = math.acos(0.5) - 0.5 * math.sqrt(0.75)
+        assert q_takagi_kleinrock(0.5) == pytest.approx(expected)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            q_takagi_kleinrock(-0.1)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            q_takagi_kleinrock(1.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_range(self, t):
+        assert 0.0 <= q_takagi_kleinrock(t) <= math.pi / 2 + 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_decreasing(self, a, b):
+        lo, hi = sorted((a, b))
+        assert q_takagi_kleinrock(lo) >= q_takagi_kleinrock(hi) - 1e-12
+
+
+class TestHiddenArea:
+    def test_zero_distance_means_no_hidden_region(self):
+        assert hidden_area(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_at_full_range(self):
+        # B(R) = pi R^2 - 2 R^2 q(1/2); normalized 1 - 2 q(0.5)/pi.
+        expected = 1.0 - 2.0 * q_takagi_kleinrock(0.5) / math.pi
+        assert hidden_area(1.0) == pytest.approx(expected)
+
+    def test_known_takagi_kleinrock_value(self):
+        # At r = R roughly 61% of the receiver's disk is hidden from the
+        # sender: 1 - 2 q(0.5)/pi ~= 0.609.
+        assert hidden_area(1.0) == pytest.approx(0.609, abs=1e-3)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded(self, r):
+        assert 0.0 <= hidden_area(r) <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_increasing(self, a, b):
+        lo, hi = sorted((a, b))
+        assert hidden_area(lo) <= hidden_area(hi) + 1e-12
+
+    def test_overlap_plus_hidden_is_disk(self):
+        for r in (0.0, 0.3, 0.7, 1.0):
+            assert disk_overlap_area(r) + hidden_area(r) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            disk_overlap_area(2.5)
+
+
+class TestDrtsDctsAreas:
+    def test_sector_area(self):
+        areas = drts_dcts_areas(0.5, math.radians(30))
+        assert areas.s1 == pytest.approx(math.radians(30) / (2 * math.pi))
+
+    def test_receiver_and_sender_only_regions_equal(self):
+        areas = drts_dcts_areas(0.6, math.radians(60))
+        assert areas.s4 == pytest.approx(areas.s5)
+
+    def test_s4_is_hidden_area(self):
+        for r in (0.1, 0.5, 0.9):
+            areas = drts_dcts_areas(r, math.radians(45))
+            assert areas.s4 == pytest.approx(hidden_area(r))
+
+    def test_zero_distance_collapses_sliver(self):
+        # With x and y co-located the Area II triangle term vanishes.
+        areas = drts_dcts_areas(0.0, math.radians(30))
+        assert areas.s2 == pytest.approx(areas.s1)
+
+    def test_wide_beam_clamps_rather_than_diverges(self):
+        areas = drts_dcts_areas(0.9, math.pi)  # tan(theta/2) -> inf
+        for value in areas.as_tuple():
+            assert 0.0 <= value <= 1.0
+            assert math.isfinite(value)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=2 * math.pi),
+    )
+    def test_all_areas_in_unit_interval(self, r, theta):
+        for value in drts_dcts_areas(r, theta).as_tuple():
+            assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            drts_dcts_areas(1.5, math.radians(30))
+
+    def test_rejects_bad_beamwidth(self):
+        with pytest.raises(ValueError):
+            drts_dcts_areas(0.5, 0.0)
+        with pytest.raises(ValueError):
+            drts_dcts_areas(0.5, 3 * math.pi)
+
+
+class TestDrtsOctsAreas:
+    def test_partition_of_plane(self):
+        # Areas I and II partition the normalized reachable plane.
+        areas = drts_octs_areas(0.4, math.radians(90))
+        assert areas.s1 + areas.s2 == pytest.approx(1.0)
+
+    def test_s3_is_hidden_area(self):
+        for r in (0.2, 0.5, 1.0):
+            areas = drts_octs_areas(r, math.radians(90))
+            assert areas.s3 == pytest.approx(hidden_area(r))
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=2 * math.pi),
+    )
+    def test_all_areas_in_unit_interval(self, r, theta):
+        for value in drts_octs_areas(r, theta).as_tuple():
+            assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            drts_octs_areas(-0.1, math.radians(30))
+        with pytest.raises(ValueError):
+            drts_octs_areas(0.5, -1.0)

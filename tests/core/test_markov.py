@@ -1,0 +1,112 @@
+"""Tests for the three-state node Markov chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.markov import (
+    StationaryDistribution,
+    solve_node_chain,
+    stationary_from_matrix,
+)
+
+
+class TestSolveNodeChain:
+    def test_paper_closed_form(self):
+        pi = solve_node_chain(p_ww=0.8, p_ws=0.05)
+        assert pi.wait == pytest.approx(1.0 / (2.0 - 0.8))
+        assert pi.succeed == pytest.approx(0.05 / (2.0 - 0.8))
+
+    def test_never_waiting_splits_evenly(self):
+        # P_ww = 0: the node alternates wait -> (succeed|fail) -> wait.
+        pi = solve_node_chain(p_ww=0.0, p_ws=0.3)
+        assert pi.wait == pytest.approx(0.5)
+        assert pi.succeed == pytest.approx(0.15)
+        assert pi.fail == pytest.approx(0.35)
+
+    def test_always_waiting(self):
+        pi = solve_node_chain(p_ww=1.0, p_ws=0.0)
+        assert pi.wait == pytest.approx(1.0)
+        assert pi.succeed == 0.0
+        assert pi.fail == pytest.approx(0.0)
+
+    def test_rejects_inconsistent_probabilities(self):
+        with pytest.raises(ValueError):
+            solve_node_chain(p_ww=0.9, p_ws=0.2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            solve_node_chain(p_ww=-0.1, p_ws=0.1)
+        with pytest.raises(ValueError):
+            solve_node_chain(p_ww=0.5, p_ws=1.2)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_valid_distribution(self, p_ww, scale):
+        p_ws = (1.0 - p_ww) * scale
+        pi = solve_node_chain(p_ww=p_ww, p_ws=p_ws)
+        assert sum(pi.as_tuple()) == pytest.approx(1.0)
+        assert all(0.0 <= x <= 1.0 for x in pi.as_tuple())
+        # pi_w >= 1/2 because the chain returns to wait every other step.
+        assert pi.wait >= 0.5 - 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_matches_matrix_solver(self, p_ww, scale):
+        p_ws = (1.0 - p_ww) * scale
+        p_wf = 1.0 - p_ww - p_ws
+        transition = np.array(
+            [
+                [p_ww, p_ws, p_wf],
+                [1.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+            ]
+        )
+        expected = stationary_from_matrix(transition)
+        pi = solve_node_chain(p_ww=p_ww, p_ws=p_ws)
+        assert pi.wait == pytest.approx(expected[0], abs=1e-8)
+        assert pi.succeed == pytest.approx(expected[1], abs=1e-8)
+        assert pi.fail == pytest.approx(expected[2], abs=1e-8)
+
+
+class TestStationaryFromMatrix:
+    def test_two_state_chain(self):
+        matrix = np.array([[0.9, 0.1], [0.5, 0.5]])
+        pi = stationary_from_matrix(matrix)
+        # Detailed balance: pi0 * 0.1 = pi1 * 0.5.
+        assert pi[0] == pytest.approx(5.0 / 6.0)
+        assert pi[1] == pytest.approx(1.0 / 6.0)
+
+    def test_identity_preserves_any_distribution_choice(self):
+        pi = stationary_from_matrix(np.eye(3))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.ones((2, 3)) / 3.0)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+
+class TestStationaryDistribution:
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            StationaryDistribution(wait=0.5, succeed=0.1, fail=0.1)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ValueError):
+            StationaryDistribution(wait=1.2, succeed=-0.1, fail=-0.1)
+
+    def test_as_tuple_roundtrip(self):
+        pi = StationaryDistribution(wait=0.6, succeed=0.3, fail=0.1)
+        assert pi.as_tuple() == (0.6, 0.3, 0.1)

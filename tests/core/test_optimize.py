@@ -1,0 +1,106 @@
+"""Tests for throughput maximisation and beamwidth sweeps."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    PAPER_PARAMETERS,
+    DrtsDcts,
+    OrtsOcts,
+    ThroughputOptimum,
+    beamwidth_sweep,
+    fig5_series,
+    maximize_throughput,
+    paper_beamwidths,
+)
+
+
+class TestMaximizeThroughput:
+    def test_optimum_beats_nearby_points(self):
+        scheme = OrtsOcts(PAPER_PARAMETERS)
+        opt = maximize_throughput(scheme)
+        for offset in (-0.3, -0.1, 0.1, 0.3):
+            p = opt.p_opt * (1 + offset)
+            assert scheme.throughput(p) <= opt.throughput + 1e-12
+
+    def test_optimal_p_is_small(self):
+        # The paper argues collision avoidance keeps p <~ 0.1.
+        scheme = OrtsOcts(PAPER_PARAMETERS.with_neighbors(5.0))
+        opt = maximize_throughput(scheme)
+        assert 0.0 < opt.p_opt < 0.1
+
+    def test_matches_dense_grid_scan(self):
+        import numpy as np
+
+        scheme = DrtsDcts(PAPER_PARAMETERS.with_beamwidth(math.radians(60)))
+        opt = maximize_throughput(scheme)
+        grid = np.linspace(1e-4, 0.3, 400)
+        brute = max(scheme.throughput(float(p)) for p in grid)
+        assert opt.throughput >= brute - 1e-6
+
+    def test_rejects_bad_bounds(self):
+        scheme = OrtsOcts(PAPER_PARAMETERS)
+        with pytest.raises(ValueError):
+            maximize_throughput(scheme, p_min=0.2, p_max=0.1)
+        with pytest.raises(ValueError):
+            maximize_throughput(scheme, p_min=0.0, p_max=0.5)
+
+    def test_rejects_tiny_grid(self):
+        scheme = OrtsOcts(PAPER_PARAMETERS)
+        with pytest.raises(ValueError):
+            maximize_throughput(scheme, grid_points=2)
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputOptimum(p_opt=0.0, throughput=0.5)
+        with pytest.raises(ValueError):
+            ThroughputOptimum(p_opt=0.5, throughput=-0.1)
+
+
+class TestPaperBeamwidths:
+    def test_grid_matches_figure5(self):
+        widths = paper_beamwidths()
+        assert len(widths) == 12
+        assert widths[0] == pytest.approx(math.radians(15))
+        assert widths[-1] == pytest.approx(math.pi)
+
+    def test_uniform_spacing(self):
+        widths = paper_beamwidths()
+        steps = [b - a for a, b in zip(widths, widths[1:])]
+        assert all(s == pytest.approx(math.radians(15)) for s in steps)
+
+
+class TestBeamwidthSweep:
+    def test_series_structure(self):
+        series = beamwidth_sweep(
+            "DRTS-DCTS",
+            PAPER_PARAMETERS,
+            beamwidths=[math.radians(30), math.radians(90)],
+        )
+        assert series.scheme == "DRTS-DCTS"
+        assert len(series.points) == 2
+        assert series.beamwidths == (
+            pytest.approx(math.radians(30)),
+            pytest.approx(math.radians(90)),
+        )
+        assert all(t > 0 for t in series.throughputs)
+
+    def test_orts_octs_is_flat(self):
+        series = beamwidth_sweep(
+            "ORTS-OCTS",
+            PAPER_PARAMETERS,
+            beamwidths=[math.radians(15), math.radians(180)],
+        )
+        first, last = series.throughputs
+        assert first == pytest.approx(last, rel=1e-4)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            beamwidth_sweep("NOT-A-SCHEME", PAPER_PARAMETERS)
+
+    def test_fig5_series_has_all_schemes(self):
+        series = fig5_series(
+            PAPER_PARAMETERS, beamwidths=[math.radians(30)]
+        )
+        assert set(series) == {"ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS"}

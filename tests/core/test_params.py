@@ -1,0 +1,62 @@
+"""Tests for protocol parameter validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.core.params import PAPER_PARAMETERS, ProtocolParameters
+
+
+class TestProtocolParameters:
+    def test_paper_configuration(self):
+        assert PAPER_PARAMETERS.l_rts == 5.0
+        assert PAPER_PARAMETERS.l_cts == 5.0
+        assert PAPER_PARAMETERS.l_ack == 5.0
+        assert PAPER_PARAMETERS.l_data == 100.0
+
+    def test_t_succeed(self):
+        # l_rts + l_cts + l_data + l_ack + 4 = 119 slots.
+        assert PAPER_PARAMETERS.t_succeed == pytest.approx(119.0)
+
+    def test_t_fail_omni(self):
+        # l_rts + l_cts + 2 = 12 slots.
+        assert PAPER_PARAMETERS.t_fail_omni == pytest.approx(12.0)
+
+    def test_directional_fraction(self):
+        params = ProtocolParameters(beamwidth=math.pi / 2)
+        assert params.directional_fraction == pytest.approx(0.25)
+
+    def test_with_beamwidth_returns_new_object(self):
+        updated = PAPER_PARAMETERS.with_beamwidth(math.pi / 3)
+        assert updated is not PAPER_PARAMETERS
+        assert updated.beamwidth == pytest.approx(math.pi / 3)
+        assert updated.l_data == PAPER_PARAMETERS.l_data
+
+    def test_with_neighbors(self):
+        updated = PAPER_PARAMETERS.with_neighbors(8.0)
+        assert updated.n_neighbors == 8.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMETERS.l_rts = 7.0  # type: ignore[misc]
+
+    @pytest.mark.parametrize("field", ["l_rts", "l_cts", "l_data", "l_ack"])
+    def test_rejects_non_positive_lengths(self, field):
+        with pytest.raises(ValueError):
+            ProtocolParameters(**{field: 0.0})
+        with pytest.raises(ValueError):
+            ProtocolParameters(**{field: -1.0})
+
+    def test_rejects_non_positive_density(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(n_neighbors=0.0)
+
+    def test_rejects_bad_beamwidth(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(beamwidth=0.0)
+        with pytest.raises(ValueError):
+            ProtocolParameters(beamwidth=2 * math.pi + 0.1)
+
+    def test_full_circle_beamwidth_allowed(self):
+        params = ProtocolParameters(beamwidth=2 * math.pi)
+        assert params.directional_fraction == pytest.approx(1.0)

@@ -1,0 +1,221 @@
+"""Tests for the three analytical schemes and their shared machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    PAPER_PARAMETERS,
+    DrtsDcts,
+    DrtsOcts,
+    NonPersistentCsma,
+    OrtsOcts,
+)
+
+ALL_SCHEMES = [OrtsOcts, DrtsDcts, DrtsOcts, NonPersistentCsma]
+NARROW = PAPER_PARAMETERS.with_beamwidth(math.radians(30))
+
+
+def make(cls, n=3.0, theta_deg=30.0):
+    params = PAPER_PARAMETERS.with_neighbors(n).with_beamwidth(
+        math.radians(theta_deg)
+    )
+    return cls(params)
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_p_ws_below_p(self, cls):
+        # P_ws < p: success requires at least that the node transmits.
+        scheme = make(cls)
+        for p in (0.01, 0.05, 0.2):
+            assert scheme.p_ws(p) < p
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_p_ws_r_below_one(self, cls):
+        scheme = make(cls)
+        for r in (0.1, 0.5, 0.9):
+            value = scheme.p_ws_at_distance(r, 0.05)
+            assert 0.0 <= value <= 1.0
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_throughput_positive_and_bounded(self, cls):
+        scheme = make(cls)
+        th = scheme.throughput(0.03)
+        assert 0.0 < th < 1.0
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_throughput_upper_bound_is_perfect_scheduling(self, cls):
+        # Even a perfect schedule cannot beat l_data / T_succeed per
+        # neighborhood, modulo the pi_w >= 1/2 structure of the chain.
+        scheme = make(cls)
+        bound = scheme.params.l_data / scheme.t_succeed()
+        for p in (0.01, 0.05, 0.1):
+            assert scheme.throughput(p) <= bound
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_throughput_vanishes_at_extremes(self, cls):
+        scheme = make(cls)
+        assert scheme.throughput(1e-6) < 1e-3
+        assert scheme.throughput(0.999) < 1e-3
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_rejects_p_out_of_range(self, cls):
+        scheme = make(cls)
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                scheme.throughput(bad)
+            with pytest.raises(ValueError):
+                scheme.p_ws(bad)
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_stationary_is_distribution(self, cls):
+        scheme = make(cls)
+        pi = scheme.stationary(0.04)
+        assert sum(pi.as_tuple()) == pytest.approx(1.0)
+        assert pi.wait >= 0.5
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.floats(min_value=1e-4, max_value=0.5))
+    def test_throughput_finite_over_p(self, cls, p):
+        scheme = make(cls)
+        th = scheme.throughput(p)
+        assert math.isfinite(th)
+        assert th >= 0.0
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_denser_network_lowers_throughput(self, cls):
+        sparse = make(cls, n=3.0)
+        dense = make(cls, n=8.0)
+        for p in (0.02, 0.05):
+            assert dense.throughput(p) < sparse.throughput(p)
+
+
+class TestOrtsOcts:
+    def test_ignores_beamwidth(self):
+        narrow = make(OrtsOcts, theta_deg=15.0)
+        wide = make(OrtsOcts, theta_deg=180.0)
+        assert narrow.throughput(0.03) == pytest.approx(wide.throughput(0.03))
+
+    def test_t_fail_constant(self):
+        scheme = make(OrtsOcts)
+        assert scheme.t_fail(0.01) == scheme.t_fail(0.2) == pytest.approx(12.0)
+
+    def test_p_ww_formula(self):
+        scheme = make(OrtsOcts, n=3.0)
+        p = 0.05
+        assert scheme.p_ww(p) == pytest.approx((1 - p) * math.exp(-p * 3.0))
+
+    def test_p_ws_r_decreases_with_distance(self):
+        # Farther receivers expose more hidden area.
+        scheme = make(OrtsOcts)
+        values = [scheme.p_ws_at_distance(r, 0.05) for r in (0.1, 0.5, 0.9)]
+        assert values[0] > values[1] > values[2]
+
+    def test_p_ws_r_at_zero_distance(self):
+        # No hidden terminals: P_ws(0) = p (1-p) exp(-pN).
+        scheme = make(OrtsOcts, n=3.0)
+        p = 0.05
+        expected = p * (1 - p) * math.exp(-p * 3.0)
+        assert scheme.p_ws_at_distance(0.0, p) == pytest.approx(expected)
+
+
+class TestDrtsDcts:
+    def test_narrower_beam_wins(self):
+        p = 0.05
+        narrow = make(DrtsDcts, theta_deg=15.0).throughput(p)
+        medium = make(DrtsDcts, theta_deg=90.0).throughput(p)
+        wide = make(DrtsDcts, theta_deg=180.0).throughput(p)
+        assert narrow > medium > wide
+
+    def test_t_fail_within_bounds(self):
+        scheme = make(DrtsDcts)
+        for p in (0.01, 0.1, 0.5):
+            t = scheme.t_fail(p)
+            assert scheme.params.l_rts + 1 <= t <= scheme.params.t_succeed
+
+    def test_p_ww_uses_thinned_probability(self):
+        scheme = make(DrtsDcts, n=3.0, theta_deg=36.0)
+        p = 0.05
+        p_dir = p * 36.0 / 360.0
+        assert scheme.p_ww(p) == pytest.approx((1 - p) * math.exp(-p_dir * 3.0))
+
+    def test_waits_less_than_omni(self):
+        # Directional neighbours disturb a waiting node less often.
+        p = 0.05
+        assert make(DrtsDcts).p_ww(p) > make(OrtsOcts).p_ww(p)
+
+    def test_interference_free_probability_bounded(self):
+        scheme = make(DrtsDcts)
+        for r in (0.0, 0.5, 1.0):
+            assert 0.0 < scheme.interference_free_probability(r, 0.05) <= 1.0
+
+
+class TestDrtsOcts:
+    def test_p_ww_matches_omni(self):
+        # The omni CTS exposes waiting nodes to the full neighborhood.
+        p = 0.05
+        assert make(DrtsOcts).p_ww(p) == pytest.approx(make(OrtsOcts).p_ww(p))
+
+    def test_t_fail_lower_bound_includes_cts(self):
+        scheme = make(DrtsOcts)
+        lower = scheme.params.l_rts + scheme.params.l_cts + 2
+        assert scheme.t_fail(0.01) >= lower
+
+    def test_t_fail_above_drts_dcts(self):
+        # The omni-CTS lower bound pushes the failed period up.
+        for p in (0.01, 0.05, 0.2):
+            assert make(DrtsOcts).t_fail(p) > make(DrtsDcts).t_fail(p)
+
+    def test_outperforms_orts_octs_at_narrow_beam(self):
+        # Section 3: DRTS-OCTS outperforms ORTS-OCTS (marginally).
+        p = 0.04
+        assert make(DrtsOcts, theta_deg=30.0).throughput(p) > make(
+            OrtsOcts
+        ).throughput(p)
+
+
+class TestNonPersistentCsma:
+    def test_t_succeed_excludes_handshake(self):
+        scheme = make(NonPersistentCsma)
+        assert scheme.t_succeed() == pytest.approx(100.0 + 5.0 + 2.0)
+
+    def test_loses_badly_to_rts_cts_with_long_data(self):
+        # The classic motivation for collision avoidance.
+        p = 0.02
+        assert make(NonPersistentCsma).throughput(p) < make(OrtsOcts).throughput(p)
+
+    def test_t_fail_is_full_data_frame(self):
+        scheme = make(NonPersistentCsma)
+        assert scheme.t_fail(0.05) == pytest.approx(101.0)
+
+
+class TestPaperHeadlineResults:
+    """The qualitative claims of Section 3 (Fig. 5) as regression tests."""
+
+    def test_drts_dcts_best_at_narrow_beamwidth(self):
+        from repro.core import maximize_throughput
+
+        best = {
+            cls.name: maximize_throughput(make(cls, theta_deg=15.0)).throughput
+            for cls in (OrtsOcts, DrtsDcts, DrtsOcts)
+        }
+        assert best["DRTS-DCTS"] > best["DRTS-OCTS"] > best["ORTS-OCTS"]
+
+    def test_drts_dcts_degrades_with_beamwidth(self):
+        from repro.core import maximize_throughput
+
+        narrow = maximize_throughput(make(DrtsDcts, theta_deg=30.0)).throughput
+        wide = maximize_throughput(make(DrtsDcts, theta_deg=150.0)).throughput
+        assert narrow > wide
+
+    def test_wide_beam_drts_dcts_loses_to_omni(self):
+        # "When the antenna beamwidth is wider, the performance of
+        # DRTS-DCTS drops significantly."
+        from repro.core import maximize_throughput
+
+        drts = maximize_throughput(make(DrtsDcts, theta_deg=180.0)).throughput
+        omni = maximize_throughput(make(OrtsOcts)).throughput
+        assert drts < omni

@@ -1,0 +1,91 @@
+"""Tests for the truncated geometric failed-period distribution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.truncgeom import truncated_geometric_mean, truncated_geometric_pmf
+
+
+class TestTruncatedGeometricMean:
+    def test_degenerate_interval(self):
+        assert truncated_geometric_mean(0.3, 10.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_p_hits_lower_bound(self):
+        # With p = 0 the failure is always detected at the earliest slot.
+        assert truncated_geometric_mean(0.0, 6.0, 119.0) == pytest.approx(6.0)
+
+    def test_small_p_stays_near_lower_bound(self):
+        mean = truncated_geometric_mean(0.05, 6.0, 119.0)
+        assert 6.0 <= mean < 7.0
+
+    def test_explicit_two_point_case(self):
+        # lower=1, upper=2, p=0.5: masses 2/3 and 1/3 -> mean 4/3.
+        assert truncated_geometric_mean(0.5, 1.0, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_matches_pmf_expectation(self):
+        p, lo, hi = 0.2, 6.0, 119.0
+        pmf = truncated_geometric_pmf(p, lo, hi)
+        expected = sum(prob * (lo + i) for i, prob in enumerate(pmf))
+        assert truncated_geometric_mean(p, lo, hi) == pytest.approx(expected)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_mean_within_bounds(self, p, lower, span):
+        upper = lower + span
+        mean = truncated_geometric_mean(p, float(lower), float(upper))
+        assert lower - 1e-9 <= mean <= upper + 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_mean_increases_with_p(self, a, b):
+        lo_p, hi_p = sorted((a, b))
+        lo_mean = truncated_geometric_mean(lo_p, 6.0, 119.0)
+        hi_mean = truncated_geometric_mean(hi_p, 6.0, 119.0)
+        assert lo_mean <= hi_mean + 1e-9
+
+    def test_rejects_p_one(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_mean(1.0, 1.0, 5.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_mean(0.1, 10.0, 5.0)
+
+    def test_rejects_non_integer_span(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_mean(0.1, 1.0, 2.5)
+
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_mean(0.1, 0.0, 5.0)
+
+
+class TestTruncatedGeometricPmf:
+    def test_sums_to_one(self):
+        pmf = truncated_geometric_pmf(0.3, 6.0, 119.0)
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_zero_p_is_point_mass(self):
+        pmf = truncated_geometric_pmf(0.0, 6.0, 10.0)
+        assert pmf[0] == pytest.approx(1.0)
+        assert all(x == 0.0 for x in pmf[1:])
+
+    def test_monotone_decreasing_mass(self):
+        pmf = truncated_geometric_pmf(0.4, 1.0, 20.0)
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.95),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_valid_distribution(self, p, lower, span):
+        pmf = truncated_geometric_pmf(p, float(lower), float(lower + span))
+        assert len(pmf) == span + 1
+        assert sum(pmf) == pytest.approx(1.0)
+        assert all(x >= 0.0 for x in pmf)

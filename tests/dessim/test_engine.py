@@ -1,0 +1,206 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dessim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 100
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(300, order.append, 3)
+        sim.schedule(100, order.append, 1)
+        sim.schedule(200, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_fifo_among_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(50, order.append, label)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_non_integer_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_at(1.5, lambda: None)
+
+    def test_events_scheduled_from_callbacks(self):
+        sim = Simulator()
+        times = []
+
+        def chain(n):
+            times.append(sim.now)
+            if n > 0:
+                sim.schedule(10, chain, n - 1)
+
+        sim.schedule(0, chain, 3)
+        sim.run()
+        assert times == [0, 10, 20, 30]
+
+    def test_callback_cannot_schedule_into_past(self):
+        sim = Simulator()
+
+        def bad():
+            sim.schedule_at(sim.now - 1, lambda: None)
+
+        sim.schedule(10, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(100, fired.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()
+
+    def test_cancel_from_callback(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(200, fired.append, "later")
+        sim.schedule(100, lambda: sim.cancel(later))
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending_events == 1
+        assert keep is not None
+
+
+class TestRunUntil:
+    def test_clock_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_events_beyond_until_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "early")
+        sim.schedule(900, fired.append, "late")
+        sim.run(until=500)
+        assert fired == ["early"]
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(500, fired.append, "edge")
+        sim.run(until=500)
+        assert fired == ["edge"]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 1)
+        sim.schedule(20, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(10, nested)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_clock_is_monotone(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1_000),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_exactly_uncancelled_events_fire(self, spec):
+        sim = Simulator()
+        fired = []
+        expected = 0
+        for i, (delay, cancel) in enumerate(spec):
+            event = sim.schedule(delay, fired.append, i)
+            if cancel:
+                sim.cancel(event)
+            else:
+                expected += 1
+        sim.run()
+        assert len(fired) == expected
+        assert sim.events_processed == expected

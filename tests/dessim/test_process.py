@@ -1,0 +1,197 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.dessim import SimulationError, Simulator
+from repro.dessim.process import Process, spawn
+
+
+class TestBasicProcesses:
+    def test_sleep_sequence(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 100
+            log.append(sim.now)
+            yield 250
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0, 100, 350]
+
+    def test_completion_flag(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10
+
+        process = spawn(sim, proc())
+        assert process.alive
+        sim.run()
+        assert not process.alive
+
+    def test_zero_delay(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 0
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0]
+
+    def test_multiple_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, period):
+            for _ in range(3):
+                yield period
+                log.append((sim.now, name))
+
+        spawn(sim, proc("fast", 10))
+        spawn(sim, proc("slow", 25))
+        sim.run()
+        assert log == [
+            (10, "fast"),
+            (20, "fast"),
+            (25, "slow"),
+            (30, "fast"),
+            (50, "slow"),
+            (75, "slow"),
+        ]
+
+
+class TestJoin:
+    def test_wait_for_other_process(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 500
+            log.append(("worker-done", sim.now))
+
+        def waiter(target):
+            yield target
+            log.append(("waiter-resumed", sim.now))
+
+        target = spawn(sim, worker())
+        spawn(sim, waiter(target))
+        sim.run()
+        assert log == [("worker-done", 500), ("waiter-resumed", 500)]
+
+    def test_join_already_finished(self):
+        sim = Simulator()
+        log = []
+
+        def quick():
+            yield 10
+
+        def late(target):
+            yield 100
+            yield target  # already done
+            log.append(sim.now)
+
+        target = spawn(sim, quick())
+        spawn(sim, late(target))
+        sim.run()
+        assert log == [100]
+
+    def test_multiple_waiters_released_together(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 300
+
+        def waiter(name, target):
+            yield target
+            log.append((name, sim.now))
+
+        target = spawn(sim, worker())
+        spawn(sim, waiter("a", target))
+        spawn(sim, waiter("b", target))
+        sim.run()
+        assert sorted(log) == [("a", 300), ("b", 300)]
+
+
+class TestCancellation:
+    def test_cancel_stops_resumption(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 100
+            log.append("should-not-happen")
+
+        process = spawn(sim, proc())
+        process.cancel()
+        sim.run()
+        assert log == []
+        assert not process.alive
+        assert process.cancelled
+
+    def test_cancel_releases_waiters(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 1000
+
+        def waiter(target):
+            yield target
+            log.append(sim.now)
+
+        target = spawn(sim, worker())
+        spawn(sim, waiter(target))
+        sim.schedule(50, target.cancel)
+        sim.run()
+        assert log == [50]
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10
+
+        process = spawn(sim, proc())
+        process.cancel()
+        process.cancel()
+        sim.run()
+
+
+class TestBadYields:
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -5
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_wrong_type_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "soon"
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bool_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield True  # bools are ints; explicitly rejected
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()

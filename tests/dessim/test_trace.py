@@ -1,0 +1,92 @@
+"""Tests for the structured tracer."""
+
+import pytest
+
+from repro.dessim import Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.record(10, "mac", 0, "rts-sent")
+        assert len(tracer) == 0
+
+    def test_enabled_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(10, "mac", 0, "rts-sent", dst=3)
+        assert len(tracer) == 1
+        record = next(iter(tracer))
+        assert record.time == 10
+        assert record.category == "mac"
+        assert record.node == 0
+        assert record.event == "rts-sent"
+        assert record.detail == {"dst": 3}
+
+    def test_filter_by_category(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1, "mac", 0, "rts-sent")
+        tracer.record(2, "phy", 0, "tx-start")
+        assert len(tracer.filter(category="mac")) == 1
+
+    def test_filter_by_node_and_event(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1, "mac", 0, "rts-sent")
+        tracer.record(2, "mac", 1, "rts-sent")
+        tracer.record(3, "mac", 1, "cts-sent")
+        assert len(tracer.filter(node=1)) == 2
+        assert len(tracer.filter(node=1, event="rts-sent")) == 1
+
+    def test_filter_with_predicate(self):
+        tracer = Tracer(enabled=True)
+        for t in range(5):
+            tracer.record(t, "mac", 0, "tick")
+        late = tracer.filter(predicate=lambda r: r.time >= 3)
+        assert [r.time for r in late] == [3, 4]
+
+    def test_capacity_bounds_memory(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for t in range(10):
+            tracer.record(t, "mac", 0, "tick")
+        assert len(tracer) == 3
+        assert [r.time for r in tracer] == [7, 8, 9]
+
+    def test_unbounded_capacity(self):
+        tracer = Tracer(enabled=True, capacity=None)
+        for t in range(1000):
+            tracer.record(t, "mac", 0, "tick")
+        assert len(tracer) == 1000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1, "mac", 0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_str_rendering(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(42, "mac", 7, "rts-sent", dst=3)
+        text = str(next(iter(tracer)))
+        assert "mac.rts-sent" in text
+        assert "dst=3" in text
+
+
+class TestUnits:
+    def test_exact_table1_values(self):
+        from repro.dessim import microseconds, seconds, to_microseconds, to_seconds
+
+        assert microseconds(20) == 20_000
+        assert microseconds(192) == 192_000
+        assert microseconds(1) == 1_000
+        assert seconds(1) == 1_000_000_000
+        assert to_microseconds(20_000) == 20.0
+        assert to_seconds(1_500_000_000) == 1.5
+
+    def test_bit_time_at_2mbps_is_exact(self):
+        # 1 bit at 2 Mbps = 500 ns exactly; 1460 bytes = 5.84 ms exactly.
+        bit_ns = 1_000_000_000 // 2_000_000
+        assert bit_ns == 500
+        assert 1460 * 8 * bit_ns == 5_840_000

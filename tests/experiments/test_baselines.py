@@ -1,0 +1,52 @@
+"""Tests for the analytical baseline ladder."""
+
+import pytest
+
+from repro.experiments import format_baseline_table, run_baseline_ladder
+
+
+class TestBaselineLadder:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_baseline_ladder(
+            n_neighbors=5.0, data_lengths=(10.0, 100.0)
+        )
+
+    def test_all_rungs_present(self, rows):
+        for row in rows:
+            assert set(row.throughput) == {
+                "NP-CSMA",
+                "BTMA-ideal",
+                "ORTS-OCTS",
+                "DRTS-DCTS",
+            }
+            assert all(v > 0 for v in row.throughput.values())
+
+    def test_winner_helper(self, rows):
+        for row in rows:
+            winner = row.winner()
+            assert row.throughput[winner] == max(row.throughput.values())
+
+    def test_short_data_btma_beats_handshake(self, rows):
+        short = rows[0].throughput
+        assert short["BTMA-ideal"] > short["ORTS-OCTS"]
+
+    def test_long_data_handshake_beats_btma(self, rows):
+        long = rows[1].throughput
+        assert long["ORTS-OCTS"] > long["BTMA-ideal"]
+
+    def test_csma_always_last(self, rows):
+        for row in rows:
+            assert row.winner() != "NP-CSMA"
+            assert row.throughput["NP-CSMA"] == min(row.throughput.values())
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            run_baseline_ladder(data_lengths=())
+        with pytest.raises(ValueError):
+            run_baseline_ladder(data_lengths=(0.0,))
+
+    def test_format(self, rows):
+        text = format_baseline_table(rows)
+        assert "winner" in text
+        assert "BTMA-ideal" in text

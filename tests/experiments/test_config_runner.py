@@ -1,0 +1,116 @@
+"""Tests for experiment configuration and the sweep runner."""
+
+import math
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import SimStudyConfig, SimStudyRunner, from_environment
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        n_values=(3,),
+        beamwidths_deg=(30.0,),
+        schemes=("ORTS-OCTS", "DRTS-DCTS"),
+        topologies=1,
+        sim_time_ns=seconds(0.2),
+    )
+    defaults.update(overrides)
+    return SimStudyConfig(**defaults)
+
+
+class TestSimStudyConfig:
+    def test_defaults_match_paper_grid(self):
+        cfg = SimStudyConfig()
+        assert cfg.n_values == (3, 5, 8)
+        assert cfg.beamwidths_deg == (30.0, 90.0, 150.0)
+        assert cfg.schemes == ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimStudyConfig(n_values=())
+        with pytest.raises(ValueError):
+            SimStudyConfig(n_values=(1,))
+        with pytest.raises(ValueError):
+            SimStudyConfig(beamwidths_deg=(0.0,))
+        with pytest.raises(ValueError):
+            SimStudyConfig(beamwidths_deg=(400.0,))
+        with pytest.raises(ValueError):
+            SimStudyConfig(topologies=0)
+        with pytest.raises(ValueError):
+            SimStudyConfig(sim_time_ns=0)
+
+    def test_derived_parameter_objects(self):
+        cfg = SimStudyConfig(retry_limit=5, capture_threshold=10.0)
+        assert cfg.mac_params.retry_limit == 5
+        assert cfg.phy_params.capture_threshold == 10.0
+
+    def test_from_environment_defaults(self, monkeypatch):
+        for var in (
+            "REPRO_TOPOLOGIES",
+            "REPRO_SIM_SECONDS",
+            "REPRO_N_VALUES",
+            "REPRO_BEAMWIDTHS_DEG",
+            "REPRO_RETRY_LIMIT",
+            "REPRO_CAPTURE",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        cfg = from_environment()
+        assert cfg.topologies == 3
+        assert cfg.sim_time_ns == seconds(2)
+        assert cfg.capture_threshold is None
+
+    def test_from_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOPOLOGIES", "7")
+        monkeypatch.setenv("REPRO_SIM_SECONDS", "0.5")
+        monkeypatch.setenv("REPRO_N_VALUES", "3,8")
+        monkeypatch.setenv("REPRO_BEAMWIDTHS_DEG", "45")
+        monkeypatch.setenv("REPRO_RETRY_LIMIT", "4")
+        monkeypatch.setenv("REPRO_CAPTURE", "10")
+        cfg = from_environment()
+        assert cfg.topologies == 7
+        assert cfg.sim_time_ns == seconds(0.5)
+        assert cfg.n_values == (3, 8)
+        assert cfg.beamwidths_deg == (45.0,)
+        assert cfg.retry_limit == 4
+        assert cfg.capture_threshold == 10.0
+
+
+class TestSimStudyRunner:
+    def test_topologies_cached_across_schemes(self):
+        runner = SimStudyRunner(tiny_config())
+        assert runner.topology(3, 0) is runner.topology(3, 0)
+
+    def test_different_replicates_differ(self):
+        runner = SimStudyRunner(tiny_config())
+        a = runner.topology(3, 0)
+        b = runner.topology(3, 1)
+        assert a.positions != b.positions
+
+    def test_run_cell_produces_replicates(self):
+        runner = SimStudyRunner(tiny_config(topologies=2))
+        cell = runner.run_cell(3, "ORTS-OCTS", 30.0)
+        assert len(cell.results) == 2
+        assert cell.n == 3
+        assert cell.scheme == "ORTS-OCTS"
+
+    def test_run_grid_covers_all_cells(self):
+        runner = SimStudyRunner(tiny_config())
+        cells = runner.run_grid()
+        assert len(cells) == 1 * 2 * 1  # n x schemes x beamwidths
+        assert {c.scheme for c in cells} == {"ORTS-OCTS", "DRTS-DCTS"}
+
+    def test_metric_extraction(self):
+        runner = SimStudyRunner(tiny_config())
+        cell = runner.run_cell(3, "ORTS-OCTS", 30.0)
+        values = cell.metric("inner_throughput_bps")
+        assert len(values) == 1
+        assert values[0] >= 0
+
+    def test_schemes_compared_on_identical_topologies(self):
+        runner = SimStudyRunner(tiny_config())
+        runner.run_grid()
+        # After the grid, only (n=3, replicate=0) exists in the cache —
+        # both schemes reused it.
+        assert set(runner._topologies) == {(3, 0)}

@@ -1,0 +1,105 @@
+"""Tests for the extension studies (load sweep, scheme comparison)."""
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import (
+    format_load_sweep_table,
+    format_scheme_comparison,
+    run_load_sweep,
+    run_scheme_comparison,
+)
+
+
+class TestLoadSweep:
+    def test_points_structure(self):
+        points = run_load_sweep(
+            n=3,
+            schemes=("ORTS-OCTS",),
+            rates_pps=(5.0,),
+            sim_time_ns=seconds(0.5),
+        )
+        assert len(points) == 1
+        pt = points[0]
+        assert pt.scheme == "ORTS-OCTS"
+        assert pt.offered_bps > 0
+        assert 0.0 <= pt.delivery_ratio <= 1.0
+
+    def test_light_load_delivered(self):
+        points = run_load_sweep(
+            n=3,
+            schemes=("ORTS-OCTS",),
+            rates_pps=(2.0,),
+            sim_time_ns=seconds(1),
+        )
+        assert points[0].delivery_ratio > 0.8
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            run_load_sweep(rates_pps=())
+        with pytest.raises(ValueError):
+            run_load_sweep(rates_pps=(0.0,))
+
+    def test_format(self):
+        points = run_load_sweep(
+            n=3,
+            schemes=("ORTS-OCTS",),
+            rates_pps=(5.0,),
+            sim_time_ns=seconds(0.3),
+        )
+        text = format_load_sweep_table(points)
+        assert "offered" in text
+        assert "ORTS-OCTS" in text
+
+
+class TestSchemeComparison:
+    def test_four_schemes(self):
+        rows = run_scheme_comparison(
+            n=3, topologies=1, sim_time_ns=seconds(0.5)
+        )
+        assert [row.scheme for row in rows] == [
+            "ORTS-OCTS",
+            "DRTS-DCTS",
+            "DRTS-OCTS",
+            "ORTS-OCTS-DDATA",
+            "DORTS-OCTS",
+        ]
+        assert all(row.throughput_bps > 0 for row in rows)
+
+    def test_subset_of_schemes(self):
+        rows = run_scheme_comparison(
+            n=3,
+            topologies=1,
+            sim_time_ns=seconds(0.3),
+            schemes=("ORTS-OCTS-DDATA",),
+        )
+        assert len(rows) == 1
+
+    def test_rejects_bad_topologies(self):
+        with pytest.raises(ValueError):
+            run_scheme_comparison(topologies=0)
+
+    def test_format(self):
+        rows = run_scheme_comparison(
+            n=3, topologies=1, sim_time_ns=seconds(0.3),
+            schemes=("ORTS-OCTS",),
+        )
+        assert "thr(Mbps)" in format_scheme_comparison(rows)
+
+
+class TestNasipuriInNetwork:
+    def test_nasipuri_network_runs(self):
+        import math
+        import random
+
+        from repro.net import (
+            NetworkSimulation,
+            TopologyConfig,
+            generate_ring_topology,
+        )
+
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(9))
+        result = NetworkSimulation(
+            topo, "ORTS-OCTS-DDATA", math.radians(45), seed=2
+        ).run(seconds(0.5))
+        assert result.inner_packets_delivered > 0

@@ -1,0 +1,77 @@
+"""Tests for the analytical experiment modules (Fig. 5, Table 1)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    format_fig5_table,
+    format_table1,
+    run_fig5,
+    table1_entries,
+)
+
+
+class TestRunFig5:
+    def test_default_grid_has_twelve_rows(self):
+        rows = run_fig5(n_neighbors=3.0, beamwidths=[math.radians(30)])
+        assert len(rows) == 1
+        assert set(rows[0].throughput) == {
+            "ORTS-OCTS",
+            "DRTS-DCTS",
+            "DRTS-OCTS",
+        }
+
+    def test_paper_grid(self):
+        rows = run_fig5(n_neighbors=3.0)
+        assert len(rows) == 12
+        assert rows[0].beamwidth_deg == pytest.approx(15.0)
+        assert rows[-1].beamwidth_deg == pytest.approx(180.0)
+
+    def test_narrow_beam_ordering(self):
+        rows = run_fig5(n_neighbors=5.0, beamwidths=[math.radians(15)])
+        th = rows[0].throughput
+        assert th["DRTS-DCTS"] > th["DRTS-OCTS"] > th["ORTS-OCTS"]
+
+    def test_all_throughputs_positive(self):
+        for row in run_fig5(n_neighbors=8.0, beamwidths=[math.radians(90)]):
+            assert all(v > 0 for v in row.throughput.values())
+
+    def test_format_table(self):
+        rows = run_fig5(n_neighbors=3.0, beamwidths=[math.radians(30)])
+        text = format_fig5_table(rows)
+        assert "ORTS-OCTS" in text
+        assert "30" in text
+
+
+class TestTable1:
+    def test_all_entries_match(self):
+        for entry in table1_entries():
+            assert entry.matches, f"{entry.name}: {entry.repo_value}"
+
+    def test_expected_parameter_set(self):
+        names = {e.name for e in table1_entries()}
+        assert {
+            "RTS size",
+            "CTS size",
+            "data size",
+            "ACK size",
+            "DIFS",
+            "SIFS",
+            "contention window",
+            "slot time",
+            "sync time",
+            "propagation delay",
+            "raw channel bit rate",
+        } <= names
+
+    def test_format_includes_airtimes(self):
+        text = format_table1()
+        assert "6032us" in text  # data air time
+        assert "272us" in text  # RTS air time
+
+    def test_mismatch_detection(self):
+        from repro.experiments import Table1Entry
+
+        entry = Table1Entry("x", "1us", "2us")
+        assert not entry.matches

@@ -1,0 +1,61 @@
+"""Tests for the mobility extension study."""
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import (
+    MobilityPoint,
+    format_mobility_table,
+    run_mobility_study,
+)
+
+
+class TestRunMobilityStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_mobility_study(
+            schemes=("ORTS-OCTS", "DRTS-DCTS"),
+            refresh_seconds=(0.0, 3.0),
+            sim_time_ns=seconds(2),
+        )
+
+    def test_grid_shape(self, points):
+        assert len(points) == 4
+        assert {(p.scheme, p.refresh_s) for p in points} == {
+            ("ORTS-OCTS", 0.0),
+            ("ORTS-OCTS", 3.0),
+            ("DRTS-DCTS", 0.0),
+            ("DRTS-DCTS", 3.0),
+        }
+
+    def test_traffic_flows(self, points):
+        for pt in points:
+            assert pt.packets_delivered + pt.packets_dropped > 0
+            assert 0.0 <= pt.delivery_ratio <= 1.0
+
+    def test_staleness_hurts_beams_only(self, points):
+        def ratio(scheme, refresh):
+            return next(
+                p.delivery_ratio
+                for p in points
+                if p.scheme == scheme and p.refresh_s == refresh
+            )
+
+        assert ratio("ORTS-OCTS", 3.0) == ratio("ORTS-OCTS", 0.0)
+        assert ratio("DRTS-DCTS", 3.0) < ratio("DRTS-DCTS", 0.0)
+
+    def test_rejects_negative_refresh(self):
+        with pytest.raises(ValueError):
+            run_mobility_study(refresh_seconds=(-1.0,))
+
+    def test_format(self, points):
+        text = format_mobility_table(points)
+        assert "delivery-ratio" in text
+        assert "DRTS-DCTS" in text
+
+    def test_delivery_ratio_empty(self):
+        pt = MobilityPoint(
+            scheme="X", refresh_s=0.0, speed_mps=1.0,
+            packets_delivered=0, packets_dropped=0,
+        )
+        assert pt.delivery_ratio == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the figure-level summarisation modules (Fig. 6/7 etc.)."""
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import (
+    SimStudyConfig,
+    format_collision_table,
+    format_fairness_table,
+    format_fig6_table,
+    format_fig7_table,
+    run_collision_ratio,
+    run_fairness,
+    run_fig6,
+    run_fig7,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return SimStudyConfig(
+        n_values=(3,),
+        beamwidths_deg=(90.0,),
+        schemes=("ORTS-OCTS",),
+        topologies=2,
+        sim_time_ns=seconds(0.3),
+    )
+
+
+class TestFig6:
+    def test_cells_and_table(self, tiny_cfg):
+        cells = run_fig6(tiny_cfg)
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.n == 3
+        assert cell.throughput_bps.count == 2
+        assert cell.throughput_bps.mean > 0
+        text = format_fig6_table(cells)
+        assert "N = 3" in text
+        assert "ORTS-OCTS" in text
+
+
+class TestFig7:
+    def test_cells_and_table(self, tiny_cfg):
+        cells = run_fig7(tiny_cfg)
+        assert len(cells) == 1
+        assert cells[0].delay_s.mean > 0
+        text = format_fig7_table(cells)
+        assert "ms" in text
+
+
+class TestCollisionRatio:
+    def test_cells_and_table(self, tiny_cfg):
+        cells = run_collision_ratio(tiny_cfg)
+        assert 0.0 <= cells[0].collision_ratio.mean <= 1.0
+        assert "ACK-timeout" in format_collision_table(cells)
+
+
+class TestFairness:
+    def test_cells_and_table(self, tiny_cfg):
+        cells = run_fairness(tiny_cfg)
+        assert 0.0 < cells[0].jain.mean <= 1.0
+        assert "Jain" in format_fairness_table(cells)
+
+
+class TestAblation:
+    def test_fixed_p_rows(self):
+        from repro.experiments import run_fixed_p_ablation
+
+        rows = run_fixed_p_ablation(n_neighbors=3.0, p_values=(0.02, 0.05))
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row.fixed) == {0.02, 0.05}
+            assert row.optimised >= max(row.fixed.values()) - 1e-9
+
+    def test_tfail_rows(self):
+        from repro.experiments import run_tfail_ablation
+
+        rows = run_tfail_ablation(n_neighbors=3.0, beamwidths_deg=(30.0,))
+        assert len(rows) == 1
+        assert rows[0].early_bound > rows[0].paper_bound
+        assert rows[0].relative_change > 0

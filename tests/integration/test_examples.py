@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "analytical_study.py",
+            "sim_throughput_study.py",
+            "fairness_study.py",
+            "mobility_study.py",
+            "scripted_scenario.py",
+        ],
+    )
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+class TestQuickstartRuns:
+    def test_quickstart_output(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Analytical model" in proc.stdout
+        assert "throughput" in proc.stdout
+        assert "Mbps" in proc.stdout
+
+
+class TestScriptedScenarioRuns:
+    def test_narration(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "scripted_scenario.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "completed a four-way handshake" in proc.stdout
+        # The NAV held node c back until node a finished.
+        assert "node c: sent an RTS" in proc.stdout

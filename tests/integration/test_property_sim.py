@@ -1,0 +1,99 @@
+"""Property-based stress tests: random networks must uphold invariants.
+
+Hypothesis generates small random node layouts, schemes and beamwidths;
+every generated network is run saturated for a short interval and must
+satisfy the cross-layer invariants (no crashes, counter identities,
+conservation, valid metric ranges).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dessim import RngRegistry, Simulator, seconds
+from repro.mac import DSSS_MAC, DcfMac, NeighborTable, POLICIES
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+from repro.traffic import SaturatedCbrSource
+
+position = st.tuples(
+    st.floats(min_value=-400.0, max_value=400.0),
+    st.floats(min_value=-400.0, max_value=400.0),
+)
+
+
+def distinct_positions(min_size, max_size):
+    return st.lists(
+        position, min_size=min_size, max_size=max_size, unique=True
+    ).filter(
+        lambda pts: all(
+            math.hypot(a[0] - b[0], a[1] - b[1]) > 1.0
+            for i, a in enumerate(pts)
+            for b in pts[i + 1 :]
+        )
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    points=distinct_positions(3, 7),
+    scheme=st.sampled_from(sorted(POLICIES)),
+    beamwidth_deg=st.sampled_from([20.0, 60.0, 120.0, 200.0, 360.0]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_saturated_network_invariants(points, scheme, beamwidth_deg, seed):
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=300.0))
+    rng = RngRegistry(seed)
+    macs = {}
+    for node_id, (x, y) in enumerate(points):
+        radio = Radio(sim, node_id, Position(x, y), channel)
+        macs[node_id] = DcfMac(
+            sim, radio, DSSS_MAC, NeighborTable(channel, node_id),
+            POLICIES[scheme], beamwidth=math.radians(beamwidth_deg),
+            rng=rng.stream(f"mac{node_id}"),
+        )
+    sources = []
+    for node_id, mac in macs.items():
+        neighbors = channel.neighbors_of(node_id)
+        if neighbors:
+            sources.append(
+                SaturatedCbrSource(
+                    sim, mac, sorted(neighbors), rng.stream(f"t{node_id}")
+                )
+            )
+    for source in sources:
+        source.start()
+
+    sim.run(until=seconds(0.3))
+
+    # --- invariants ---
+    total_delivered = 0
+    total_received = 0
+    total_acks = 0
+    for mac in macs.values():
+        stats = mac.stats
+        assert stats.data_sent <= stats.rts_sent
+        assert stats.packets_delivered <= stats.data_sent
+        assert stats.handshakes_reaching_data <= stats.data_sent
+        assert stats.cts_timeouts + stats.ack_timeouts <= stats.rts_sent
+        assert len(stats.delays_ns) == stats.packets_delivered
+        assert all(d > 0 for d in stats.delays_ns)
+        assert 0.0 <= stats.collision_ratio <= 1.0
+        assert DSSS_MAC.cw_min <= mac.backoff.cw <= DSSS_MAC.cw_max
+        total_delivered += stats.packets_delivered
+        total_received += stats.data_received
+        total_acks += stats.ack_sent
+    assert total_delivered <= total_received
+    # Every received DATA is ACKed, except responses still inside their
+    # SIFS window when the measurement boundary cuts the run (at most
+    # one in-flight response per node).
+    assert 0 <= total_received - total_acks <= len(macs)
+
+    # If anyone had a neighbor, the network made progress.
+    if sources:
+        total_rts = sum(m.stats.rts_sent for m in macs.values())
+        assert total_rts > 0

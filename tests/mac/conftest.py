@@ -1,0 +1,65 @@
+"""Shared fixtures for MAC-layer tests: tiny real networks."""
+
+import math
+
+import pytest
+
+from repro.dessim import RngRegistry, Simulator, Tracer
+from repro.mac import DSSS_MAC, DcfMac, NeighborTable, Packet, POLICIES
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+
+
+class TinyNetwork:
+    """A handful of DcfMac nodes on a shared channel, fully wired."""
+
+    def __init__(self, positions, policy_name="ORTS-OCTS", beamwidth_deg=30.0,
+                 seed=1, range_m=300.0, params=DSSS_MAC, trace=True):
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=trace, capacity=None)
+        self.channel = Channel(
+            self.sim, propagation=UnitDiskPropagation(range_m=range_m)
+        )
+        rng = RngRegistry(seed)
+        self.macs: dict[int, DcfMac] = {}
+        self.radios: dict[int, Radio] = {}
+        for node_id, (x, y) in positions.items():
+            radio = Radio(
+                self.sim, node_id, Position(x, y), self.channel, tracer=self.tracer
+            )
+            mac = DcfMac(
+                self.sim,
+                radio,
+                params,
+                NeighborTable(self.channel, node_id),
+                POLICIES[policy_name],
+                beamwidth=math.radians(beamwidth_deg),
+                rng=rng.stream(f"mac-{node_id}"),
+                tracer=self.tracer,
+            )
+            self.radios[node_id] = radio
+            self.macs[node_id] = mac
+
+    def send(self, src, dst, size=1460, at=None):
+        """Enqueue one packet from src to dst."""
+        now = self.sim.now if at is None else at
+        packet = Packet(dst=dst, size_bytes=size, created_ns=now)
+        if at is None or at == self.sim.now:
+            self.macs[src].enqueue(packet)
+        else:
+            self.sim.schedule_at(at, self.macs[src].enqueue, packet)
+        return packet
+
+    def mac_events(self, node=None, event=None):
+        return self.tracer.filter(category="mac", node=node, event=event)
+
+
+@pytest.fixture
+def pair():
+    """Two nodes in range: 0 at origin, 1 at 200 m east."""
+    return TinyNetwork({0: (0, 0), 1: (200, 0)})
+
+
+@pytest.fixture
+def hidden_trio():
+    """0 and 2 are hidden from each other; both neighbor 1."""
+    return TinyNetwork({0: (0, 0), 1: (200, 0), 2: (400, 0)})

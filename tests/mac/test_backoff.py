@@ -1,0 +1,86 @@
+"""Tests for binary exponential backoff."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac import BackoffManager, MacParameters
+
+
+def manager(seed=0, **kw):
+    return BackoffManager(MacParameters(**kw), random.Random(seed))
+
+
+class TestContentionWindow:
+    def test_starts_at_cw_min(self):
+        assert manager().cw == 31
+
+    def test_doubling_sequence(self):
+        beb = manager()
+        observed = [beb.cw]
+        for _ in range(6):
+            beb.double()
+            observed.append(beb.cw)
+        assert observed == [31, 63, 127, 255, 511, 1023, 1023]
+
+    def test_caps_at_cw_max(self):
+        beb = manager()
+        for _ in range(20):
+            beb.double()
+        assert beb.cw == 1023
+
+    def test_reset(self):
+        beb = manager()
+        beb.double()
+        beb.double()
+        beb.reset()
+        assert beb.cw == 31
+
+    def test_stage_tracks_doublings(self):
+        beb = manager()
+        assert beb.stage == 0
+        beb.double()
+        assert beb.stage == 1
+        beb.double()
+        assert beb.stage == 2
+        beb.reset()
+        assert beb.stage == 0
+
+    def test_custom_window(self):
+        beb = manager(cw_min=15, cw_max=255)
+        assert beb.cw == 15
+        for _ in range(10):
+            beb.double()
+        assert beb.cw == 255
+
+
+class TestDraw:
+    def test_draw_within_window(self):
+        beb = manager()
+        for _ in range(200):
+            assert 0 <= beb.draw() <= 31
+
+    def test_draw_uses_doubled_window(self):
+        beb = manager()
+        beb.double()
+        draws = [beb.draw() for _ in range(500)]
+        assert max(draws) > 31  # wider window is actually used
+        assert all(0 <= d <= 63 for d in draws)
+
+    def test_deterministic_given_seed(self):
+        a = [manager(seed=5).draw() for _ in range(1)]
+        b = [manager(seed=5).draw() for _ in range(1)]
+        assert a == b
+
+    def test_draw_covers_full_range(self):
+        beb = manager(cw_min=3, cw_max=7)
+        draws = {beb.draw() for _ in range(300)}
+        assert draws == {0, 1, 2, 3}
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_cw_is_always_power_of_two_minus_one(self, doublings):
+        beb = manager()
+        for _ in range(doublings):
+            beb.double()
+        assert (beb.cw + 1) & beb.cw == 0  # 2^k - 1 bit pattern

@@ -1,0 +1,61 @@
+"""Tests for MAC timing parameters (Table 1)."""
+
+import pytest
+
+from repro.dessim import microseconds
+from repro.mac import DSSS_MAC, MacParameters
+from repro.phy import DSSS_PHY
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        assert DSSS_MAC.slot_time_ns == microseconds(20)
+        assert DSSS_MAC.sifs_ns == microseconds(10)
+        assert DSSS_MAC.difs_ns == microseconds(50)
+        assert DSSS_MAC.cw_min == 31
+        assert DSSS_MAC.cw_max == 1023
+
+    def test_difs_is_sifs_plus_two_slots(self):
+        # The 802.11 relation DIFS = SIFS + 2 * slot holds for Table 1.
+        assert DSSS_MAC.difs_ns == DSSS_MAC.sifs_ns + 2 * DSSS_MAC.slot_time_ns
+
+
+class TestDerivedTimeouts:
+    def test_cts_timeout_covers_reply(self):
+        # SIFS + CTS air + 2 prop = 10 + 248 + 2 us; timeout adds a slot.
+        assert DSSS_MAC.cts_timeout_ns(DSSS_PHY) == microseconds(10 + 248 + 2 + 20)
+
+    def test_ack_timeout(self):
+        assert DSSS_MAC.ack_timeout_ns(DSSS_PHY) == microseconds(10 + 248 + 2 + 20)
+
+    def test_data_timeout(self):
+        assert DSSS_MAC.data_timeout_ns(DSSS_PHY) == microseconds(
+            10 + 6032 + 2 + 20
+        )
+
+    def test_eifs_is_sifs_ack_difs(self):
+        assert DSSS_MAC.eifs_ns(DSSS_PHY) == microseconds(10 + 248 + 50)
+
+    def test_eifs_longer_than_difs(self):
+        assert DSSS_MAC.eifs_ns(DSSS_PHY) > DSSS_MAC.difs_ns
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["slot_time_ns", "sifs_ns", "difs_ns"])
+    def test_rejects_non_positive_times(self, field):
+        with pytest.raises(ValueError):
+            MacParameters(**{field: 0})
+
+    def test_rejects_bad_cw(self):
+        with pytest.raises(ValueError):
+            MacParameters(cw_min=0)
+        with pytest.raises(ValueError):
+            MacParameters(cw_min=63, cw_max=31)
+
+    def test_rejects_bad_retry_limit(self):
+        with pytest.raises(ValueError):
+            MacParameters(retry_limit=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DSSS_MAC.cw_min = 15  # type: ignore[misc]

@@ -1,0 +1,238 @@
+"""Behavioural tests for the DCF state machine on tiny real networks.
+
+Timing reference for a lone pair (Table 1, all in microseconds)::
+
+    DIFS 50 | RTS 272 | prop 1 | SIFS 10 | CTS 248 | prop 1 |
+    SIFS 10 | DATA 6032 | prop 1 | SIFS 10 | ACK 248 | prop 1
+    => handshake completes at t = 6884 us.
+"""
+
+import pytest
+
+from repro.dessim import microseconds, seconds
+from repro.phy import Frame, FrameType, OmniAntenna
+
+from .conftest import TinyNetwork
+
+HANDSHAKE_US = 50 + 272 + 1 + 10 + 248 + 1 + 10 + 6032 + 1 + 10 + 248 + 1
+
+
+class TestSuccessfulHandshake:
+    def test_single_packet_delivered(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        assert pair.macs[0].stats.packets_delivered == 1
+        assert pair.macs[1].stats.data_received == 1
+
+    def test_exact_handshake_timing(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        assert pair.macs[0].stats.delays_ns == [microseconds(HANDSHAKE_US)]
+
+    def test_frame_sequence(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        sent = [
+            r.detail["ftype"]
+            for r in pair.tracer.filter(category="phy", event="tx-start")
+        ]
+        assert sent == ["rts", "cts", "data", "ack"]
+
+    def test_counters_on_both_sides(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        a, b = pair.macs[0].stats, pair.macs[1].stats
+        assert (a.rts_sent, a.data_sent) == (1, 1)
+        assert (b.cts_sent, b.ack_sent) == (1, 1)
+        assert a.cts_timeouts == a.ack_timeouts == 0
+        assert a.bits_delivered == 1460 * 8
+        assert b.bits_received == 1460 * 8
+
+    def test_no_retransmissions_needed(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        assert pair.macs[0].backoff.cw == 31  # never doubled
+
+    def test_delivery_listener_invoked(self, pair):
+        got = []
+        pair.macs[1].delivery_listeners.append(got.append)
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        assert len(got) == 1
+        assert got[0].ftype is FrameType.DATA
+        assert got[0].src == 0
+
+    def test_service_listener_reports_success(self, pair):
+        outcomes = []
+        pair.macs[0].service_listeners.append(
+            lambda pkt, ok: outcomes.append((pkt.dst, ok))
+        )
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        assert outcomes == [(1, True)]
+
+    def test_fifo_queue_order(self, pair):
+        delivered = []
+        pair.macs[1].delivery_listeners.append(
+            lambda f: delivered.append(f.size_bytes)
+        )
+        for size in (100, 200, 300):
+            pair.send(0, 1, size=size)
+        pair.sim.run(until=seconds(1))
+        assert delivered == [100, 200, 300]
+
+
+class TestTimeoutsAndRetries:
+    def test_unreachable_destination_drops_after_retry_limit(self):
+        # Node 2 is out of range: every RTS goes unanswered.
+        net = TinyNetwork({0: (0, 0), 2: (400, 0)})
+        outcomes = []
+        net.macs[0].service_listeners.append(
+            lambda pkt, ok: outcomes.append(ok)
+        )
+        net.send(0, 2)
+        net.sim.run(until=seconds(2))
+        stats = net.macs[0].stats
+        assert stats.packets_dropped == 1
+        assert stats.cts_timeouts == 7  # retry_limit attempts
+        assert stats.rts_sent == 7
+        assert outcomes == [False]
+
+    def test_contention_window_doubles_on_failures(self):
+        net = TinyNetwork({0: (0, 0), 2: (400, 0)})
+        net.send(0, 2)
+        # Run long enough for exactly two CTS timeouts.
+        observed = []
+
+        def snoop(*_args):
+            observed.append(net.macs[0].backoff.cw)
+
+        net.macs[0].service_listeners.append(snoop)
+        net.sim.run(until=seconds(2))
+        # After the drop the window resets.
+        assert net.macs[0].backoff.cw == 31
+        assert net.macs[0].stats.cts_timeouts == 7
+
+    def test_cw_reset_after_success(self, hidden_trio):
+        # Saturate both hidden senders; collisions double windows, but a
+        # success must bring the winner's window back to cw_min.
+        net = hidden_trio
+        net.send(0, 1)
+        net.send(2, 1)
+        net.sim.run(until=seconds(2))
+        total = (
+            net.macs[0].stats.packets_delivered
+            + net.macs[2].stats.packets_delivered
+        )
+        assert total == 2  # both eventually get through
+        assert net.macs[0].backoff.cw == 31
+        assert net.macs[2].backoff.cw == 31
+
+    def test_hidden_terminals_eventually_deliver(self, hidden_trio):
+        net = hidden_trio
+        for _ in range(3):
+            net.send(0, 1)
+            net.send(2, 1)
+        net.sim.run(until=seconds(5))
+        assert net.macs[0].stats.packets_delivered == 3
+        assert net.macs[2].stats.packets_delivered == 3
+
+    def test_ack_timeout_on_data_collision(self, hidden_trio):
+        """Force the paper's collision-ratio event: DATA corrupted at the
+        receiver by a hidden interferer after a clean RTS/CTS."""
+        net = hidden_trio
+        net.send(0, 1)
+        # Node 2 blasts a raw frame into node 1's receiver mid-DATA.
+        noise = Frame(FrameType.RTS, src=2, dst=99, size_bytes=20)
+        net.sim.schedule_at(
+            microseconds(1500), net.radios[2].transmit, noise, OmniAntenna()
+        )
+        net.sim.run(until=microseconds(8000))
+        assert net.macs[0].stats.ack_timeouts == 1
+        assert net.macs[0].stats.collision_ratio == 1.0
+        # The retry should eventually succeed.
+        net.sim.run(until=seconds(2))
+        assert net.macs[0].stats.packets_delivered == 1
+        assert 0.0 < net.macs[0].stats.collision_ratio < 1.0
+
+
+class TestVirtualCarrierSense:
+    def test_overhearing_node_defers_whole_handshake(self):
+        # c hears a's RTS (not addressed to it) and must stay silent
+        # until the reservation runs out.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (100, 170)})
+        net.send(0, 1)
+        net.send(2, 1, at=microseconds(100))
+        net.sim.run(until=seconds(2))
+        c_rts = net.mac_events(node=2, event="rts-sent")
+        assert c_rts, "node 2 never transmitted"
+        assert c_rts[0].time >= microseconds(HANDSHAKE_US)
+        # Both packets are eventually delivered.
+        assert net.macs[0].stats.packets_delivered == 1
+        assert net.macs[2].stats.packets_delivered == 1
+
+    def test_responder_suppresses_cts_when_nav_busy(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+        # Node 2 reserves the medium around node 1 for 20 ms.
+        blocker = Frame(
+            FrameType.RTS, src=2, dst=99, size_bytes=20,
+            duration_ns=microseconds(20_000),
+        )
+        net.radios[2].transmit(blocker, OmniAntenna())
+        net.send(0, 1, at=microseconds(500))
+        net.sim.run(until=microseconds(5000))
+        assert net.macs[1].stats.cts_sent == 0
+        assert net.macs[0].stats.cts_timeouts >= 1
+        # After the NAV expires the handshake goes through.
+        net.sim.run(until=seconds(2))
+        assert net.macs[0].stats.packets_delivered == 1
+
+
+class TestEifs:
+    def test_first_access_waits_difs(self, pair):
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        rts = pair.mac_events(node=0, event="rts-sent")
+        assert rts[0].time == microseconds(50)
+
+    def test_access_after_garbled_reception_waits_eifs(self, pair):
+        pair.macs[0].on_reception_failed()  # inject the EIFS condition
+        pair.send(0, 1)
+        pair.sim.run(until=seconds(1))
+        rts = pair.mac_events(node=0, event="rts-sent")
+        # EIFS = SIFS + ACK air + DIFS = 10 + 248 + 50 = 308 us.
+        assert rts[0].time == microseconds(308)
+
+    def test_clean_frame_clears_eifs(self, pair):
+        # A successful reception between the failure and the access
+        # restores the normal DIFS.
+        pair.macs[0].on_reception_failed()
+        pair.send(1, 0)  # node 1 sends us a frame first
+        pair.send(0, 1, at=microseconds(7000))  # after that handshake
+        pair.sim.run(until=seconds(1))
+        rts = pair.mac_events(node=0, event="rts-sent")
+        assert rts, "node 0 never sent its RTS"
+        # Node 0's own access begins after node 1's handshake; its IFS
+        # must be DIFS-sized, not EIFS-sized.  The handshake ends at
+        # 6884 us < enqueue time 7000 us, so RTS at 7000 + 50 us.
+        assert rts[0].time == microseconds(7050)
+
+
+class TestSaturatedPair:
+    def test_bidirectional_saturation_no_deadlock(self, pair):
+        for mac in pair.macs.values():
+            peer = 1 - mac.node_id
+
+            def refill(pkt, ok, mac=mac, peer=peer):
+                pair.send(mac.node_id, peer)
+
+            mac.service_listeners.append(refill)
+        pair.send(0, 1)
+        pair.send(1, 0)
+        pair.sim.run(until=seconds(2))
+        a, b = pair.macs[0].stats, pair.macs[1].stats
+        assert a.packets_delivered > 50
+        assert b.packets_delivered > 50
+        # Conservation: every delivery was received by the peer.
+        assert a.packets_delivered == b.data_received
+        assert b.packets_delivered == a.data_received

@@ -1,0 +1,121 @@
+"""Edge-case behaviour of the DCF state machine."""
+
+import pytest
+
+from repro.dessim import microseconds, seconds
+from repro.phy import Frame, FrameType, OmniAntenna
+
+from .conftest import TinyNetwork
+
+
+class TestResponderDataProbe:
+    """After a CTS whose handshake dies, the responder must recover
+    quickly (no idling through a whole data airtime)."""
+
+    def test_responder_frees_quickly_when_data_never_starts(self):
+        # a's RTS reaches b; b's CTS back to a is destroyed by an
+        # interferer positioned to hit only a; b must not stay locked.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (-250, 0), 3: (-450, 0)})
+        net.send(0, 1)
+        # Node 3 (out of b's range, in a's range... 3 is at -450: out of
+        # a's range too).  Use node 2 at -250: in a's range, out of b's.
+        noise = Frame(FrameType.RTS, src=2, dst=99, size_bytes=20)
+        # a's RTS: 50-322us; b's CTS arrives at a 333-581us. Hit it.
+        net.sim.schedule_at(
+            microseconds(400), net.radios[2].transmit, noise, OmniAntenna()
+        )
+        net.sim.run(until=seconds(2))
+        # b sent a CTS, a never got it (collision), yet b responds to
+        # the retried RTS and the packet is eventually delivered.
+        assert net.macs[1].stats.cts_sent >= 2
+        assert net.macs[0].stats.packets_delivered == 1
+
+    def test_responder_waits_full_window_when_data_arrives(self):
+        # Normal handshake: the probe must not cut off a real DATA.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        assert net.macs[1].stats.data_received == 1
+        assert net.macs[0].stats.packets_delivered == 1
+
+    def test_data_timeout_trace_on_lost_cts(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (-250, 0)})
+        net.send(0, 1)
+        noise = Frame(FrameType.RTS, src=2, dst=99, size_bytes=20)
+        net.sim.schedule_at(
+            microseconds(400), net.radios[2].transmit, noise, OmniAntenna()
+        )
+        net.sim.run(until=microseconds(2000))
+        timeouts = net.mac_events(node=1, event="data-timeout")
+        assert timeouts, "responder never released via the data probe"
+        # Release is fast: within ~100 us of the CTS, not ~6 ms.
+        cts_end = microseconds(333 + 248)
+        assert timeouts[0].time < cts_end + microseconds(200)
+
+
+class TestStaleFrames:
+    def test_late_cts_ignored_after_timeout(self):
+        # A CTS arriving after the initiator already gave up must not
+        # confuse the state machine.  Construct indirectly: unreachable
+        # responder -> timeout path exercised repeatedly without crash.
+        net = TinyNetwork({0: (0, 0), 2: (400, 0)})
+        net.send(0, 2)
+        net.sim.run(until=seconds(1))
+        assert net.macs[0].stats.packets_dropped == 1
+
+    def test_duplicate_rts_handling(self):
+        # Two RTSes from the same node in quick succession (retry after
+        # a missed CTS): the responder must answer both without error.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        net.send(0, 1)
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        assert net.macs[0].stats.packets_delivered == 2
+        assert net.macs[1].stats.cts_sent == 2
+
+    def test_ack_for_wrong_peer_ignored(self):
+        # Three nodes in range; an ACK addressed to us from a node that
+        # is not our current destination must not complete our handshake.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (100, 170)})
+        net.send(0, 1)
+        # Inject a spurious ACK from node 2 to node 0 mid-handshake.
+        spurious = Frame(FrameType.ACK, src=2, dst=0, size_bytes=14)
+        net.sim.schedule_at(
+            microseconds(700), net.radios[2].transmit, spurious, OmniAntenna()
+        )
+        net.sim.run(until=seconds(1))
+        # The real handshake may fail (the spurious ACK can collide with
+        # the CTS) but the delivery count can only come from node 1.
+        stats = net.macs[0].stats
+        assert stats.packets_delivered <= 1
+
+
+class TestQueueDynamics:
+    def test_empty_queue_goes_quiet(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        events_before = net.sim.events_processed
+        net.sim.run(until=seconds(2))
+        # Nothing scheduled once the queue drains.
+        assert net.sim.events_processed == events_before
+
+    def test_enqueue_after_idle_restarts_access(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        net.send(0, 1, at=seconds(1))
+        net.sim.run(until=seconds(2))
+        assert net.macs[0].stats.packets_delivered == 2
+
+    def test_backoff_persists_across_idle_period(self):
+        # After a success the post-TX backoff applies to the next
+        # packet even if it arrives much later.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        backoff_before = net.macs[0]._backoff_remaining
+        net.send(0, 1, at=seconds(1))
+        net.sim.run(until=seconds(2))
+        assert net.macs[0].stats.packets_delivered == 2
+        assert backoff_before >= 0

@@ -1,0 +1,74 @@
+"""Exact duration-field and NAV arithmetic."""
+
+import pytest
+
+from repro.dessim import microseconds, seconds
+from repro.phy import FrameType
+
+from .conftest import TinyNetwork
+
+
+class TestDurationFields:
+    def test_handshake_tail_values(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        mac = net.macs[0]
+        # After the RTS: 3 SIFS + CTS + DATA + ACK + 3 prop.
+        assert mac._handshake_tail_ns(FrameType.RTS, 1460) == microseconds(
+            3 * 10 + 248 + 6032 + 248 + 3
+        )
+        # After the CTS: 2 SIFS + DATA + ACK + 2 prop.
+        assert mac._handshake_tail_ns(FrameType.CTS, 1460) == microseconds(
+            2 * 10 + 6032 + 248 + 2
+        )
+        # After the DATA: SIFS + ACK + prop.
+        assert mac._handshake_tail_ns(FrameType.DATA, 1460) == microseconds(
+            10 + 248 + 1
+        )
+        assert mac._handshake_tail_ns(FrameType.ACK, 1460) == 0
+
+    def test_tail_scales_with_payload(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        mac = net.macs[0]
+        small = mac._handshake_tail_ns(FrameType.RTS, 100)
+        large = mac._handshake_tail_ns(FrameType.RTS, 1460)
+        # 1360 extra bytes at 500 ns/bit.
+        assert large - small == 1360 * 8 * 500
+
+
+class TestNavArithmetic:
+    def test_overheard_rts_reserves_until_ack_end(self):
+        # c overhears a's RTS to b: its NAV must land exactly on the
+        # handshake's end (6884 us).
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (100, 170)})
+        net.send(0, 1)
+        net.sim.run(until=microseconds(400))
+        nav = net.macs[2].nav
+        assert nav.until == microseconds(6884)
+
+    def test_cts_overhearer_same_reservation(self):
+        # A node that hears only the CTS (hidden from the sender)
+        # reserves until the same instant, modulo its own propagation
+        # delay (real 802.11 has the same +-prop skew between
+        # overhearers at different distances).
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+        net.send(0, 1)
+        net.sim.run(until=microseconds(600))
+        skew = abs(net.macs[2].nav.until - microseconds(6884))
+        assert skew <= microseconds(1)
+
+    def test_data_overhearer_same_reservation(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (100, 170)})
+        net.send(0, 1)
+        net.sim.run(until=seconds(1))
+        # After the whole handshake every bystander NAV has expired.
+        assert not net.macs[2].nav.busy(net.sim.now)
+
+    def test_all_reservation_paths_agree(self):
+        """RTS, CTS and DATA overhearers compute the same end +-prop."""
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (100, 170), 3: (400, 0)})
+        net.send(0, 1)
+        net.sim.run(until=microseconds(6700))
+        # Node 2 hears everything from a; node 3 hears b's frames only.
+        end = microseconds(6884)
+        assert abs(net.macs[2].nav.until - end) <= microseconds(1)
+        assert abs(net.macs[3].nav.until - end) <= microseconds(1)

@@ -1,0 +1,57 @@
+"""Tests for the Network Allocation Vector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac import Nav
+
+
+class TestNav:
+    def test_initially_idle(self):
+        nav = Nav()
+        assert not nav.busy(0)
+        assert nav.until == 0
+
+    def test_update_reserves(self):
+        nav = Nav()
+        assert nav.update(100)
+        assert nav.busy(50)
+        assert not nav.busy(100)  # expiry instant counts as idle
+
+    def test_only_extends(self):
+        nav = Nav()
+        nav.update(100)
+        assert not nav.update(60)
+        assert nav.until == 100
+
+    def test_extension(self):
+        nav = Nav()
+        nav.update(100)
+        assert nav.update(250)
+        assert nav.until == 250
+
+    def test_remaining(self):
+        nav = Nav()
+        nav.update(100)
+        assert nav.remaining(40) == 60
+        assert nav.remaining(150) == 0
+
+    def test_clear(self):
+        nav = Nav()
+        nav.update(100)
+        nav.clear()
+        assert not nav.busy(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Nav().update(-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+    def test_until_is_monotone_under_updates(self, updates):
+        nav = Nav()
+        previous = 0
+        for value in updates:
+            nav.update(value)
+            assert nav.until >= previous
+            previous = nav.until
+        assert nav.until == max(updates, default=0)

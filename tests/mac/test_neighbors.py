@@ -1,0 +1,40 @@
+"""Tests for the oracle neighbor protocol."""
+
+import math
+
+import pytest
+
+from repro.mac import NeighborTable
+
+from .conftest import TinyNetwork
+
+
+class TestNeighborTable:
+    def test_neighbor_ids(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+        table = NeighborTable(net.channel, 1)
+        assert sorted(table.neighbor_ids()) == [0, 2]
+
+    def test_out_of_range_excluded(self):
+        net = TinyNetwork({0: (0, 0), 2: (400, 0)})
+        table = NeighborTable(net.channel, 0)
+        assert table.neighbor_ids() == []
+
+    def test_bearing_east(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        assert NeighborTable(net.channel, 0).bearing_to(1) == pytest.approx(0.0)
+
+    def test_bearing_north_west(self):
+        net = TinyNetwork({0: (0, 0), 1: (-100, 100)})
+        assert NeighborTable(net.channel, 0).bearing_to(1) == pytest.approx(
+            3 * math.pi / 4
+        )
+
+    def test_distance(self):
+        net = TinyNetwork({0: (0, 0), 1: (30, 40)})
+        assert NeighborTable(net.channel, 0).distance_to(1) == pytest.approx(50.0)
+
+    def test_colocated_bearing_rejected(self):
+        net = TinyNetwork({0: (0, 0), 1: (0, 0)})
+        with pytest.raises(ValueError):
+            NeighborTable(net.channel, 0).bearing_to(1)

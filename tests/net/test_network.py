@@ -1,0 +1,99 @@
+"""Tests for network assembly and end-to-end simulation runs."""
+
+import math
+import random
+
+import pytest
+
+from repro.dessim import seconds
+from repro.net import NetworkSimulation, TopologyConfig, generate_ring_topology
+
+
+@pytest.fixture(scope="module")
+def small_topology():
+    return generate_ring_topology(TopologyConfig(n=3), random.Random(5))
+
+
+class TestConstruction:
+    def test_one_mac_per_node(self, small_topology):
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        assert len(net.macs) == 27
+
+    def test_sources_only_for_connected_nodes(self, small_topology):
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        for node_id in net.sources:
+            assert net.channel.neighbors_of(node_id)
+
+    def test_rejects_unknown_scheme(self, small_topology):
+        with pytest.raises(KeyError):
+            NetworkSimulation(small_topology, "FOO", math.pi)
+
+    def test_rejects_bad_beamwidth(self, small_topology):
+        with pytest.raises(ValueError):
+            NetworkSimulation(small_topology, "DRTS-DCTS", 0.0)
+
+    def test_rejects_bad_duration(self, small_topology):
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        with pytest.raises(ValueError):
+            net.run(0)
+
+
+class TestRun:
+    @pytest.mark.parametrize("scheme", ["ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS"])
+    def test_inner_nodes_deliver_traffic(self, small_topology, scheme):
+        net = NetworkSimulation(
+            small_topology, scheme, math.radians(90), seed=1
+        )
+        result = net.run(seconds(1))
+        assert result.inner_packets_delivered > 0
+        assert result.inner_throughput_bps > 0
+        assert 0.0 < result.inner_mean_delay_s < 1.0
+        assert 0.0 <= result.inner_collision_ratio <= 1.0
+        assert 0.0 < result.inner_fairness <= 1.0
+
+    def test_deterministic_given_seed(self, small_topology):
+        results = [
+            NetworkSimulation(
+                small_topology, "DRTS-DCTS", math.radians(30), seed=9
+            ).run(seconds(1))
+            for _ in range(2)
+        ]
+        assert (
+            results[0].inner_throughput_bps == results[1].inner_throughput_bps
+        )
+        assert results[0].inner_mean_delay_s == results[1].inner_mean_delay_s
+
+    def test_different_seeds_differ(self, small_topology):
+        a = NetworkSimulation(
+            small_topology, "ORTS-OCTS", math.pi, seed=1
+        ).run(seconds(1))
+        b = NetworkSimulation(
+            small_topology, "ORTS-OCTS", math.pi, seed=2
+        ).run(seconds(1))
+        assert a.inner_throughput_bps != b.inner_throughput_bps
+
+    def test_conservation_of_packets(self, small_topology):
+        # Every delivered packet was received by someone.
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi, seed=3)
+        result = net.run(seconds(1))
+        delivered = sum(s.packets_delivered for s in result.stats.values())
+        received = sum(s.data_received for s in result.stats.values())
+        # data_received can exceed deliveries (ACK lost after good DATA),
+        # but never the other way around.
+        assert received >= delivered > 0
+
+    def test_throughput_bounded_by_channel_rate(self, small_topology):
+        # With spatial reuse the aggregate over the whole network can
+        # exceed 2 Mbps, but the inner disk alone cannot sustain more
+        # than a few times the channel rate.
+        result = NetworkSimulation(
+            small_topology, "DRTS-DCTS", math.radians(30), seed=4
+        ).run(seconds(1))
+        assert result.inner_throughput_bps < 3 * 2e6
+
+    def test_saturation_maintained(self, small_topology):
+        # Saturated sources keep every connected node's queue non-empty.
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi, seed=5)
+        net.run(seconds(1))
+        for node_id in net.sources:
+            assert net.macs[node_id].queue_length >= 1

@@ -1,0 +1,144 @@
+"""Tests for the concentric-ring topology generator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import TopologyConfig, TopologyError, generate_ring_topology
+from repro.net.topology import _admissible, _uniform_in_annulus
+
+
+class TestTopologyConfig:
+    def test_ring_populations_match_paper(self):
+        # N, 3N, 5N for the three rings.
+        cfg = TopologyConfig(n=3)
+        assert [cfg.ring_population(k) for k in range(3)] == [3, 9, 15]
+
+    def test_total_is_nine_n(self):
+        for n in (3, 5, 8):
+            assert TopologyConfig(n=n).total_nodes == 9 * n
+
+    def test_ring_population_bounds(self):
+        cfg = TopologyConfig(n=3)
+        with pytest.raises(ValueError):
+            cfg.ring_population(3)
+        with pytest.raises(ValueError):
+            cfg.ring_population(-1)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n=1)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(range_m=0)
+
+    def test_rejects_bad_rings(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(rings=0)
+
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(max_attempts=0)
+
+
+class TestUniformInAnnulus:
+    def test_points_within_bounds(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            x, y = _uniform_in_annulus(rng, 300.0, 600.0)
+            r = math.hypot(x, y)
+            assert 300.0 <= r <= 600.0
+
+    def test_disk_case(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            x, y = _uniform_in_annulus(rng, 0.0, 300.0)
+            assert math.hypot(x, y) <= 300.0
+
+    def test_area_uniformity(self):
+        # In an area-uniform disk sample, ~1/4 of points fall inside
+        # half the radius.
+        rng = random.Random(3)
+        inner = sum(
+            1
+            for _ in range(4000)
+            if math.hypot(*_uniform_in_annulus(rng, 0.0, 1.0)) <= 0.5
+        )
+        assert 0.20 < inner / 4000 < 0.30
+
+
+class TestGenerateRingTopology:
+    def test_node_counts_per_ring(self):
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(0))
+        assert len(topo.ids_in_ring(0)) == 3
+        assert len(topo.ids_in_ring(1)) == 9
+        assert len(topo.ids_in_ring(2)) == 15
+        assert len(topo.positions) == 27
+
+    def test_nodes_in_their_rings(self):
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(1))
+        for node_id, ring in topo.ring_of.items():
+            radius = math.hypot(topo.positions[node_id].x, topo.positions[node_id].y)
+            assert ring * 300.0 <= radius <= (ring + 1) * 300.0
+
+    def test_inner_degree_condition(self):
+        cfg = TopologyConfig(n=3)
+        topo = generate_ring_topology(cfg, random.Random(2))
+        for node_id in topo.inner_ids:
+            degree = topo.neighbor_count(node_id)
+            assert 2 <= degree <= 2 * cfg.n - 2
+
+    def test_middle_degree_condition(self):
+        cfg = TopologyConfig(n=3)
+        topo = generate_ring_topology(cfg, random.Random(3))
+        for node_id in topo.ids_in_ring(1):
+            degree = topo.neighbor_count(node_id)
+            assert 1 <= degree <= 2 * cfg.n - 1
+
+    def test_reproducible_from_seed(self):
+        a = generate_ring_topology(TopologyConfig(n=3), random.Random(7))
+        b = generate_ring_topology(TopologyConfig(n=3), random.Random(7))
+        assert a.positions == b.positions
+
+    def test_different_seeds_differ(self):
+        a = generate_ring_topology(TopologyConfig(n=3), random.Random(7))
+        b = generate_ring_topology(TopologyConfig(n=3), random.Random(8))
+        assert a.positions != b.positions
+
+    def test_connectivity_graph_matches_neighbor_count(self):
+        topo = generate_ring_topology(TopologyConfig(n=3), random.Random(4))
+        graph = topo.connectivity_graph()
+        for node_id in topo.positions:
+            assert graph.degree(node_id) == topo.neighbor_count(node_id)
+
+    def test_exhausted_attempts_raise(self):
+        # One attempt with a fixed seed that fails admissibility.
+        cfg = TopologyConfig(n=8, max_attempts=1)
+        rng = random.Random(0)
+        # Find a seed whose first draw is inadmissible, then assert the
+        # error surfaces (probe a few seeds; inadmissible first draws
+        # are common for n=8).
+        for seed in range(50):
+            probe_cfg = TopologyConfig(n=8, max_attempts=1)
+            try:
+                generate_ring_topology(probe_cfg, random.Random(seed))
+            except TopologyError:
+                return  # observed the failure path
+        pytest.skip("all probed seeds admissible on first draw")
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_admissibility_holds_for_any_seed(self, seed):
+        cfg = TopologyConfig(n=3)
+        topo = generate_ring_topology(cfg, random.Random(seed))
+        assert _admissible(topo)
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_paper_configurations_generate(self, n):
+        topo = generate_ring_topology(
+            TopologyConfig(n=n), random.Random(11)
+        )
+        assert len(topo.positions) == 9 * n

@@ -1,0 +1,102 @@
+"""Tests for the post-run invariant validator (incl. failure injection)."""
+
+import math
+import random
+
+import pytest
+
+from repro.dessim import seconds
+from repro.net import (
+    NetworkSimulation,
+    TopologyConfig,
+    generate_ring_topology,
+    validate_simulation,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    topo = generate_ring_topology(TopologyConfig(n=3), random.Random(31))
+    net = NetworkSimulation(topo, "ORTS-OCTS", math.pi, seed=1)
+    result = net.run(seconds(0.5))
+    return net, result
+
+
+class TestCleanRun:
+    def test_no_violations(self, run):
+        net, result = run
+        assert validate_simulation(net, result) == []
+
+
+class TestFailureInjection:
+    """Corrupt counters on purpose: the validator must notice."""
+
+    def test_detects_excess_deliveries(self, run):
+        net, result = run
+        node = result.inner_ids[0]
+        stats = result.stats[node]
+        original = stats.packets_delivered
+        stats.packets_delivered = stats.data_sent + 5
+        try:
+            violations = validate_simulation(net, result)
+            assert any("deliver" in v for v in violations)
+        finally:
+            stats.packets_delivered = original
+
+    def test_detects_delay_sample_mismatch(self, run):
+        net, result = run
+        node = result.inner_ids[0]
+        stats = result.stats[node]
+        stats.delays_ns.append(123)
+        try:
+            violations = validate_simulation(net, result)
+            assert any("delay samples" in v for v in violations)
+        finally:
+            stats.delays_ns.pop()
+
+    def test_detects_negative_delay(self, run):
+        net, result = run
+        node = result.inner_ids[0]
+        stats = result.stats[node]
+        stats.delays_ns.append(-1)
+        stats.packets_delivered += 1
+        try:
+            violations = validate_simulation(net, result)
+            assert any("non-positive delay" in v for v in violations)
+        finally:
+            stats.delays_ns.pop()
+            stats.packets_delivered -= 1
+
+    def test_detects_ack_mismatch(self, run):
+        net, result = run
+        node = result.inner_ids[0]
+        stats = result.stats[node]
+        stats.ack_sent += 3
+        try:
+            violations = validate_simulation(net, result)
+            assert any("ACKs sent" in v for v in violations)
+        finally:
+            stats.ack_sent -= 3
+
+    def test_detects_channel_inconsistency(self, run):
+        net, result = run
+        from repro.phy import FrameType
+
+        net.channel.stats.frames_by_type[FrameType.RTS] += 1
+        try:
+            violations = validate_simulation(net, result)
+            assert any("per-type frame counts" in v for v in violations)
+        finally:
+            net.channel.stats.frames_by_type[FrameType.RTS] -= 1
+
+    def test_detects_starved_saturated_queue(self, run):
+        net, result = run
+        node = next(iter(net.sources))
+        mac = net.macs[node]
+        saved = list(mac.queue)
+        mac.queue.clear()
+        try:
+            violations = validate_simulation(net, result)
+            assert any("queue empty" in v for v in violations)
+        finally:
+            mac.queue.extend(saved)

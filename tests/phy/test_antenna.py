@@ -1,0 +1,119 @@
+"""Tests for antenna patterns and angle helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy import OmniAntenna, SectorAntenna, angular_distance, normalize_angle
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(0.5) == pytest.approx(0.5)
+
+    def test_wraps_positive(self):
+        assert normalize_angle(2 * math.pi + 0.3) == pytest.approx(0.3)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-2 * math.pi - 0.3) == pytest.approx(-0.3)
+
+    def test_pi_maps_to_pi(self):
+        assert normalize_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert normalize_angle(-math.pi) == pytest.approx(math.pi)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_result_in_half_open_interval(self, angle):
+        wrapped = normalize_angle(angle)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_equivalent_modulo_two_pi(self, angle):
+        wrapped = normalize_angle(angle)
+        assert math.cos(wrapped) == pytest.approx(math.cos(angle), abs=1e-9)
+        assert math.sin(wrapped) == pytest.approx(math.sin(angle), abs=1e-9)
+
+
+class TestAngularDistance:
+    def test_symmetric(self):
+        assert angular_distance(0.2, 1.5) == pytest.approx(
+            angular_distance(1.5, 0.2)
+        )
+
+    def test_wraps_around(self):
+        # 350 deg and 10 deg are 20 deg apart.
+        a, b = math.radians(350), math.radians(10)
+        assert angular_distance(a, b) == pytest.approx(math.radians(20))
+
+    @given(
+        st.floats(min_value=-10.0, max_value=10.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    def test_bounded_by_pi(self, a, b):
+        assert 0.0 <= angular_distance(a, b) <= math.pi + 1e-12
+
+
+class TestOmniAntenna:
+    def test_covers_everything(self):
+        omni = OmniAntenna()
+        for bearing in (-math.pi, -1.0, 0.0, 2.0, math.pi):
+            assert omni.covers(bearing)
+
+    def test_is_omni(self):
+        assert OmniAntenna().is_omni
+
+    def test_beamwidth_full_circle(self):
+        assert OmniAntenna().beamwidth == pytest.approx(2 * math.pi)
+
+
+class TestSectorAntenna:
+    def test_covers_boresight(self):
+        beam = SectorAntenna(boresight=1.0, beamwidth=math.radians(30))
+        assert beam.covers(1.0)
+
+    def test_edge_inclusive(self):
+        beam = SectorAntenna(boresight=0.0, beamwidth=math.radians(30))
+        assert beam.covers(math.radians(15))
+        assert beam.covers(-math.radians(15))
+
+    def test_outside_not_covered(self):
+        beam = SectorAntenna(boresight=0.0, beamwidth=math.radians(30))
+        assert not beam.covers(math.radians(16))
+        assert not beam.covers(math.pi)
+
+    def test_wraps_across_pi(self):
+        beam = SectorAntenna(boresight=math.pi, beamwidth=math.radians(40))
+        assert beam.covers(math.pi - math.radians(10))
+        assert beam.covers(-math.pi + math.radians(10))
+        assert not beam.covers(0.0)
+
+    def test_full_circle_is_omni(self):
+        beam = SectorAntenna(boresight=0.3, beamwidth=2 * math.pi)
+        assert beam.is_omni
+        for bearing in (-3.0, 0.0, 3.0):
+            assert beam.covers(bearing)
+
+    def test_narrow_beam_not_omni(self):
+        assert not SectorAntenna(boresight=0.0, beamwidth=0.1).is_omni
+
+    def test_rejects_bad_beamwidth(self):
+        with pytest.raises(ValueError):
+            SectorAntenna(boresight=0.0, beamwidth=0.0)
+        with pytest.raises(ValueError):
+            SectorAntenna(boresight=0.0, beamwidth=7.0)
+
+    def test_rejects_non_finite_boresight(self):
+        with pytest.raises(ValueError):
+            SectorAntenna(boresight=float("nan"), beamwidth=1.0)
+
+    @given(
+        st.floats(min_value=-math.pi, max_value=math.pi),
+        st.floats(min_value=0.05, max_value=2 * math.pi),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    def test_coverage_matches_angular_distance(self, boresight, width, bearing):
+        beam = SectorAntenna(boresight=boresight, beamwidth=width)
+        expected = angular_distance(bearing, boresight) <= width / 2
+        assert beam.covers(bearing) == expected

@@ -1,0 +1,149 @@
+"""Tests for the SNR-capture reception model (GloMoSim-style).
+
+Geometry used: receiver at the origin; a *close* sender at 50 m and a
+*far* interferer at 290 m.  With the d**-2 path loss the power ratio is
+(290/50)^2 ~= 33.6, comfortably above a 10 dB (10x) threshold, so the
+close signal must survive the far one — and vice versa must not.
+"""
+
+import pytest
+
+from repro.dessim import Simulator, microseconds
+from repro.phy import (
+    Channel,
+    Frame,
+    FrameType,
+    OmniAntenna,
+    PhyParameters,
+    Position,
+    Radio,
+    UnitDiskPropagation,
+)
+
+from .conftest import RecordingMac
+
+
+def make_capture_net(threshold=10.0):
+    sim = Simulator()
+    channel = Channel(
+        sim,
+        phy=PhyParameters(capture_threshold=threshold),
+        propagation=UnitDiskPropagation(range_m=300.0),
+    )
+
+    def node(nid, x, y):
+        radio = Radio(sim, nid, Position(x, y), channel)
+        mac = RecordingMac(sim)
+        radio.set_mac(mac)
+        return radio, mac
+
+    return sim, channel, node
+
+
+def data(src, dst):
+    return Frame(FrameType.DATA, src=src, dst=dst, size_bytes=1460)
+
+
+def rts(src, dst):
+    return Frame(FrameType.RTS, src=src, dst=dst, size_bytes=20)
+
+
+class TestOngoingReceptionSurvival:
+    def test_strong_signal_survives_weak_interferer(self):
+        sim, _ch, node = make_capture_net()
+        _rx, mac_rx = node(0, 0, 0)
+        close, _ = node(1, 50, 0)
+        far, _ = node(2, 290, 0)
+        close.transmit(data(1, 0))
+        sim.schedule(microseconds(1000), far.transmit, rts(2, 0))
+        sim.run()
+        received = [f.ftype for _, f in mac_rx.received]
+        assert FrameType.DATA in received
+
+    def test_weak_signal_killed_by_strong_interferer(self):
+        sim, _ch, node = make_capture_net()
+        _rx, mac_rx = node(0, 0, 0)
+        far, _ = node(2, 290, 0)
+        close, _ = node(1, 50, 0)
+        far.transmit(data(2, 0))
+        sim.schedule(microseconds(1000), close.transmit, rts(1, 0))
+        sim.run()
+        assert all(f.ftype is not FrameType.DATA for _, f in mac_rx.received)
+
+    def test_comparable_powers_destroy_each_other(self):
+        # 200 m vs 210 m: power ratio ~1.1, far below 10x.
+        sim, _ch, node = make_capture_net()
+        _rx, mac_rx = node(0, 0, 0)
+        a, _ = node(1, 200, 0)
+        b, _ = node(2, -210, 0)
+        a.transmit(rts(1, 0))
+        sim.schedule(microseconds(50), b.transmit, rts(2, 0))
+        sim.run()
+        assert mac_rx.received == []
+
+    def test_no_capture_mode_still_destroys_everything(self):
+        sim, _ch, node = make_capture_net(threshold=None)
+        _rx, mac_rx = node(0, 0, 0)
+        close, _ = node(1, 50, 0)
+        far, _ = node(2, 290, 0)
+        close.transmit(data(1, 0))
+        sim.schedule(microseconds(1000), far.transmit, rts(2, 0))
+        sim.run()
+        assert mac_rx.received == []
+
+
+class TestCaptureOverGarbage:
+    def test_strong_newcomer_captured_over_corrupted_background(self):
+        # Two comparable signals collide; then a much stronger one
+        # arrives and should be decoded over the garbage.
+        sim, _ch, node = make_capture_net()
+        _rx, mac_rx = node(0, 0, 0)
+        a, _ = node(1, 250, 0)
+        b, _ = node(2, -260, 0)
+        strong, _ = node(3, 30, 30)
+        a.transmit(data(1, 0))
+        sim.schedule(microseconds(10), b.transmit, data(2, 0))
+        sim.schedule(microseconds(500), strong.transmit, rts(3, 0))
+        sim.run()
+        received = [f.src for _, f in mac_rx.received]
+        assert 3 in received
+
+    def test_weak_newcomer_not_captured_over_background(self):
+        sim, _ch, node = make_capture_net()
+        _rx, mac_rx = node(0, 0, 0)
+        a, _ = node(1, 250, 0)
+        b, _ = node(2, -260, 0)
+        weak, _ = node(3, 240, 100)
+        a.transmit(data(1, 0))
+        sim.schedule(microseconds(10), b.transmit, data(2, 0))
+        sim.schedule(microseconds(500), weak.transmit, rts(3, 0))
+        sim.run()
+        assert mac_rx.received == []
+
+
+class TestRxPowerModel:
+    def test_inverse_square(self):
+        prop = UnitDiskPropagation(range_m=300.0)
+        p100 = prop.rx_power(Position(0, 0), Position(100, 0))
+        p200 = prop.rx_power(Position(0, 0), Position(200, 0))
+        assert p100 / p200 == pytest.approx(4.0)
+
+    def test_close_range_clamped(self):
+        prop = UnitDiskPropagation(range_m=300.0)
+        assert prop.rx_power(Position(0, 0), Position(0.5, 0)) == pytest.approx(1.0)
+
+    def test_custom_exponent(self):
+        prop = UnitDiskPropagation(range_m=300.0, pathloss_exponent=4.0)
+        p100 = prop.rx_power(Position(0, 0), Position(100, 0))
+        p200 = prop.rx_power(Position(0, 0), Position(200, 0))
+        assert p100 / p200 == pytest.approx(16.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(pathloss_exponent=0.0)
+
+    def test_capture_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PhyParameters(capture_threshold=0.0)
+        with pytest.raises(ValueError):
+            PhyParameters(capture_threshold=-5.0)

@@ -1,0 +1,282 @@
+"""Integration tests for the channel + radio pair.
+
+Node layout used throughout (range 300 m)::
+
+    a(0,0) --- b(200,0) --- c(400,0)        a-b and b-c hear each other,
+                                            a-c are hidden from each other.
+"""
+
+import math
+
+import pytest
+
+from repro.dessim import microseconds
+from repro.phy import (
+    DSSS_PHY,
+    Frame,
+    FrameType,
+    OmniAntenna,
+    RadioError,
+    SectorAntenna,
+)
+
+from .conftest import make_node
+
+
+def rts(src, dst, **kw):
+    return Frame(FrameType.RTS, src=src, dst=dst, size_bytes=20, **kw)
+
+
+def data(src, dst, **kw):
+    return Frame(FrameType.DATA, src=src, dst=dst, size_bytes=1460, **kw)
+
+
+RTS_AIR = DSSS_PHY.frame_airtime_ns(FrameType.RTS)
+PROP = microseconds(1)
+
+
+class TestDelivery:
+    def test_omni_frame_delivered_to_neighbor(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        frame = rts(0, 1)
+        a.transmit(frame, OmniAntenna())
+        sim.run()
+        assert [f for _, f in mac_b.received] == [frame]
+
+    def test_delivery_time_is_prop_plus_airtime(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        sim.run()
+        assert mac_b.received[0][0] == PROP + RTS_AIR
+
+    def test_out_of_range_node_hears_nothing(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _c, mac_c = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 2))
+        sim.run()
+        assert mac_c.received == []
+        assert mac_c.busy_edges == []
+
+    def test_overhearing_third_party(self, sim, channel):
+        # b transmits omni; both a and c hear it.
+        a, mac_a = make_node(sim, channel, 0, 0, 0)
+        b, _ = make_node(sim, channel, 1, 200, 0)
+        _c, mac_c = make_node(sim, channel, 2, 400, 0)
+        b.transmit(rts(1, 0))
+        sim.run()
+        assert len(mac_a.received) == 1
+        assert len(mac_c.received) == 1
+        assert a.frames_received == 1
+
+    def test_transmitter_gets_completion(self, sim, channel):
+        a, mac_a = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        frame = rts(0, 1)
+        a.transmit(frame)
+        sim.run()
+        assert mac_a.tx_completions == [(RTS_AIR, frame)]
+
+
+class TestDirectionality:
+    def test_beam_toward_receiver_delivers(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        beam = SectorAntenna(boresight=0.0, beamwidth=math.radians(30))
+        a.transmit(rts(0, 1), beam)
+        sim.run()
+        assert len(mac_b.received) == 1
+
+    def test_beam_away_from_receiver_silent(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        beam = SectorAntenna(boresight=math.pi, beamwidth=math.radians(30))
+        a.transmit(rts(0, 1), beam)
+        sim.run()
+        assert mac_b.received == []
+        assert mac_b.busy_edges == []
+
+    def test_side_node_outside_beam_not_disturbed(self, sim, channel):
+        # b is east; s is north. A narrow eastward beam must not touch s.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        _s, mac_s = make_node(sim, channel, 2, 0, 200)
+        a.transmit(rts(0, 1), SectorAntenna(0.0, math.radians(30)))
+        sim.run()
+        assert len(mac_b.received) == 1
+        assert mac_s.received == []
+        assert mac_s.busy_edges == []
+
+    def test_wide_beam_covers_side_node(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        _s, mac_s = make_node(sim, channel, 2, 0, 200)
+        # 190 deg beam centered east: north (90 deg) is inside.
+        a.transmit(rts(0, 1), SectorAntenna(0.0, math.radians(190)))
+        sim.run()
+        assert len(mac_s.received) == 1
+
+
+class TestCollisions:
+    def test_overlap_corrupts_both(self, sim, channel):
+        # a and c are hidden from each other; both transmit at b.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 1))
+        c.transmit(rts(2, 1))
+        sim.run()
+        assert mac_b.received == []
+        assert len(mac_b.failures) >= 1
+
+    def test_late_collider_ruins_long_reception(self, sim, channel):
+        # c starts an RTS in the middle of a's long DATA frame.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(data(0, 1))
+        sim.schedule(microseconds(1000), c.transmit, rts(2, 1))
+        sim.run()
+        assert mac_b.received == []
+        assert len(mac_b.failures) >= 1
+
+    def test_sequential_frames_both_received(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 1))
+        # c starts well after a's frame (and its propagation) ends.
+        sim.schedule(RTS_AIR + 10 * PROP, c.transmit, rts(2, 1))
+        sim.run()
+        assert len(mac_b.received) == 2
+
+    def test_no_capture_even_with_late_weak_overlap(self, sim, channel):
+        # Second signal arriving 1 ns before the first ends still kills it.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 1))
+        sim.schedule(RTS_AIR - 1, c.transmit, rts(2, 1))
+        sim.run()
+        assert all(f.src != 0 for _, f in mac_b.received)
+
+    def test_collision_counters(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        b, _mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 1))
+        c.transmit(rts(2, 1))
+        sim.run()
+        assert b.receptions_corrupted >= 1
+        assert b.frames_received == 0
+
+
+class TestDeafness:
+    def test_transmitting_node_cannot_receive(self, sim, channel):
+        # b transmits a long DATA while a sends it an RTS: b misses it.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        b, mac_b = make_node(sim, channel, 1, 200, 0)
+        b.transmit(data(1, 0))
+        sim.schedule(microseconds(100), a.transmit, rts(0, 1))
+        sim.run()
+        assert mac_b.received == []
+        assert b.receptions_missed == 1
+
+    def test_tx_while_tx_raises(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        with pytest.raises(RadioError):
+            a.transmit(rts(0, 1))
+
+    def test_tx_aborts_reception_in_progress(self, sim, channel):
+        # a starts receiving b's DATA, then transmits: the DATA is lost.
+        a, mac_a = make_node(sim, channel, 0, 0, 0)
+        b, _ = make_node(sim, channel, 1, 200, 0)
+        b.transmit(data(1, 0))
+        sim.schedule(microseconds(500), a.transmit, rts(0, 1))
+        sim.run()
+        assert all(f.ftype is not FrameType.DATA for _, f in mac_a.received)
+
+    def test_missed_signal_still_blocks_carrier_after_tx(self, sim, channel):
+        # b's long DATA outlives a's short RTS; after a finishes its TX
+        # the leftover energy keeps a's carrier busy.
+        a, mac_a = make_node(sim, channel, 0, 0, 0)
+        b, _ = make_node(sim, channel, 1, 200, 0)
+        b.transmit(data(1, 0))
+        sim.schedule(microseconds(100), a.transmit, rts(0, 1))
+        sim.run(until=microseconds(100) + RTS_AIR + 1)
+        assert a.carrier_busy  # b's frame is still in the air
+        sim.run()
+        assert not a.carrier_busy
+
+
+class TestCarrierSense:
+    def test_busy_idle_edges(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        sim.run()
+        assert mac_b.busy_edges == [PROP]
+        assert mac_b.idle_edges == [PROP + RTS_AIR]
+
+    def test_own_transmission_is_busy(self, sim, channel):
+        a, mac_a = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        assert a.carrier_busy
+        sim.run()
+        assert not a.carrier_busy
+        assert mac_a.busy_edges == [0]
+        assert mac_a.idle_edges == [RTS_AIR]
+
+    def test_overlapping_signals_single_busy_period(self, sim, channel):
+        # Two overlapping frames produce one busy edge and one idle edge.
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        _b, mac_b = make_node(sim, channel, 1, 200, 0)
+        c, _ = make_node(sim, channel, 2, 400, 0)
+        a.transmit(rts(0, 1))
+        sim.schedule(microseconds(50), c.transmit, rts(2, 1))
+        sim.run()
+        assert len(mac_b.busy_edges) == 1
+        assert len(mac_b.idle_edges) == 1
+        assert mac_b.idle_edges[0] == microseconds(50) + PROP + RTS_AIR
+
+
+class TestChannelBookkeeping:
+    def test_stats_record_transmissions(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        sim.run()
+        assert channel.stats.transmissions == 1
+        assert channel.stats.frames_by_type[FrameType.RTS] == 1
+        assert channel.stats.airtime_ns == RTS_AIR
+
+    def test_duplicate_node_id_rejected(self, sim, channel):
+        make_node(sim, channel, 0, 0, 0)
+        with pytest.raises(ValueError):
+            make_node(sim, channel, 0, 10, 10)
+
+    def test_neighbors_of(self, sim, channel):
+        make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        make_node(sim, channel, 2, 400, 0)
+        assert channel.neighbors_of(0) == [1]
+        assert sorted(channel.neighbors_of(1)) == [0, 2]
+
+    def test_audible_nodes_respects_beam(self, sim, channel):
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        make_node(sim, channel, 2, 0, 200)
+        east = SectorAntenna(0.0, math.radians(30))
+        assert channel.audible_nodes(a, east) == [1]
+        assert sorted(channel.audible_nodes(a, OmniAntenna())) == [1, 2]
+
+    def test_mac_required_before_events(self, sim, channel):
+        from repro.phy import Position, Radio
+
+        radio = Radio(sim, 5, Position(0, 0), channel)
+        with pytest.raises(RadioError):
+            _ = radio.mac

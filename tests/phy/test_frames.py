@@ -1,0 +1,82 @@
+"""Tests for frame formats and Table-1 air-time arithmetic."""
+
+import pytest
+
+from repro.dessim import microseconds
+from repro.phy import DSSS_PHY, FRAME_SIZES, Frame, FrameType, PhyParameters
+
+
+class TestFrameSizes:
+    def test_table1_sizes(self):
+        assert FRAME_SIZES[FrameType.RTS] == 20
+        assert FRAME_SIZES[FrameType.CTS] == 14
+        assert FRAME_SIZES[FrameType.DATA] == 1460
+        assert FRAME_SIZES[FrameType.ACK] == 14
+
+
+class TestPhyParameters:
+    def test_bit_time_at_2mbps(self):
+        assert DSSS_PHY.bit_time_ns == 500
+
+    def test_sync_time(self):
+        assert DSSS_PHY.sync_time_ns == microseconds(192)
+
+    def test_rts_airtime(self):
+        # 192 us sync + 20 B * 8 * 500 ns = 192 + 80 us = 272 us.
+        assert DSSS_PHY.frame_airtime_ns(FrameType.RTS) == microseconds(272)
+
+    def test_cts_airtime(self):
+        # 192 us + 14 B * 8 * 500 ns = 192 + 56 = 248 us.
+        assert DSSS_PHY.frame_airtime_ns(FrameType.CTS) == microseconds(248)
+
+    def test_data_airtime(self):
+        # 192 us + 1460 B * 8 * 500 ns = 192 + 5840 = 6032 us.
+        assert DSSS_PHY.frame_airtime_ns(FrameType.DATA) == microseconds(6032)
+
+    def test_ack_airtime_equals_cts(self):
+        assert DSSS_PHY.frame_airtime_ns(FrameType.ACK) == DSSS_PHY.frame_airtime_ns(
+            FrameType.CTS
+        )
+
+    def test_airtime_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DSSS_PHY.airtime_ns(0)
+
+    def test_rejects_non_divisible_bitrate(self):
+        with pytest.raises(ValueError):
+            PhyParameters(bitrate_bps=3_000_000)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            PhyParameters(sync_time_ns=-1)
+        with pytest.raises(ValueError):
+            PhyParameters(propagation_delay_ns=-1)
+
+    def test_rejects_non_positive_bitrate(self):
+        with pytest.raises(ValueError):
+            PhyParameters(bitrate_bps=0)
+
+
+class TestFrame:
+    def test_control_flag(self):
+        rts = Frame(FrameType.RTS, src=0, dst=1, size_bytes=20)
+        data = Frame(FrameType.DATA, src=0, dst=1, size_bytes=1460)
+        assert rts.is_control
+        assert not data.is_control
+
+    def test_rejects_self_addressed(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.RTS, src=3, dst=3, size_bytes=20)
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.RTS, src=0, dst=1, size_bytes=0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.RTS, src=0, dst=1, size_bytes=20, duration_ns=-5)
+
+    def test_frozen(self):
+        frame = Frame(FrameType.RTS, src=0, dst=1, size_bytes=20)
+        with pytest.raises(AttributeError):
+            frame.dst = 2  # type: ignore[misc]

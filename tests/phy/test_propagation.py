@@ -1,0 +1,84 @@
+"""Tests for positions and unit-disk propagation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dessim import microseconds
+from repro.phy import Position, UnitDiskPropagation
+
+coords = st.floats(min_value=-1e4, max_value=1e4)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(-3, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_bearing_east(self):
+        assert Position(0, 0).bearing_to(Position(10, 0)) == pytest.approx(0.0)
+
+    def test_bearing_north(self):
+        assert Position(0, 0).bearing_to(Position(0, 10)) == pytest.approx(
+            math.pi / 2
+        )
+
+    def test_bearing_west(self):
+        assert Position(0, 0).bearing_to(Position(-10, 0)) == pytest.approx(math.pi)
+
+    def test_bearing_reverse_is_opposite(self):
+        a, b = Position(0, 0), Position(3, 4)
+        forward = a.bearing_to(b)
+        backward = b.bearing_to(a)
+        assert abs(abs(forward - backward) - math.pi) < 1e-9
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Position(float("inf"), 0.0)
+        with pytest.raises(ValueError):
+            Position(0.0, float("nan"))
+
+    @given(coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        origin = Position(0, 0)
+        a = Position(x1, y1)
+        b = Position(x2, y2)
+        assert origin.distance_to(b) <= origin.distance_to(a) + a.distance_to(b) + 1e-6
+
+
+class TestUnitDiskPropagation:
+    def test_within_range(self):
+        prop = UnitDiskPropagation(range_m=100.0)
+        assert prop.reaches(Position(0, 0), Position(60, 80))  # dist 100
+
+    def test_range_edge_inclusive(self):
+        prop = UnitDiskPropagation(range_m=100.0)
+        assert prop.reaches(Position(0, 0), Position(100, 0))
+
+    def test_out_of_range(self):
+        prop = UnitDiskPropagation(range_m=100.0)
+        assert not prop.reaches(Position(0, 0), Position(100.1, 0))
+
+    def test_delay_is_constant(self):
+        prop = UnitDiskPropagation(range_m=300.0, delay_ns=microseconds(1))
+        near = prop.delay(Position(0, 0), Position(1, 0))
+        far = prop.delay(Position(0, 0), Position(299, 0))
+        assert near == far == microseconds(1)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(range_m=0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(delay_ns=-1)
+
+    @given(coords, coords)
+    def test_reaches_is_symmetric(self, x, y):
+        prop = UnitDiskPropagation(range_m=300.0)
+        a, b = Position(0, 0), Position(x, y)
+        assert prop.reaches(a, b) == prop.reaches(b, a)

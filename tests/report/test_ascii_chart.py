@@ -1,0 +1,71 @@
+"""Tests for the terminal line-chart renderer."""
+
+import pytest
+
+from repro.report import line_chart
+
+
+def simple_series():
+    return {"up": [(0.0, 0.0), (1.0, 1.0)], "down": [(0.0, 1.0), (1.0, 0.0)]}
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart(simple_series())
+        assert "o=up" in text
+        assert "x=down" in text
+        assert "o" in text
+        assert "x" in text
+
+    def test_title_and_labels(self):
+        text = line_chart(
+            simple_series(), title="T", x_label="xs", y_label="ys"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xs" in text
+        assert "ys" in text
+
+    def test_extremes_on_grid_edges(self):
+        text = line_chart({"s": [(0.0, 0.0), (10.0, 5.0)]}, width=20, height=6)
+        lines = [l for l in text.splitlines() if "|" in l]
+        # Max value appears on the top plot row, min on the bottom.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_y_axis_ticks(self):
+        text = line_chart({"s": [(0.0, 2.0), (1.0, 8.0)]})
+        assert "8" in text
+        assert "2" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"s": [(0.0, 3.0), (1.0, 3.0)]})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = line_chart({"s": [(1.0, 1.0)]})
+        assert "o" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            line_chart(simple_series(), width=3)
+        with pytest.raises(ValueError):
+            line_chart(simple_series(), height=2)
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [(0.0, float(i))] for i in range(9)}
+        with pytest.raises(ValueError):
+            line_chart(series)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0.0, float("nan"))]})
+
+    def test_deterministic(self):
+        assert line_chart(simple_series()) == line_chart(simple_series())

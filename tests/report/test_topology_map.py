@@ -1,0 +1,42 @@
+"""Tests for the ASCII topology map."""
+
+import random
+
+import pytest
+
+from repro.net import TopologyConfig, generate_ring_topology
+from repro.report import topology_map
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_ring_topology(TopologyConfig(n=3), random.Random(8))
+
+
+class TestTopologyMap:
+    def test_contains_all_ring_markers(self, topology):
+        text = topology_map(topology)
+        assert "#" in text  # inner
+        assert "+" in text  # middle
+        assert "." in text  # outer
+        assert "o" in text  # origin
+
+    def test_legend(self, topology):
+        text = topology_map(topology)
+        assert "3 measured" in text
+        assert "900 m" in text  # 3 rings x 300 m
+
+    def test_marker_counts_bounded_by_population(self, topology):
+        # Grid cells can merge nodes, never invent them.
+        text = topology_map(topology, width=121)
+        body = text.rsplit("\n", 1)[0]
+        assert body.count("#") <= 3
+        assert body.count("+") <= 9
+        assert body.count(".") <= 15
+
+    def test_rejects_tiny_width(self, topology):
+        with pytest.raises(ValueError):
+            topology_map(topology, width=10)
+
+    def test_deterministic(self, topology):
+        assert topology_map(topology) == topology_map(topology)

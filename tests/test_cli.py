@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_sim_option_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "fig6",
+                "--n-values", "3,5",
+                "--beamwidths", "30,90",
+                "--topologies", "4",
+                "--sim-seconds", "0.5",
+                "--retry-limit", "9",
+                "--capture", "10",
+            ]
+        )
+        assert args.n_values == (3, 5)
+        assert args.beamwidths == (30.0, 90.0)
+        assert args.topologies == 4
+        assert args.capture == 10.0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "contention window" in out
+        assert "NO" not in out  # every parameter matches
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "DRTS-DCTS" in out
+        assert "180" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "optimised" in out
+        assert "T_fail" in out
+
+    def test_validate_agrees(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--scheme", "ORTS-OCTS",
+                "--p", "0.05",
+                "--samples", "20000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "OK" in out
+
+    def test_fig5_chart(self, capsys):
+        assert main(["fig5", "--n", "3", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o=" in out  # chart legend present
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BTMA-ideal" in out
+        assert "winner" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology", "--n", "3", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "#" in out
+
+    def test_p0_fixed_point(self, capsys):
+        assert main(["p0", "--scheme", "ORTS-OCTS", "--p0", "0.05,0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "idle-prob" in out
+        assert out.count("\n") >= 3
+
+    def test_curve(self, capsys):
+        assert main(["curve", "--scheme", "ORTS-OCTS", "--points", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "peak" in out
+        assert "o=ORTS-OCTS" in out
+
+    def test_curve_rejects_bad_pmax(self):
+        with pytest.raises(SystemExit):
+            main(["curve", "--p-max", "1.5"])
+
+    def test_fidelity_tiny(self, capsys):
+        assert main(["fidelity", "--slots", "3000", "--p", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "slot-sim" in out
+        assert "DRTS-DCTS" in out
+
+    def test_fig6_tiny(self, capsys):
+        code = main(
+            [
+                "fig6",
+                "--n-values", "3",
+                "--beamwidths", "90",
+                "--topologies", "1",
+                "--sim-seconds", "0.2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "N = 3" in out
+        assert "Mbps" in out
+
+    def test_fig7_tiny(self, capsys):
+        code = main(
+            [
+                "fig7",
+                "--n-values", "3",
+                "--beamwidths", "90",
+                "--topologies", "1",
+                "--sim-seconds", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "delay" in capsys.readouterr().out
+
+    def test_collision_tiny(self, capsys):
+        code = main(
+            [
+                "collision",
+                "--n-values", "3",
+                "--beamwidths", "90",
+                "--topologies", "1",
+                "--sim-seconds", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "ACK-timeout" in capsys.readouterr().out
+
+    def test_fairness_tiny(self, capsys):
+        code = main(
+            [
+                "fairness",
+                "--n-values", "3",
+                "--beamwidths", "90",
+                "--topologies", "1",
+                "--sim-seconds", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "Jain" in capsys.readouterr().out
