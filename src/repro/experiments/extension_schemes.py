@@ -12,10 +12,10 @@ of not refreshing distant NAVs with data energy).
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..dessim.rng import RngRegistry
 from ..dessim.units import SECOND
 from ..net.network import NetworkSimulation
 from ..net.topology import TopologyConfig, generate_ring_topology
@@ -52,9 +52,11 @@ def run_scheme_comparison(
     """All four schemes on identical ring topologies."""
     if topologies < 1:
         raise ValueError(f"topologies must be >= 1, got {topologies}")
+    registry = RngRegistry(base_seed)
     topos = [
         generate_ring_topology(
-            TopologyConfig(n=n), random.Random(base_seed + i)
+            TopologyConfig(n=n),
+            registry.spawn(f"topology-{i}").stream("placement"),
         )
         for i in range(topologies)
     ]

@@ -14,10 +14,10 @@ curves separate toward the Fig. 6 ordering.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..dessim.rng import RngRegistry
 from ..dessim.units import SECOND
 from ..net.network import NetworkSimulation
 from ..net.topology import TopologyConfig, generate_ring_topology
@@ -61,7 +61,8 @@ def run_load_sweep(
     if not rates_pps or any(rate <= 0 for rate in rates_pps):
         raise ValueError(f"rates must be positive, got {rates_pps!r}")
     topology = generate_ring_topology(
-        TopologyConfig(n=n), random.Random(topology_seed)
+        TopologyConfig(n=n),
+        RngRegistry(topology_seed).stream("placement"),
     )
     inner_count = len(topology.inner_ids)
     points = []

@@ -13,7 +13,6 @@ than ``theta/2`` since the last refresh; omni transmission is immune.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -81,7 +80,7 @@ def _run_pair(
     RandomWaypointMobility(
         sim,
         radios[1],
-        random.Random(seed + 1),
+        rng.stream("waypoints"),
         speed_mps=speed_mps,
         bounds=(100, -200, 250, 200),
     ).start()

@@ -9,9 +9,9 @@ placements, so differences are attributable to the MAC, not the draw.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 
+from ..dessim.rng import RngRegistry
 from ..net.network import NetworkSimulation, SimulationResult
 from ..net.topology import Topology, TopologyConfig, generate_ring_topology
 from .config import SimStudyConfig
@@ -38,15 +38,21 @@ class SimStudyRunner:
 
     def __init__(self, config: SimStudyConfig) -> None:
         self.config = config
+        self._registry = RngRegistry(config.base_seed)
         self._topologies: dict[tuple[int, int], Topology] = {}
 
     def topology(self, n: int, replicate: int) -> Topology:
-        """The cached topology for (N, replicate)."""
+        """The cached topology for (N, replicate).
+
+        Placement draws come from a named child registry per (N,
+        replicate), so adding densities or replicates never perturbs
+        the topologies of existing cells.
+        """
         key = (n, replicate)
         if key not in self._topologies:
-            seed = self.config.base_seed * 1_000 + n * 100 + replicate
+            rng = self._registry.spawn(f"topology-n{n}-r{replicate}")
             self._topologies[key] = generate_ring_topology(
-                TopologyConfig(n=n), random.Random(seed)
+                TopologyConfig(n=n), rng.stream("placement")
             )
         return self._topologies[key]
 

@@ -1,0 +1,49 @@
+"""simlint: simulator-specific static analysis.
+
+The reproduction's value rests on bit-exact determinism — identical
+topologies and RNG draws for every MAC scheme in an A/B comparison, an
+integer-nanosecond clock free of float drift.  ``repro.dessim.rng`` and
+``repro.dessim.units`` provide those guarantees; this package *enforces*
+them.  It is a small AST-based lint framework with a plugin rule
+registry, inline suppressions, a committed baseline, and text/JSON
+reporters, exposed as the ``repro-lint`` console script and
+``python -m repro.lint``.
+
+Shipped rules (see :mod:`repro.lint.rules`):
+
+======  ====================  ==============================================
+id      name                  enforces
+======  ====================  ==============================================
+SL001   rng-discipline        no ad-hoc ``random`` streams outside the
+                              registry; components accept injected streams
+SL002   wall-clock-ban        no ``time.time()`` / ``datetime.now()`` /
+                              other host-clock or entropy reads
+SL003   unit-discipline       float literals must pass through the
+                              ``units`` helpers before reaching the
+                              integer-nanosecond scheduler/timer APIs
+SL004   iteration-order       no iteration over bare ``set``s in event-path
+                              packages (hash order is run-dependent)
+SL005   seed-plumbing         constructors must not default ``rng``/``seed``
+                              parameters
+======  ====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, load_config
+from .engine import LintResult, lint_paths, lint_source
+from .findings import Finding
+from .rules import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+]

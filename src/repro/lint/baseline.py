@@ -1,0 +1,61 @@
+"""The committed baseline: known findings that are tolerated, for now.
+
+A baseline lets the linter be adopted on a tree with pre-existing debt:
+current findings are recorded by fingerprint and stop failing the
+build, while anything *new* still does.  The file is JSON, committed,
+and reviewed like code — shrinking it is progress, growing it needs a
+reason.  (This repo's baseline is empty: every pre-existing violation
+was fixed or explicitly suppressed inline.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, object]]:
+    """Fingerprint -> recorded finding info.  Missing file = empty."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return findings
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Record the given findings; returns how many were written."""
+    entries = {
+        f.fingerprint(): {
+            "rule": f.rule_id,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings)
+    }
+    payload = {"version": FORMAT_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: dict[str, dict[str, object]]
+) -> tuple[list[Finding], list[Finding]]:
+    """(new, baselined) partition of the findings."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in baseline else new).append(finding)
+    return new, old

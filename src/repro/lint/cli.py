@@ -1,0 +1,124 @@
+"""``repro-lint``: the simlint command line.
+
+Examples::
+
+    repro-lint src/                      # lint the tree, exit 1 on findings
+    repro-lint src/ --format json        # machine-readable output
+    repro-lint src/ --write-baseline     # accept current findings as debt
+    repro-lint --list-rules              # what is enforced, and why
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import write_baseline
+from .config import LintConfig, load_config
+from .engine import lint_paths
+from .reporters import REPORTERS
+from .rules import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Simulator-specific static analysis: determinism, "
+        "unit, and RNG-stream discipline.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[], help="files or directories"
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help="pyproject.toml to read [tool.simlint] from "
+        "(default: nearest above the current directory)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; report all findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _list_rules(config: LintConfig) -> str:
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        state = "disabled" if rule_id in config.disable else "enabled"
+        lines.append(f"{rule_id}  {rule_cls.name:<18} [{state}]")
+        lines.append(f"       {rule_cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``repro-lint ... | head``) closed the
+        # pipe; exit quietly without a traceback.  stdout is dup'ed onto
+        # devnull so the interpreter's shutdown flush stays silent too.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    args = build_parser().parse_args(argv)
+    config = load_config(pyproject=args.config)
+
+    if args.list_rules:
+        print(_list_rules(config))
+        return 0
+    if not args.paths:
+        print("repro-lint: no paths given (try: repro-lint src/)", file=sys.stderr)
+        return 2
+    if args.select:
+        selected = {part.strip().upper() for part in args.select.split(",")}
+        known = set(all_rules())
+        unknown = sorted(selected - known)
+        if unknown:
+            print(f"repro-lint: unknown rules {unknown}", file=sys.stderr)
+            return 2
+        config.disable = sorted(known - selected)
+    if args.no_baseline:
+        config.use_baseline = False
+
+    result = lint_paths(args.paths, config)
+
+    if args.write_baseline:
+        count = write_baseline(
+            config.baseline_path, result.findings + result.baselined
+        )
+        print(f"wrote {count} findings to {config.baseline_path}")
+        return 0
+
+    print(REPORTERS[args.format](result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Configuration: ``[tool.simlint]`` in pyproject.toml.
+
+Example::
+
+    [tool.simlint]
+    baseline = ".simlint-baseline.json"
+    plugins = []                      # importable modules with @register rules
+    disable = []                      # rule ids to turn off entirely
+
+    [tool.simlint.rules.SL001]
+    allow = ["dessim/rng.py", "cli.py"]
+
+Every key under ``rules.<id>`` overrides that rule's
+``default_options`` entry of the same name.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class LintConfig:
+    baseline: str = ".simlint-baseline.json"
+    use_baseline: bool = True
+    plugins: list[str] = field(default_factory=list)
+    disable: list[str] = field(default_factory=list)
+    rule_options: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: Directory the config was loaded from; baseline paths resolve
+    #: against it.
+    root: Path = field(default_factory=Path.cwd)
+
+    @property
+    def baseline_path(self) -> Path:
+        return self.root / self.baseline
+
+    def options_for(self, rule_id: str) -> dict[str, object]:
+        return self.rule_options.get(rule_id, {})
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest pyproject.toml at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | None = None, start: Path | None = None) -> LintConfig:
+    """Load ``[tool.simlint]``; absent file or table gives defaults."""
+    if pyproject is None:
+        pyproject = find_pyproject(start if start is not None else Path.cwd())
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    with pyproject.open("rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("simlint", {})
+    known = {"baseline", "plugins", "disable", "rules"}
+    unknown = sorted(set(table) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown [tool.simlint] keys {unknown} in {pyproject}"
+        )
+    return LintConfig(
+        baseline=table.get("baseline", ".simlint-baseline.json"),
+        plugins=list(table.get("plugins", [])),
+        disable=[r.upper() for r in table.get("disable", [])],
+        rule_options={
+            rule_id.upper(): dict(options)
+            for rule_id, options in table.get("rules", {}).items()
+        },
+        root=pyproject.parent,
+    )

@@ -1,0 +1,111 @@
+"""Per-module analysis context shared by all rules.
+
+Parsing, import-alias resolution, and path matching are done once per
+file here so individual rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+
+def resolve_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import random as rnd``            -> ``{"rnd": "random"}``
+    ``from random import Random``       -> ``{"Random": "random.Random"}``
+    ``from datetime import datetime``   -> ``{"datetime": "datetime.datetime"}``
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname if item.asname else item.name.split(".")[0]
+                origin = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay project-internal
+            for item in node.names:
+                local = item.asname if item.asname else item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def path_matches(path: str, pattern: str) -> bool:
+    """Whether a posix ``path`` matches an allow/scope ``pattern``.
+
+    Patterns are matched against path *suffixes* so configs can say
+    ``dessim/rng.py`` or ``cli.py`` without caring where the source
+    root lives.  A trailing slash means "anywhere under a directory of
+    this name"; ``*`` wildcards are honoured.
+    """
+    path = path.replace("\\", "/").lstrip("./")
+    pattern = pattern.replace("\\", "/")
+    if pattern.endswith("/"):
+        return f"/{pattern}" in f"/{path}"
+    if path == pattern or path.endswith(f"/{pattern}"):
+        return True
+    return fnmatch(path, pattern) or fnmatch(path, f"*/{pattern}")
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            aliases=resolve_import_aliases(tree),
+        )
+
+    def source_line(self, lineno: int) -> str:
+        """Stripped text of a 1-based line (empty if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def resolved_call_name(self, node: ast.Call) -> str | None:
+        """Dotted name of the callee with import aliases expanded.
+
+        ``rnd.randint(...)`` resolves to ``random.randint`` when the
+        module did ``import random as rnd``.  Calls on non-name bases
+        (``foo().bar()``, ``rng.random()`` with ``rng`` a local) resolve
+        to their literal chain or ``None``.
+        """
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is not None:
+            return f"{origin}.{rest}" if rest else origin
+        return name
+
+    def in_any(self, patterns: list[str] | tuple[str, ...]) -> bool:
+        return any(path_matches(self.path, p) for p in patterns)

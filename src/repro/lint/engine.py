@@ -1,0 +1,111 @@
+"""The lint driver: files -> AST -> rules -> suppressions -> baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import load_baseline, split_by_baseline
+from .config import LintConfig
+from .context import ModuleContext
+from .findings import Finding
+from .rules import Rule, all_rules, load_plugins
+from .suppressions import SuppressionIndex
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "build_rules"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  # actionable
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  # unparseable files
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def build_rules(config: LintConfig) -> list[Rule]:
+    """Instantiate every enabled rule with its configured options."""
+    load_plugins(config.plugins)
+    rules = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        if rule_id in config.disable:
+            continue
+        rules.append(rule_cls(config.options_for(rule_id)))
+    return rules
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint one in-memory module.  Returns (kept, suppressed)."""
+    module = ModuleContext.parse(path, source)
+    suppressions = SuppressionIndex.parse(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            (suppressed if suppressions.suppresses(finding) else kept).append(
+                finding
+            )
+    return sorted(kept), sorted(suppressed)
+
+
+def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintResult:
+    """Lint files/trees and apply the configured baseline."""
+    rules = build_rules(config)
+    result = LintResult()
+    raw: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{file_path}: unreadable: {exc}")
+            continue
+        display = _display_path(file_path, config.root)
+        try:
+            kept, suppressed = lint_source(source, display, rules)
+        except SyntaxError as exc:
+            result.errors.append(f"{display}: syntax error: {exc}")
+            continue
+        result.files_checked += 1
+        raw.extend(kept)
+        result.suppressed.extend(suppressed)
+    baseline = load_baseline(config.baseline_path) if config.use_baseline else {}
+    result.findings, result.baselined = split_by_baseline(sorted(raw), baseline)
+    return result
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

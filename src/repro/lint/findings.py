@@ -1,0 +1,47 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Sorts by location so reports are stable regardless of the order in
+    which rules ran.
+    """
+
+    path: str  # posix-style path as given to the engine
+    line: int  # 1-based
+    col: int  # 0-based, as in the ``ast`` module
+    rule_id: str
+    message: str
+    source_line: str = ""  # stripped text of the offending line
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line *number* so that unrelated edits
+        above a baselined finding do not resurrect it; it is keyed on
+        the rule, the file, and the offending line's text instead.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule_id}|{self.path}|{self.source_line}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

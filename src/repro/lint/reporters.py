@@ -1,0 +1,61 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import LintResult
+
+__all__ = ["text_report", "json_report", "REPORTERS"]
+
+
+def text_report(result: LintResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    by_rule = Counter(f.rule_id for f in result.findings)
+    summary = (
+        f"{result.files_checked} files checked, "
+        f"{len(result.findings)} findings"
+    )
+    if by_rule:
+        summary += " (" + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        ) + ")"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed inline"
+    lines.append(summary)
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"suppressed: {finding.render()}")
+        for finding in result.baselined:
+            lines.append(f"baselined: {finding.render()}")
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, verbose: bool = False) -> str:
+    payload: dict[str, object] = {
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "errors": list(result.errors),
+        "counts": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+        },
+        "ok": result.ok,
+    }
+    if verbose:
+        payload["baselined"] = [f.to_dict() for f in result.baselined]
+        payload["suppressed"] = [f.to_dict() for f in result.suppressed]
+    return json.dumps(payload, indent=2)
+
+
+REPORTERS = {"text": text_report, "json": json_report}

@@ -1,0 +1,105 @@
+"""Rule base class and the plugin registry.
+
+A rule is a class with an ``id`` (``SLxxx``), a short ``name``, a
+``description``, per-rule ``default_options``, and a ``check`` method
+yielding :class:`~repro.lint.findings.Finding` objects for one parsed
+module.  Decorating it with :func:`register` adds it to the global
+registry; external packages can contribute rules by listing importable
+modules under ``[tool.simlint] plugins`` — importing the module runs
+its ``@register`` decorators.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Iterable, Iterator, Type
+
+from ..context import ModuleContext
+from ..findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "load_plugins"]
+
+
+class Rule:
+    """Base class for simlint rules."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    #: Per-rule options, overridable from ``[tool.simlint.rules.<id>]``.
+    default_options: dict[str, object] = {}
+
+    def __init__(self, options: dict[str, object] | None = None) -> None:
+        merged = dict(self.default_options)
+        if options:
+            merged.update(options)
+        self.options = merged
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col,
+            rule_id=self.id,
+            message=message,
+            source_line=module.source_line(line),
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (id must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    existing = _REGISTRY.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """The registry (built-ins are imported on first use)."""
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def load_plugins(modules: Iterable[str]) -> None:
+    """Import external rule modules named in the config."""
+    for module_name in modules:
+        importlib.import_module(module_name)
+
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_rules() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for module_name in (
+        "rng_discipline",
+        "wall_clock",
+        "unit_discipline",
+        "iteration_order",
+        "seed_plumbing",
+    ):
+        importlib.import_module(f"{__name__}.{module_name}")

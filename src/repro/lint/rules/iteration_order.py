@@ -1,0 +1,124 @@
+"""SL004: no iteration over bare sets in event-path code.
+
+``set`` iteration order depends on insertion history and element
+hashes; for ``object`` elements the hash is the id, which varies run to
+run.  Inside the engine and the MAC/PHY event paths that turns into
+run-dependent event ordering — the exact nondeterminism the sequence-
+numbered event heap was built to prevent.  Iterate ``sorted(...)``
+views instead (dicts are insertion-ordered and therefore fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+_SET_RETURNING_METHODS = frozenset(
+    {
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+    }
+)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether an expression syntactically produces a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_RETURNING_METHODS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # a | b etc. on two set expressions.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _FunctionSetNames(ast.NodeVisitor):
+    """Collect local names assigned a set-producing expression."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_set_expr(node.value):
+            if isinstance(node.target, ast.Name):
+                self.names.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register
+class IterationOrderRule(Rule):
+    id = "SL004"
+    name = "iteration-order"
+    description = (
+        "iteration over a bare set in event-path code; order is "
+        "hash/run-dependent — iterate sorted(...) instead"
+    )
+    default_options: dict[str, object] = {
+        # Packages whose code runs inside the event loop.
+        "paths": [
+            "dessim/",
+            "mac/",
+            "phy/",
+            "net/",
+            "traffic/",
+            "slotsim/",
+        ],
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_any(self.options["paths"]):  # type: ignore[arg-type]
+            return
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            collector = _FunctionSetNames()
+            collector.visit(scope)
+            yield from self._check_scope(module, scope, collector.names)
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        scope: ast.FunctionDef | ast.AsyncFunctionDef,
+        set_names: set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._hazardous(it, set_names):
+                    yield self.finding(
+                        module,
+                        it.lineno,
+                        it.col_offset,
+                        "iterating a bare set (order is run-dependent "
+                        "for object elements); use sorted(...)",
+                    )
+
+    @staticmethod
+    def _hazardous(it: ast.expr, set_names: set[str]) -> bool:
+        if _is_set_expr(it):
+            return True
+        return isinstance(it, ast.Name) and it.id in set_names

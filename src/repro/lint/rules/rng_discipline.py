@@ -1,0 +1,57 @@
+"""SL001: all randomness flows through the stream registry.
+
+Constructing ``random.Random(...)`` or calling module-level
+``random.*`` functions anywhere except the sanctioned entry points
+breaks the central guarantee of :mod:`repro.dessim.rng`: that every
+stochastic component draws from a named stream derived from one master
+seed, so adding a consumer never perturbs existing draws.  Components
+must *accept* an injected stream, not mint their own.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+
+@register
+class RngDisciplineRule(Rule):
+    id = "SL001"
+    name = "rng-discipline"
+    description = (
+        "ad-hoc random.Random(...) construction or module-level random.* "
+        "call outside the sanctioned modules; inject a registry stream"
+    )
+    default_options: dict[str, object] = {
+        # Where minting streams is legitimate: the registry itself and
+        # top-level entry points that own the master seed.
+        "allow": ["dessim/rng.py", "cli.py", "experiments/"],
+        # Dotted prefixes whose calls count as ad-hoc randomness.
+        "modules": ["random", "numpy.random"],
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+            return
+        prefixes = tuple(self.options["modules"])  # type: ignore[arg-type]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolved_call_name(node)
+            if name is None:
+                continue
+            if any(
+                name == prefix or name.startswith(f"{prefix}.")
+                for prefix in prefixes
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"ad-hoc RNG use {name!r}; accept an injected "
+                    "stream from repro.dessim.rng.RngRegistry instead",
+                )

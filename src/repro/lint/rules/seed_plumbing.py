@@ -1,0 +1,82 @@
+"""SL005: constructors never default their ``rng``/``seed`` parameters.
+
+A defaulted seed (``seed: int = 0``) or a silent fallback stream
+(``rng=None`` then ``random.Random(0)`` inside) lets two "independent"
+components share draws without anyone asking for it — the bug class
+behind non-replicating simulation studies.  Callers must say where the
+randomness comes from, every time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+
+def _seedlike(param: str, names: tuple[str, ...], suffixes: tuple[str, ...]) -> bool:
+    return param in names or any(param.endswith(s) for s in suffixes)
+
+
+@register
+class SeedPlumbingRule(Rule):
+    id = "SL005"
+    name = "seed-plumbing"
+    description = (
+        "public constructor gives its rng/seed parameter a default; "
+        "require the caller to pass the stream or seed explicitly"
+    )
+    default_options: dict[str, object] = {
+        "parameter-names": ["rng", "seed", "master_seed"],
+        "parameter-suffixes": ["_rng", "_seed"],
+        "allow": [],
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+            return
+        names = tuple(self.options["parameter-names"])  # type: ignore[arg-type]
+        suffixes = tuple(self.options["parameter-suffixes"])  # type: ignore[arg-type]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue  # private classes may do what they like
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "__init__"
+                ):
+                    yield from self._check_init(module, node.name, item, names, suffixes)
+
+    def _check_init(
+        self,
+        module: ModuleContext,
+        class_name: str,
+        init: ast.FunctionDef | ast.AsyncFunctionDef,
+        names: tuple[str, ...],
+        suffixes: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        args = init.args
+        # Positional-or-keyword (and positional-only) defaults align to
+        # the *tail* of the combined parameter list.
+        positional = list(args.posonlyargs) + list(args.args)
+        defaulted = positional[len(positional) - len(args.defaults):]
+        pairs = list(zip(defaulted, args.defaults))
+        pairs += [
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in pairs:
+            if _seedlike(arg.arg, names, suffixes):
+                yield self.finding(
+                    module,
+                    default.lineno,
+                    default.col_offset,
+                    f"{class_name}.__init__ defaults {arg.arg!r}; "
+                    "seed/rng parameters must be passed explicitly",
+                )

@@ -1,0 +1,120 @@
+"""SL003: floats must be converted before reaching the ns-clock APIs.
+
+The scheduler, timers, and every ``*_ns`` field are integer
+nanoseconds by contract (:mod:`repro.dessim.units`); the engine even
+rejects non-int event times at runtime.  This rule moves that check to
+lint time: a float literal (``1e-6``-style arithmetic included) or a
+true-division result flowing into ``schedule``/``schedule_at``/timer
+``start``/``run(until=...)`` arguments or any ``*_ns=`` keyword must be
+wrapped in one of the sanctioned converters (``units.microseconds``,
+``milliseconds``, ``seconds``, ``round``, ``int``, ``//``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+#: Call names (final attribute segment) that convert to integer ns.
+SANCTIONED_CONVERTERS: frozenset[str] = frozenset(
+    {"microseconds", "milliseconds", "seconds", "round", "int", "len", "max", "min"}
+)
+
+
+def _float_taint(node: ast.expr) -> ast.expr | None:
+    """First sub-expression producing a float, or None.
+
+    Descends the expression but stops at calls to sanctioned converters
+    (their result is integer ns by contract) and at ``//`` floor
+    divisions.  Any float constant or ``/`` true division taints.
+    """
+    if isinstance(node, ast.Constant):
+        return node if isinstance(node.value, float) else None
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in SANCTIONED_CONVERTERS:
+            return None
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            taint = _float_taint(arg)
+            if taint is not None:
+                return taint
+        return None
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return node
+        if isinstance(node.op, ast.FloorDiv):
+            return None
+        return _float_taint(node.left) or _float_taint(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_taint(node.operand)
+    if isinstance(node, (ast.IfExp,)):
+        return _float_taint(node.body) or _float_taint(node.orelse)
+    return None
+
+
+@register
+class UnitDisciplineRule(Rule):
+    id = "SL003"
+    name = "unit-discipline"
+    description = (
+        "float value flowing into an integer-nanosecond scheduler/timer "
+        "API; convert via repro.dessim.units helpers or round()"
+    )
+    default_options: dict[str, object] = {"allow": []}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(module, node)
+
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+
+        candidates: list[tuple[ast.expr, str]] = []
+        if attr in ("schedule", "schedule_at") and node.args:
+            candidates.append((node.args[0], f"{attr}() time argument"))
+        elif attr == "start" and node.args and self._is_timer(func):
+            candidates.append((node.args[0], "Timer.start() delay"))
+        elif attr == "run":
+            for kw in node.keywords:
+                if kw.arg == "until":
+                    candidates.append((kw.value, "run(until=...)"))
+        for kw in node.keywords:
+            if kw.arg and kw.arg.endswith("_ns"):
+                candidates.append((kw.value, f"{kw.arg}= keyword"))
+
+        for expr, where in candidates:
+            taint = _float_taint(expr)
+            if taint is not None:
+                yield self.finding(
+                    module,
+                    expr.lineno,
+                    expr.col_offset,
+                    f"float-valued expression in {where} (integer "
+                    "nanoseconds expected); wrap it in "
+                    "units.microseconds()/milliseconds()/seconds() or round()",
+                )
+
+    @staticmethod
+    def _is_timer(func: ast.Attribute) -> bool:
+        """``<recv>.start(...)`` where the receiver looks like a timer."""
+        recv = func.value
+        name = None
+        if isinstance(recv, ast.Name):
+            name = recv.id
+        elif isinstance(recv, ast.Attribute):
+            name = recv.attr
+        return name is not None and "timer" in name.lower()

@@ -1,0 +1,85 @@
+"""SL002: the host clock never enters the simulation.
+
+Simulated time is :attr:`Simulator.now` — an integer nanosecond counter.
+Reading the wall clock (or any other host entropy source) anywhere in
+the simulator makes results differ between runs and machines, which is
+exactly the failure mode the reproduction exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+#: Dotted callables that read the host clock or entropy pool.  Matched
+#: against the alias-resolved callee name by suffix, so both
+#: ``datetime.datetime.now`` and ``datetime.now`` (after a ``from``
+#: import) are caught.
+NONDETERMINISTIC_CALLS: tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getrandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+    "random.SystemRandom",
+)
+
+
+@register
+class WallClockRule(Rule):
+    id = "SL002"
+    name = "wall-clock-ban"
+    description = (
+        "host-clock or entropy read (time.time, datetime.now, uuid4, "
+        "os.urandom, ...); use Simulator.now and injected RNG streams"
+    )
+    default_options: dict[str, object] = {
+        "banned": list(NONDETERMINISTIC_CALLS),
+        # No allowlist by default: nothing under the simulator tree may
+        # read the host clock.
+        "allow": [],
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+            return
+        banned = tuple(self.options["banned"])  # type: ignore[arg-type]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolved_call_name(node)
+            if name is None:
+                continue
+            for target in banned:
+                if name == target or name.endswith(f".{target}"):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"nondeterministic call {name!r}; simulation "
+                        "code must use Simulator.now / injected streams",
+                    )
+                    break

@@ -1,0 +1,59 @@
+"""Inline suppression comments.
+
+Syntax, modelled on pylint/ruff::
+
+    foo = random.Random(cfg.seed)  # simlint: disable=SL001 -- why it's ok
+    # simlint: disable-file=SL003,SL004
+    bar()  # simlint: disable=all
+
+``disable=`` suppresses the named rules on that line only;
+``disable-file=`` (anywhere in the file) suppresses them for the whole
+module.  ``all`` suppresses every rule.  Text after ``--`` is a free-
+form justification and is encouraged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_PATTERN = re.compile(
+    r"#\s*simlint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Parsed suppression directives for one module."""
+
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+    file_rules: set[str] = field(default_factory=set)
+    #: directive lines that matched nothing yet — for unused reporting.
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PATTERN.search(text)
+            if not match:
+                continue
+            rules = {
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            }
+            if match.group("scope") == "disable-file":
+                index.file_rules |= rules
+            else:
+                index.line_rules.setdefault(lineno, set()).update(rules)
+        return index
+
+    def suppresses(self, finding: Finding) -> bool:
+        if "ALL" in self.file_rules or finding.rule_id in self.file_rules:
+            return True
+        rules = self.line_rules.get(finding.line, ())
+        return "ALL" in rules or finding.rule_id in rules

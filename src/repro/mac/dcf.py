@@ -78,9 +78,19 @@ class DcfMac:
         neighbor_table: NeighborTable,
         policy: AntennaPolicy = ORTS_OCTS_POLICY,
         beamwidth: float | None = None,
-        rng=None,
+        *,
+        rng: random.Random,
         tracer: Tracer | None = None,
     ) -> None:
+        """Build one MAC entity.
+
+        Args:
+            rng: the node's backoff stream, e.g.
+                ``registry.stream(f"mac-{node_id}")``.  Required — a
+                silent shared default would let every node draw the
+                same backoff sequence and quietly break the paper's
+                identical-topology A/B comparisons.
+        """
         self.sim = sim
         self.radio = radio
         self.params = params
@@ -91,9 +101,7 @@ class DcfMac:
         self.node_id = radio.node_id
         self.stats = MacStats()
 
-        self.backoff = BackoffManager(
-            params, rng if rng is not None else random.Random(0)
-        )
+        self.backoff = BackoffManager(params, rng)
         self.nav = Nav()
 
         self.phase = DcfPhase.NO_PACKET

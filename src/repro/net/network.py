@@ -84,7 +84,7 @@ class NetworkSimulation:
         topology: Topology,
         scheme: str,
         beamwidth: float,
-        seed: int = 0,
+        seed: int,
         mac_params: MacParameters = DSSS_MAC,
         phy_params: PhyParameters | None = None,
         packet_bytes: int = DEFAULT_PACKET_BYTES,
@@ -94,6 +94,9 @@ class NetworkSimulation:
         """Build the network.
 
         Args:
+            seed: master seed for the run's :class:`RngRegistry`;
+                required (no default) so replicate seeds are always
+                plumbed explicitly from the experiment driver.
             cbr_interval_ns: ``None`` (default) gives the paper's
                 always-backlogged saturated sources; a positive value
                 gives fixed-interval CBR sources instead, for

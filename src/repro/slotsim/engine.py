@@ -84,7 +84,10 @@ class SlotModelEngine:
         self, config: SlotModelConfig, geometry: TorusGeometry | None = None
     ) -> None:
         self.config = config
-        self.rng = random.Random(config.seed)
+        # One seed drives placement and all per-slot draws; the slot
+        # model is a single-stream Monte-Carlo kernel, not a network of
+        # components, so a registry of named streams buys nothing here.
+        self.rng = random.Random(config.seed)  # simlint: disable=SL001 -- single-stream kernel, seed owned by SlotModelConfig
         self.geometry = (
             geometry if geometry is not None else TorusGeometry(config, self.rng)
         )

@@ -1,0 +1,20 @@
+"""Helpers for the simlint tests."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import get_rule
+from repro.lint.engine import lint_source
+
+
+@pytest.fixture
+def check():
+    """check(rule_id, source, path=...) -> list of kept findings."""
+
+    def run(rule_id, source, path="src/repro/mac/example.py", options=None):
+        rule = get_rule(rule_id)(options)
+        kept, _suppressed = lint_source(textwrap.dedent(source), path, [rule])
+        return kept
+
+    return run

@@ -1,0 +1,132 @@
+"""Config loading and the repro-lint command line."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import load_config
+from repro.lint.cli import main
+
+VIOLATION = textwrap.dedent(
+    """
+    import random
+
+    def build():
+        return random.Random(0)
+    """
+)
+
+
+def make_project(tmp_path, simlint_table=""):
+    (tmp_path / "pyproject.toml").write_text(
+        "[project]\nname = 'x'\nversion = '0'\n" + simlint_table
+    )
+    pkg = tmp_path / "src" / "repro" / "mac"
+    pkg.mkdir(parents=True)
+    (pkg / "x.py").write_text(VIOLATION)
+    return tmp_path
+
+
+class TestConfig:
+    def test_defaults_without_table(self, tmp_path):
+        make_project(tmp_path)
+        config = load_config(pyproject=tmp_path / "pyproject.toml")
+        assert config.baseline == ".simlint-baseline.json"
+        assert config.disable == []
+
+    def test_rule_options_and_disable(self, tmp_path):
+        make_project(
+            tmp_path,
+            "[tool.simlint]\ndisable = ['sl004']\n"
+            "[tool.simlint.rules.SL001]\nallow = ['mac/x.py']\n",
+        )
+        config = load_config(pyproject=tmp_path / "pyproject.toml")
+        assert config.disable == ["SL004"]
+        assert config.options_for("SL001") == {"allow": ["mac/x.py"]}
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        make_project(tmp_path, "[tool.simlint]\nbasline = 'typo.json'\n")
+        with pytest.raises(ValueError, match="basline"):
+            load_config(pyproject=tmp_path / "pyproject.toml")
+
+    def test_missing_pyproject_gives_defaults(self, tmp_path):
+        config = load_config(start=tmp_path)
+        # May find an ancestor pyproject when run from a checkout; the
+        # call must at least not fail and must produce a usable config.
+        assert config.baseline
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        code = main(["--config", str(root / "pyproject.toml"), str(root / "src")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out and "1 findings" in out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path, "[tool.simlint.rules.SL001]\nallow = ['mac/x.py']\n"
+        )
+        code = main(["--config", str(root / "pyproject.toml"), str(root / "src")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        code = main(
+            [
+                "--config", str(root / "pyproject.toml"),
+                "--format", "json",
+                str(root / "src"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "SL001"
+        assert not payload["ok"]
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args + ["--write-baseline"]) == 0
+        assert (root / ".simlint-baseline.json").exists()
+        assert main(args) == 0
+        assert main(args + ["--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_select_subset(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args + ["--select", "SL002"]) == 0  # SL001 not selected
+        assert main(args + ["--select", "SL001"]) == 1
+        assert main(args + ["--select", "SL999"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005"):
+            assert rule_id in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        root = make_project(tmp_path)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.lint",
+                "--config", str(root / "pyproject.toml"),
+                str(root / "src"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "SL001" in proc.stdout

@@ -1,0 +1,147 @@
+"""Engine-level tests: suppressions, baseline, file discovery."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, get_rule, lint_paths
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import iter_python_files, lint_source
+from repro.lint.findings import Finding
+from repro.lint.suppressions import SuppressionIndex
+
+RNG_VIOLATION = textwrap.dedent(
+    """
+    import random
+
+    def build():
+        return random.Random(0)
+    """
+)
+
+
+def _rules():
+    return [get_rule("SL001")()]
+
+
+class TestSuppressions:
+    def test_inline_disable_suppresses_that_line(self):
+        source = RNG_VIOLATION.replace(
+            "random.Random(0)", "random.Random(0)  # simlint: disable=SL001"
+        )
+        kept, suppressed = lint_source(source, "src/repro/mac/x.py", _rules())
+        assert kept == []
+        assert len(suppressed) == 1
+
+    def test_justification_text_is_allowed(self):
+        source = RNG_VIOLATION.replace(
+            "random.Random(0)",
+            "random.Random(0)  # simlint: disable=SL001 -- legacy, see #42",
+        )
+        kept, suppressed = lint_source(source, "src/repro/mac/x.py", _rules())
+        assert kept == []
+
+    def test_disable_all(self):
+        source = RNG_VIOLATION.replace(
+            "random.Random(0)", "random.Random(0)  # simlint: disable=all"
+        )
+        kept, _ = lint_source(source, "src/repro/mac/x.py", _rules())
+        assert kept == []
+
+    def test_file_level_disable(self):
+        source = "# simlint: disable-file=SL001\n" + RNG_VIOLATION
+        kept, suppressed = lint_source(source, "src/repro/mac/x.py", _rules())
+        assert kept == []
+        assert len(suppressed) == 1
+
+    def test_other_rule_id_does_not_suppress(self):
+        source = RNG_VIOLATION.replace(
+            "random.Random(0)", "random.Random(0)  # simlint: disable=SL002"
+        )
+        kept, _ = lint_source(source, "src/repro/mac/x.py", _rules())
+        assert len(kept) == 1
+
+    def test_parse_multiple_rules(self):
+        index = SuppressionIndex.parse("x = 1  # simlint: disable=SL001, SL003\n")
+        assert index.line_rules[1] == {"SL001", "SL003"}
+
+
+class TestBaseline:
+    def test_roundtrip_and_filtering(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "mac"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text(RNG_VIOLATION)
+        config = LintConfig(root=tmp_path)
+
+        first = lint_paths([tmp_path / "src"], config)
+        assert len(first.findings) == 1
+
+        write_baseline(config.baseline_path, first.findings)
+        second = lint_paths([tmp_path / "src"], config)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.ok
+
+    def test_new_findings_still_fail_with_baseline(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "mac"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text(RNG_VIOLATION)
+        config = LintConfig(root=tmp_path)
+        write_baseline(config.baseline_path, lint_paths([tmp_path], config).findings)
+
+        (pkg / "y.py").write_text(
+            RNG_VIOLATION.replace("random.Random(0)", "random.Random(7)")
+        )
+        result = lint_paths([tmp_path], config)
+        assert len(result.findings) == 1
+        assert "y.py" in result.findings[0].path
+
+    def test_fingerprint_survives_line_drift(self):
+        a = Finding("p.py", 10, 4, "SL001", "m", "x = random.Random(0)")
+        b = Finding("p.py", 99, 4, "SL001", "m", "x = random.Random(0)")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+
+class TestDiscovery:
+    def test_skips_pycache_and_dedupes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert files == [tmp_path / "a.py"]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        result = lint_paths([tmp_path], LintConfig(root=tmp_path))
+        assert not result.ok
+        assert "syntax error" in result.errors[0]
+
+
+class TestRepositoryIsClean:
+    def test_repro_lint_src_is_clean(self):
+        """The acceptance gate: the shipped tree has no findings."""
+        from pathlib import Path
+
+        from repro.lint import load_config
+
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(pyproject=root / "pyproject.toml")
+        result = lint_paths([root / "src"], config)
+        assert result.errors == []
+        assert result.findings == [], "\n".join(
+            f.render() for f in result.findings
+        )
+        # The experiments migration means the repo-level config can be
+        # stricter than the rule default: no baselined debt at all.
+        assert result.baselined == []

@@ -1,0 +1,361 @@
+"""Per-rule tests: every rule has flagging and non-flagging fixtures."""
+
+
+class TestRngDiscipline:  # SL001
+    def test_flags_random_construction(self, check):
+        findings = check(
+            "SL001",
+            """
+            import random
+
+            def build():
+                return random.Random(0)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL001"]
+        assert "random.Random" in findings[0].message
+
+    def test_flags_module_level_call(self, check):
+        findings = check(
+            "SL001",
+            """
+            import random
+
+            def jitter():
+                return random.randint(0, 31)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_aliased_import(self, check):
+        findings = check(
+            "SL001",
+            """
+            import random as rnd
+
+            def build():
+                return rnd.Random(1)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_from_import(self, check):
+        findings = check(
+            "SL001",
+            """
+            from random import Random
+
+            def build():
+                return Random(1)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_numpy_random(self, check):
+        findings = check(
+            "SL001",
+            """
+            import numpy as np
+
+            def build():
+                return np.random.default_rng(3)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_injected_stream_use_is_clean(self, check):
+        findings = check(
+            "SL001",
+            """
+            def draw(rng):
+                return rng.random() + rng.randint(0, 7)
+            """,
+        )
+        assert findings == []
+
+    def test_annotation_is_clean(self, check):
+        findings = check(
+            "SL001",
+            """
+            import random
+
+            def accept(rng: random.Random) -> random.Random:
+                return rng
+            """,
+        )
+        assert findings == []
+
+    def test_allowlisted_path_is_clean(self, check):
+        source = """
+        import random
+
+        def build():
+            return random.Random(0)
+        """
+        assert check("SL001", source, path="src/repro/dessim/rng.py") == []
+        assert check("SL001", source, path="src/repro/cli.py") == []
+        # the repo config tightens this, but the rule default allows it:
+        assert check("SL001", source, path="src/repro/experiments/x.py") == []
+
+
+class TestWallClockBan:  # SL002
+    def test_flags_time_time(self, check):
+        findings = check(
+            "SL002",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL002"]
+
+    def test_flags_datetime_now_from_import(self, check):
+        findings = check(
+            "SL002",
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_uuid4_and_urandom(self, check):
+        findings = check(
+            "SL002",
+            """
+            import os
+            import uuid
+
+            def ids():
+                return uuid.uuid4(), os.urandom(8)
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_simulator_clock_is_clean(self, check):
+        findings = check(
+            "SL002",
+            """
+            def stamp(sim):
+                return sim.now
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_now_attribute_is_clean(self, check):
+        findings = check(
+            "SL002",
+            """
+            def read(sim):
+                return sim.now, sim.clock()
+            """,
+        )
+        assert findings == []
+
+
+class TestUnitDiscipline:  # SL003
+    def test_flags_float_literal_into_schedule(self, check):
+        findings = check(
+            "SL003",
+            """
+            def arm(sim):
+                sim.schedule(1e-6, print)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL003"]
+
+    def test_flags_float_arithmetic_into_timer(self, check):
+        findings = check(
+            "SL003",
+            """
+            def arm(self, factor):
+                self._cts_timer.start(factor * 1.5)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_true_division_into_run_until(self, check):
+        findings = check(
+            "SL003",
+            """
+            def go(sim, total, n):
+                sim.run(until=total / n)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_float_in_ns_keyword(self, check):
+        findings = check(
+            "SL003",
+            """
+            def build(Frame):
+                return Frame(duration_ns=1.5)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_units_helper_is_clean(self, check):
+        findings = check(
+            "SL003",
+            """
+            from repro.dessim.units import microseconds, seconds
+
+            def arm(sim, self):
+                sim.schedule(microseconds(10.0), print)
+                self._slot_timer.start(seconds(0.5))
+                sim.run(until=round(1.5e9))
+            """,
+        )
+        assert findings == []
+
+    def test_integer_expressions_are_clean(self, check):
+        findings = check(
+            "SL003",
+            """
+            def arm(sim, slot_ns, k):
+                sim.schedule(slot_ns * k + 3, print)
+                sim.schedule(slot_ns // 2, print)
+            """,
+        )
+        assert findings == []
+
+    def test_non_timer_start_is_clean(self, check):
+        # .start() on things that are not timers (threads, sources) is
+        # out of scope.
+        findings = check(
+            "SL003",
+            """
+            def go(source):
+                source.start(0.5)
+            """,
+        )
+        assert findings == []
+
+
+class TestIterationOrder:  # SL004
+    def test_flags_set_call_iteration(self, check):
+        findings = check(
+            "SL004",
+            """
+            def fanout(self, nodes):
+                for node in set(nodes):
+                    node.notify()
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL004"]
+
+    def test_flags_local_set_variable(self, check):
+        findings = check(
+            "SL004",
+            """
+            def fanout(self, a, b):
+                audible = a.neighbors() & set(b)
+                for node in audible:
+                    node.notify()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_set_method_result(self, check):
+        findings = check(
+            "SL004",
+            """
+            def fanout(self, a, b):
+                return [n.id for n in a.union(b)]
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_sorted_iteration_is_clean(self, check):
+        findings = check(
+            "SL004",
+            """
+            def fanout(self, nodes):
+                for node in sorted(set(nodes)):
+                    node.notify()
+            """,
+        )
+        assert findings == []
+
+    def test_dict_and_list_iteration_is_clean(self, check):
+        findings = check(
+            "SL004",
+            """
+            def fanout(self, macs, queue):
+                for node_id, mac in macs.items():
+                    mac.poll(queue[node_id])
+                for item in queue:
+                    item.age += 1
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_is_clean(self, check):
+        source = """
+        def fanout(nodes):
+            for node in set(nodes):
+                node.notify()
+        """
+        assert check("SL004", source, path="src/repro/report/chart.py") == []
+
+
+class TestSeedPlumbing:  # SL005
+    def test_flags_defaulted_rng(self, check):
+        findings = check(
+            "SL005",
+            """
+            class Mac:
+                def __init__(self, sim, rng=None):
+                    self.rng = rng
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL005"]
+        assert "'rng'" in findings[0].message
+
+    def test_flags_defaulted_seed_and_kwonly(self, check):
+        findings = check(
+            "SL005",
+            """
+            class Net:
+                def __init__(self, topology, seed=0, *, mobility_rng=None):
+                    pass
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_explicit_parameters_are_clean(self, check):
+        findings = check(
+            "SL005",
+            """
+            class Mac:
+                def __init__(self, sim, rng, seed):
+                    self.rng = rng
+            """,
+        )
+        assert findings == []
+
+    def test_private_class_is_clean(self, check):
+        findings = check(
+            "SL005",
+            """
+            class _Scratch:
+                def __init__(self, rng=None):
+                    self.rng = rng
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_defaults_are_clean(self, check):
+        findings = check(
+            "SL005",
+            """
+            class Mac:
+                def __init__(self, sim, rng, retry_limit=7, tracer=None):
+                    pass
+            """,
+        )
+        assert findings == []

@@ -135,7 +135,7 @@ class TestWarmup:
         )
 
         topo = generate_ring_topology(TopologyConfig(n=3), random.Random(13))
-        net = NetworkSimulation(topo, "ORTS-OCTS", math.pi)
+        net = NetworkSimulation(topo, "ORTS-OCTS", math.pi, seed=0)
         with pytest.raises(ValueError):
             net.run(seconds(1), warmup_ns=-1)
 

@@ -16,24 +16,24 @@ def small_topology():
 
 class TestConstruction:
     def test_one_mac_per_node(self, small_topology):
-        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi, seed=0)
         assert len(net.macs) == 27
 
     def test_sources_only_for_connected_nodes(self, small_topology):
-        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi, seed=0)
         for node_id in net.sources:
             assert net.channel.neighbors_of(node_id)
 
     def test_rejects_unknown_scheme(self, small_topology):
         with pytest.raises(KeyError):
-            NetworkSimulation(small_topology, "FOO", math.pi)
+            NetworkSimulation(small_topology, "FOO", math.pi, seed=0)
 
     def test_rejects_bad_beamwidth(self, small_topology):
         with pytest.raises(ValueError):
-            NetworkSimulation(small_topology, "DRTS-DCTS", 0.0)
+            NetworkSimulation(small_topology, "DRTS-DCTS", 0.0, seed=0)
 
     def test_rejects_bad_duration(self, small_topology):
-        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi)
+        net = NetworkSimulation(small_topology, "ORTS-OCTS", math.pi, seed=0)
         with pytest.raises(ValueError):
             net.run(0)
 
