@@ -85,3 +85,20 @@ def test_slotsim_throughput(benchmark):
         return SlotModelEngine(config).run(10_000).initiations
 
     assert benchmark(run) > 0
+
+
+def test_slotsim_high_load_churn(benchmark):
+    """5k slots at saturation-level p: many concurrent handshakes.
+
+    Guards the completion sweep in ``SlotModelEngine._advance`` — the
+    old per-handshake ``list.remove`` made this regime O(active^2) per
+    slot, so a regression shows up here first.
+    """
+    config = SlotModelConfig(
+        params=PAPER_PARAMETERS.with_neighbors(8.0), p=0.25, seed=7
+    )
+
+    def run():
+        return SlotModelEngine(config).run(5_000).initiations
+
+    assert benchmark(run) > 1_000

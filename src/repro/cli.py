@@ -81,6 +81,26 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
         "no-capture model",
     )
     parser.add_argument("--seed", type=int, default=2003, help="base seed")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign worker processes (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--campaign-dir", default=None, metavar="DIR",
+        help="persist one JSON artifact per completed cell under DIR; "
+        "rerunning with the same configuration skips finished cells",
+    )
+
+
+def _campaign_options(args: argparse.Namespace) -> dict:
+    """Campaign execution options (worker count, store, progress)."""
+    from .experiments import CampaignProgress
+
+    return {
+        "workers": args.workers,
+        "directory": args.campaign_dir,
+        "progress": CampaignProgress(),  # per-cell lines + ETA on stderr
+    }
 
 
 def _sim_config(args: argparse.Namespace) -> SimStudyConfig:
@@ -213,13 +233,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             )
     elif args.command == "fig6":
-        print(format_fig6_table(run_fig6(_sim_config(args))))
+        print(format_fig6_table(run_fig6(_sim_config(args), **_campaign_options(args))))
     elif args.command == "fig7":
-        print(format_fig7_table(run_fig7(_sim_config(args))))
+        print(format_fig7_table(run_fig7(_sim_config(args), **_campaign_options(args))))
     elif args.command == "collision":
-        print(format_collision_table(run_collision_ratio(_sim_config(args))))
+        print(
+            format_collision_table(
+                run_collision_ratio(_sim_config(args), **_campaign_options(args))
+            )
+        )
     elif args.command == "fairness":
-        print(format_fairness_table(run_fairness(_sim_config(args))))
+        print(
+            format_fairness_table(
+                run_fairness(_sim_config(args), **_campaign_options(args))
+            )
+        )
     elif args.command == "ablation":
         print("Fixed p vs optimised p (N=5, theta=30dg):")
         print(format_fixed_p_table(run_fixed_p_ablation()))

@@ -35,10 +35,19 @@ class Event:
     callback: Callable[..., None]
     args: tuple[Any, ...] = ()
     cancelled: bool = field(default=False, compare=False)
+    # Scheduler bookkeeping hook: fires exactly once, on the transition
+    # from pending to cancelled, and is detached when the event pops so
+    # a late cancel() on an already-fired event cannot double-count.
+    _on_cancel: Callable[[], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class Simulator:
@@ -57,6 +66,7 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
+        self._pending: int = 0
 
     # ------------------------------------------------------------------
     # Clock and introspection.
@@ -74,8 +84,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for _, _, ev in self._queue if not ev.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        A live counter — incremented on schedule, decremented on cancel
+        and on pop — rather than a rescan of the whole heap, which made
+        every introspection O(queue) including its cancelled garbage.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -99,10 +114,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        event = Event(
+            time=time,
+            seq=self._seq,
+            callback=callback,
+            args=args,
+            _on_cancel=self._note_cancelled,
+        )
         heapq.heappush(self._queue, (time, self._seq, event))
         self._seq += 1
+        self._pending += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        self._pending -= 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent).
@@ -127,6 +152,8 @@ class Simulator:
             time, _seq, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._pending -= 1
+            event._on_cancel = None
             self._now = time
             self._events_processed += 1
             event.callback(*event.args)
@@ -154,6 +181,8 @@ class Simulator:
                 heapq.heappop(self._queue)
                 if event.cancelled:
                     continue
+                self._pending -= 1
+                event._on_cancel = None
                 self._now = time
                 self._events_processed += 1
                 event.callback(*event.args)

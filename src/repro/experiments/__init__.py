@@ -6,9 +6,22 @@
 * :mod:`~repro.experiments.table1` — the DSSS configuration check,
 * :mod:`~repro.experiments.collision_ratio` — the Section-4 statistic,
 * :mod:`~repro.experiments.fairness` — the Section-4 fairness claims,
-* :mod:`~repro.experiments.ablation` — design-choice ablations.
+* :mod:`~repro.experiments.ablation` — design-choice ablations,
+* :mod:`~repro.experiments.campaign` — parallel, resumable grid
+  execution (worker fan-out, per-cell result store, progress/ETA).
 """
 
+from .campaign import (
+    CampaignProgress,
+    CampaignRunner,
+    CampaignStore,
+    CellSpec,
+    ReplicateMetrics,
+    replicate_seed,
+    replicate_topology,
+    run_campaign,
+    run_cell_spec,
+)
 from .ablation import (
     Area3SpanRow,
     FixedPRow,
@@ -22,7 +35,7 @@ from .ablation import (
 )
 from .baselines import BaselineRow, format_baseline_table, run_baseline_ladder
 from .collision_ratio import CollisionCell, format_collision_table, run_collision_ratio
-from .config import SimStudyConfig, from_environment
+from .config import SimStudyConfig, from_environment, workers_from_environment
 from .fairness import FairnessCell, format_fairness_table, run_fairness
 from .extension_schemes import (
     SchemeComparison,
@@ -44,8 +57,18 @@ from .table1 import Table1Entry, format_table1, table1_entries
 __all__ = [
     "SimStudyConfig",
     "from_environment",
+    "workers_from_environment",
     "SimStudyRunner",
     "CellResult",
+    "CellSpec",
+    "ReplicateMetrics",
+    "CampaignProgress",
+    "CampaignRunner",
+    "CampaignStore",
+    "replicate_seed",
+    "replicate_topology",
+    "run_campaign",
+    "run_cell_spec",
     "Fig5Row",
     "run_fig5",
     "format_fig5_table",

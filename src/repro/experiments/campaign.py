@@ -1,0 +1,468 @@
+"""The campaign layer: parallel, resumable execution of study grids.
+
+A *campaign* is the full ``(N, scheme, beamwidth)`` grid of a
+:class:`~repro.experiments.config.SimStudyConfig`, decomposed into
+self-contained :class:`CellSpec` work units.  Cells are embarrassingly
+parallel — the paper's Section-4 study ran 50 topologies per cell on a
+cluster — so the :class:`CampaignRunner` fans them out over a
+``ProcessPoolExecutor``, persists one JSON artifact per completed cell
+(so interrupted campaigns resume by skipping finished cells), and
+reports progress with a crude ETA.
+
+Seed discipline
+===============
+
+Every replicate's master seed is derived through
+:class:`~repro.dessim.rng.RngRegistry`'s SHA-256 naming scheme rather
+than by arithmetic on the base seed.  The old ``base_seed + replicate``
+rule made adjacent base seeds alias (base 42 / replicate 1 drove the
+very same draws as base 43 / replicate 0); the named derivation in
+:func:`replicate_seed` keeps base seeds statistically disjoint.  The
+stream name deliberately spans ``(N, replicate)`` but *not* the scheme
+or beamwidth: every scheme in a cell-row sees identical topologies and
+identical MAC/traffic draws, so common random numbers across schemes —
+the paper's A/B methodology — stay a design decision, not an accident
+of seed arithmetic.
+
+Determinism contract: serial and parallel execution of the same config
+produce identical per-cell results, because every replicate is a pure
+function of ``(config, n, replicate)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import pathlib
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dessim.rng import RngRegistry
+from ..net.network import NetworkSimulation, SimulationResult
+from ..net.topology import Topology, TopologyConfig, generate_ring_topology
+from .config import SimStudyConfig, workers_from_environment
+
+__all__ = [
+    "ReplicateMetrics",
+    "CellResult",
+    "CellSpec",
+    "replicate_seed",
+    "replicate_topology",
+    "run_cell_spec",
+    "config_fingerprint",
+    "CampaignStore",
+    "CampaignProgress",
+    "CampaignRunner",
+    "run_campaign",
+]
+
+
+# ----------------------------------------------------------------------
+# Seed and topology derivation — pure functions of (config, n, replicate).
+# ----------------------------------------------------------------------
+
+
+def replicate_seed(base_seed: int, n: int, replicate: int) -> int:
+    """Registry-derived master seed for one simulation replicate.
+
+    Derived via the SHA-256 ``(master_seed, name)`` scheme so distinct
+    base seeds yield disjoint replicate streams.  The name spans ``(N,
+    replicate)`` but not the scheme/beamwidth — common random numbers
+    across schemes on the same topology are deliberate (the paper
+    compares schemes on identical draws).
+    """
+    return RngRegistry(base_seed).spawn(f"sim-n{n}-r{replicate}").master_seed
+
+
+def replicate_topology(base_seed: int, n: int, replicate: int) -> Topology:
+    """The ring topology for ``(base_seed, N, replicate)``.
+
+    Same derivation the serial runner has always used — a named child
+    registry per ``(N, replicate)`` — exposed as a pure function so
+    worker processes can regenerate topologies without shared state.
+    """
+    registry = RngRegistry(base_seed).spawn(f"topology-n{n}-r{replicate}")
+    return generate_ring_topology(TopologyConfig(n=n), registry.stream("placement"))
+
+
+# ----------------------------------------------------------------------
+# Data model: what a worker returns and what the store persists.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicateMetrics:
+    """Summary metrics of one replicate, exact under JSON round-trips.
+
+    This is the unit the campaign layer ships between processes and to
+    disk: the :class:`~repro.net.network.SimulationResult` scalar
+    properties plus provenance (replicate index and derived seed), with
+    the per-node event counters left behind in the worker.
+    """
+
+    replicate: int
+    seed: int
+    duration_ns: int
+    inner_throughput_bps: float
+    inner_mean_delay_s: float
+    inner_collision_ratio: float
+    inner_fairness: float
+    inner_packets_delivered: int
+
+    @classmethod
+    def from_result(
+        cls, replicate: int, seed: int, result: SimulationResult
+    ) -> "ReplicateMetrics":
+        return cls(
+            replicate=replicate,
+            seed=seed,
+            duration_ns=result.duration_ns,
+            inner_throughput_bps=result.inner_throughput_bps,
+            inner_mean_delay_s=result.inner_mean_delay_s,
+            inner_collision_ratio=result.inner_collision_ratio,
+            inner_fairness=result.inner_fairness,
+            inner_packets_delivered=result.inner_packets_delivered,
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All replicate results for one (N, scheme, beamwidth) grid cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    results: tuple[ReplicateMetrics, ...]
+
+    def metric(self, name: str) -> list[float]:
+        """Extract one metric across replicates by property name."""
+        return [getattr(result, name) for result in self.results]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A self-contained work unit: one grid cell plus its config.
+
+    Picklable by construction so it can be shipped to worker processes;
+    everything a worker needs (seeds, durations, MAC/PHY parameters) is
+    derivable from these four fields.
+    """
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    config: SimStudyConfig
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for artifact filenames."""
+        return f"n{self.n}-{self.scheme}-bw{self.beamwidth_deg:g}"
+
+
+# Per-process memo for worker-side topology generation: pool workers
+# run many cells of the same campaign, so replicates regenerate only
+# once per (base_seed, n, replicate) per process.  Safe because
+# replicate_topology is pure.
+_TOPOLOGY_MEMO: dict[tuple[int, int, int], Topology] = {}
+
+
+def run_cell_spec(
+    spec: CellSpec,
+    topology: Callable[[int, int], Topology] | None = None,
+) -> CellResult:
+    """Run all replicates of one grid cell.
+
+    Args:
+        spec: the cell to run.
+        topology: optional ``(n, replicate) -> Topology`` provider (the
+            serial runner passes its cross-scheme cache); defaults to a
+            per-process memo over :func:`replicate_topology`.
+
+    This is the campaign's worker function: a pure function of ``spec``
+    regardless of which process runs it or in what order, which is what
+    makes serial and parallel campaigns byte-identical.
+    """
+    cfg = spec.config
+    results = []
+    for replicate in range(cfg.topologies):
+        if topology is not None:
+            topo = topology(spec.n, replicate)
+        else:
+            memo_key = (cfg.base_seed, spec.n, replicate)
+            if memo_key not in _TOPOLOGY_MEMO:
+                _TOPOLOGY_MEMO[memo_key] = replicate_topology(
+                    cfg.base_seed, spec.n, replicate
+                )
+            topo = _TOPOLOGY_MEMO[memo_key]
+        seed = replicate_seed(cfg.base_seed, spec.n, replicate)
+        simulation = NetworkSimulation(
+            topo,
+            spec.scheme,
+            math.radians(spec.beamwidth_deg),
+            seed=seed,
+            mac_params=cfg.mac_params,
+            phy_params=cfg.phy_params,
+        )
+        result = simulation.run(cfg.sim_time_ns)
+        results.append(ReplicateMetrics.from_result(replicate, seed, result))
+    return CellResult(
+        n=spec.n,
+        scheme=spec.scheme,
+        beamwidth_deg=spec.beamwidth_deg,
+        results=tuple(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# The on-disk result store.
+# ----------------------------------------------------------------------
+
+
+def config_fingerprint(config: SimStudyConfig) -> str:
+    """Stable hash of a study config, for campaign-directory validation."""
+    record = dataclasses.asdict(config)
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CampaignStore:
+    """One JSON artifact per completed cell under a campaign directory.
+
+    Layout::
+
+        <directory>/campaign.json            # manifest: format + config fingerprint
+        <directory>/cell-<key>.json          # one per completed cell
+
+    The manifest pins the config fingerprint so a directory can only be
+    resumed with the exact configuration that started it; cell writes
+    are atomic (temp file + rename), so a killed campaign never leaves
+    a truncated artifact behind.
+    """
+
+    MANIFEST = "campaign.json"
+    MANIFEST_FORMAT = "repro-campaign-v1"
+
+    def __init__(self, directory: str | pathlib.Path, config: SimStudyConfig) -> None:
+        self.directory = pathlib.Path(directory)
+        self.config = config
+        self.fingerprint = config_fingerprint(config)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / self.MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("format") != self.MANIFEST_FORMAT:
+                raise ValueError(
+                    f"{manifest_path}: not a campaign manifest "
+                    f"(format={manifest.get('format')!r})"
+                )
+            if manifest.get("fingerprint") != self.fingerprint:
+                raise ValueError(
+                    f"{self.directory}: campaign was started with a different "
+                    "SimStudyConfig; refusing to mix results (use a fresh "
+                    "directory or the original configuration)"
+                )
+        else:
+            payload = {
+                "format": self.MANIFEST_FORMAT,
+                "fingerprint": self.fingerprint,
+                "config": dataclasses.asdict(config),
+            }
+            _atomic_write_text(manifest_path, json.dumps(payload, indent=2))
+
+    def path_for(self, spec: CellSpec) -> pathlib.Path:
+        return self.directory / f"cell-{spec.key}.json"
+
+    def load(self, spec: CellSpec) -> CellResult | None:
+        """The stored result for ``spec``, or ``None`` if not completed."""
+        from .io import load_cell_json  # deferred: io imports this module
+
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        return load_cell_json(path)
+
+    def save(self, spec: CellSpec, cell: CellResult) -> None:
+        from .io import cell_to_payload  # deferred: io imports this module
+
+        _atomic_write_text(
+            self.path_for(spec), json.dumps(cell_to_payload(cell), indent=2)
+        )
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every cell with a stored artifact."""
+        return {
+            path.stem.removeprefix("cell-")
+            for path in self.directory.glob("cell-*.json")
+        }
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Progress reporting.
+# ----------------------------------------------------------------------
+
+
+class CampaignProgress:
+    """Per-cell completion lines with elapsed wall time and a crude ETA.
+
+    The clock is injectable for tests; the default reads the host's
+    monotonic clock, which is operator-facing reporting only — simulated
+    time never flows through this class.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        echo: Callable[[str], None] | None = None,
+    ) -> None:
+        self._clock = time.monotonic if clock is None else clock
+        self._echo = _echo_stderr if echo is None else echo
+        self._total = 0
+        self._done = 0
+        self._computed = 0
+        self._start = 0.0
+
+    def start(self, total: int) -> None:
+        self._total = total
+        self._done = 0
+        self._computed = 0
+        self._start = self._clock()
+        self._echo(f"campaign: {total} cells")
+
+    def cell_done(self, spec: CellSpec, *, skipped: bool) -> None:
+        self._done += 1
+        label = f"n={spec.n} {spec.scheme} {spec.beamwidth_deg:g}dg"
+        if skipped:
+            self._echo(f"[{self._done}/{self._total}] {label}  cached, skipped")
+            return
+        self._computed += 1
+        elapsed = self._clock() - self._start
+        remaining = self._total - self._done
+        eta = (elapsed / self._computed) * remaining
+        self._echo(
+            f"[{self._done}/{self._total}] {label}  "
+            f"elapsed {elapsed:.1f}s  eta {eta:.1f}s"
+        )
+
+
+def _echo_stderr(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# The executor.
+# ----------------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Executes a study grid: fan-out, persistence, resume, progress.
+
+    With ``workers == 1`` cells run in-process (sharing one topology
+    cache across schemes, as the serial runner always has); with more,
+    pending cells are shipped to a ``ProcessPoolExecutor``.  Either
+    way, results are identical — every cell is a pure function of its
+    :class:`CellSpec`.
+    """
+
+    def __init__(
+        self,
+        config: SimStudyConfig,
+        *,
+        workers: int | None = 1,
+        directory: str | pathlib.Path | None = None,
+        progress: CampaignProgress | None = None,
+    ) -> None:
+        if workers is None:
+            workers = workers_from_environment()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.config = config
+        self.workers = workers
+        self.store = None if directory is None else CampaignStore(directory, config)
+        self.progress = progress
+
+    def specs(self) -> list[CellSpec]:
+        """Every grid cell, in the canonical (N, scheme, beamwidth) order."""
+        return [
+            CellSpec(n, scheme, beamwidth, self.config)
+            for n in self.config.n_values
+            for scheme in self.config.schemes
+            for beamwidth in self.config.beamwidths_deg
+        ]
+
+    def run(self) -> list[CellResult]:
+        """Run (or resume) the campaign; results follow ``specs()`` order."""
+        specs = self.specs()
+        if self.progress is not None:
+            self.progress.start(len(specs))
+        results: dict[CellSpec, CellResult] = {}
+        pending: list[CellSpec] = []
+        for spec in specs:
+            cached = None if self.store is None else self.store.load(spec)
+            if cached is not None:
+                results[spec] = cached
+                if self.progress is not None:
+                    self.progress.cell_done(spec, skipped=True)
+            else:
+                pending.append(spec)
+        if self.workers == 1 or len(pending) <= 1:
+            cache: dict[tuple[int, int], Topology] = {}
+
+            def provider(n: int, replicate: int) -> Topology:
+                key = (n, replicate)
+                if key not in cache:
+                    cache[key] = replicate_topology(
+                        self.config.base_seed, n, replicate
+                    )
+                return cache[key]
+
+            for spec in pending:
+                self._finish(spec, run_cell_spec(spec, topology=provider), results)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                futures = {pool.submit(run_cell_spec, spec): spec for spec in pending}
+                for future in as_completed(futures):
+                    self._finish(futures[future], future.result(), results)
+        return [results[spec] for spec in specs]
+
+    def _finish(
+        self,
+        spec: CellSpec,
+        cell: CellResult,
+        results: dict[CellSpec, CellResult],
+    ) -> None:
+        if self.store is not None:
+            self.store.save(spec, cell)
+        results[spec] = cell
+        if self.progress is not None:
+            self.progress.cell_done(spec, skipped=False)
+
+
+def run_campaign(
+    config: SimStudyConfig,
+    *,
+    workers: int | None = 1,
+    directory: str | pathlib.Path | None = None,
+    progress: CampaignProgress | None = None,
+) -> list[CellResult]:
+    """Convenience wrapper: build a :class:`CampaignRunner` and run it.
+
+    ``workers=None`` reads ``REPRO_WORKERS`` (default 1).
+    """
+    return CampaignRunner(
+        config, workers=workers, directory=directory, progress=progress
+    ).run()

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..metrics.summary import ReplicateSummary, summarize
+from .campaign import CampaignProgress, run_campaign
 from .config import SimStudyConfig, from_environment
-from .runner import SimStudyRunner
 
 __all__ = ["CollisionCell", "run_collision_ratio", "format_collision_table"]
 
@@ -36,12 +36,17 @@ class CollisionCell:
 
 def run_collision_ratio(
     config: SimStudyConfig | None = None,
+    *,
+    workers: int | None = 1,
+    directory=None,
+    progress: CampaignProgress | None = None,
 ) -> list[CollisionCell]:
     """Run the grid and summarize the inner-node collision ratio."""
     cfg = config if config is not None else from_environment()
-    runner = SimStudyRunner(cfg)
     cells = []
-    for cell in runner.run_grid():
+    for cell in run_campaign(
+        cfg, workers=workers, directory=directory, progress=progress
+    ):
         cells.append(
             CollisionCell(
                 n=cell.n,

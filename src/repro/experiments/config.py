@@ -13,7 +13,13 @@ variable                 meaning                                 default
 ``REPRO_BEAMWIDTHS_DEG`` comma-separated beamwidth list          30,90,150
 ``REPRO_RETRY_LIMIT``    802.11 retry limit                      7
 ``REPRO_CAPTURE``        SNR capture threshold ("none" disables) none
+``REPRO_WORKERS``        parallel campaign worker processes      1
 ======================== ======================================= =======
+
+``REPRO_WORKERS`` is deliberately *not* part of
+:class:`SimStudyConfig`: how many processes execute a campaign is an
+execution detail, not part of the experiment's identity, so it never
+enters the campaign-directory fingerprint and cannot change results.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from ..dessim.units import seconds
 from ..mac.config import MacParameters
 from ..phy.frames import PhyParameters
 
-__all__ = ["SimStudyConfig", "from_environment"]
+__all__ = ["SimStudyConfig", "from_environment", "workers_from_environment"]
 
 #: Scheme names in the paper's presentation order.
 SCHEMES = ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
@@ -98,3 +104,11 @@ def from_environment() -> SimStudyConfig:
         retry_limit=_env_int("REPRO_RETRY_LIMIT", 7),
         capture_threshold=capture,
     )
+
+
+def workers_from_environment() -> int:
+    """Campaign worker-process count from ``REPRO_WORKERS`` (default 1)."""
+    workers = _env_int("REPRO_WORKERS", 1)
+    if workers < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers

@@ -11,14 +11,12 @@ of not refreshing distant NAVs with data energy).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..dessim.rng import RngRegistry
 from ..dessim.units import SECOND
-from ..net.network import NetworkSimulation
-from ..net.topology import TopologyConfig, generate_ring_topology
+from .campaign import CampaignProgress, run_campaign
+from .config import SimStudyConfig
 
 __all__ = ["SchemeComparison", "run_scheme_comparison", "format_scheme_comparison"]
 
@@ -48,35 +46,38 @@ def run_scheme_comparison(
     sim_time_ns: int = SECOND,
     schemes: Sequence[str] = ALL_SCHEMES,
     base_seed: int = 900,
+    *,
+    workers: int | None = 1,
+    directory=None,
+    progress: CampaignProgress | None = None,
 ) -> list[SchemeComparison]:
-    """All four schemes on identical ring topologies."""
-    if topologies < 1:
-        raise ValueError(f"topologies must be >= 1, got {topologies}")
-    registry = RngRegistry(base_seed)
-    topos = [
-        generate_ring_topology(
-            TopologyConfig(n=n),
-            registry.spawn(f"topology-{i}").stream("placement"),
-        )
-        for i in range(topologies)
-    ]
+    """All schemes on identical ring topologies, run as a campaign.
+
+    Replicate seeds are registry-derived from ``base_seed`` (the old
+    code seeded replicate ``i`` with literally ``i``, ignoring
+    ``base_seed`` for everything but placement), and the single-row
+    grid goes through :func:`~repro.experiments.campaign.run_campaign`,
+    so the comparison parallelizes and resumes like any other study.
+    """
+    config = SimStudyConfig(
+        n_values=(n,),
+        beamwidths_deg=(beamwidth_deg,),
+        schemes=tuple(schemes),
+        topologies=topologies,
+        sim_time_ns=sim_time_ns,
+        base_seed=base_seed,
+    )
     rows = []
-    for scheme in schemes:
-        throughput, delay, collision = [], [], []
-        for i, topology in enumerate(topos):
-            result = NetworkSimulation(
-                topology, scheme, math.radians(beamwidth_deg), seed=i
-            ).run(sim_time_ns)
-            throughput.append(result.inner_throughput_bps)
-            delay.append(result.inner_mean_delay_s)
-            collision.append(result.inner_collision_ratio)
-        count = len(topos)
+    for cell in run_campaign(
+        config, workers=workers, directory=directory, progress=progress
+    ):
+        count = len(cell.results)
         rows.append(
             SchemeComparison(
-                scheme=scheme,
-                throughput_bps=sum(throughput) / count,
-                mean_delay_s=sum(delay) / count,
-                collision_ratio=sum(collision) / count,
+                scheme=cell.scheme,
+                throughput_bps=sum(cell.metric("inner_throughput_bps")) / count,
+                mean_delay_s=sum(cell.metric("inner_mean_delay_s")) / count,
+                collision_ratio=sum(cell.metric("inner_collision_ratio")) / count,
             )
         )
     return rows

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..metrics.summary import ReplicateSummary, summarize
+from .campaign import CampaignProgress, run_campaign
 from .config import SimStudyConfig, from_environment
-from .runner import SimStudyRunner
 
 __all__ = ["FairnessCell", "run_fairness", "format_fairness_table"]
 
@@ -30,12 +30,19 @@ class FairnessCell:
     jain: ReplicateSummary
 
 
-def run_fairness(config: SimStudyConfig | None = None) -> list[FairnessCell]:
+def run_fairness(
+    config: SimStudyConfig | None = None,
+    *,
+    workers: int | None = 1,
+    directory=None,
+    progress: CampaignProgress | None = None,
+) -> list[FairnessCell]:
     """Run the grid and summarize inner-node fairness."""
     cfg = config if config is not None else from_environment()
-    runner = SimStudyRunner(cfg)
     cells = []
-    for cell in runner.run_grid():
+    for cell in run_campaign(
+        cfg, workers=workers, directory=directory, progress=progress
+    ):
         cells.append(
             FairnessCell(
                 n=cell.n,

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..metrics.summary import ReplicateSummary, summarize
+from .campaign import CampaignProgress, run_campaign
 from .config import SimStudyConfig, from_environment
-from .runner import SimStudyRunner
 
 __all__ = ["Fig6Cell", "run_fig6", "format_fig6_table"]
 
@@ -29,12 +29,20 @@ class Fig6Cell:
     throughput_bps: ReplicateSummary
 
 
-def run_fig6(config: SimStudyConfig | None = None) -> list[Fig6Cell]:
-    """Run the Fig. 6 grid and summarize throughput per cell."""
+def run_fig6(
+    config: SimStudyConfig | None = None,
+    *,
+    workers: int | None = 1,
+    directory=None,
+    progress: CampaignProgress | None = None,
+) -> list[Fig6Cell]:
+    """Run the Fig. 6 grid (optionally as a parallel, resumable campaign)
+    and summarize throughput per cell."""
     cfg = config if config is not None else from_environment()
-    runner = SimStudyRunner(cfg)
     cells = []
-    for cell in runner.run_grid():
+    for cell in run_campaign(
+        cfg, workers=workers, directory=directory, progress=progress
+    ):
         cells.append(
             Fig6Cell(
                 n=cell.n,

@@ -11,8 +11,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..metrics.summary import ReplicateSummary, summarize
+from .campaign import CampaignProgress, run_campaign
 from .config import SimStudyConfig, from_environment
-from .runner import SimStudyRunner
 
 __all__ = ["Fig7Cell", "run_fig7", "format_fig7_table"]
 
@@ -27,12 +27,20 @@ class Fig7Cell:
     delay_s: ReplicateSummary
 
 
-def run_fig7(config: SimStudyConfig | None = None) -> list[Fig7Cell]:
-    """Run the Fig. 7 grid and summarize mean delay per cell."""
+def run_fig7(
+    config: SimStudyConfig | None = None,
+    *,
+    workers: int | None = 1,
+    directory=None,
+    progress: CampaignProgress | None = None,
+) -> list[Fig7Cell]:
+    """Run the Fig. 7 grid (optionally as a parallel, resumable campaign)
+    and summarize mean delay per cell."""
     cfg = config if config is not None else from_environment()
-    runner = SimStudyRunner(cfg)
     cells = []
-    for cell in runner.run_grid():
+    for cell in run_campaign(
+        cfg, workers=workers, directory=directory, progress=progress
+    ):
         cells.append(
             Fig7Cell(
                 n=cell.n,

@@ -4,17 +4,28 @@ Benches and long campaigns want artifacts: this module round-trips the
 simulation grid (``CellResult`` lists) and the analytical Fig. 5 rows
 through JSON, and exports flat CSVs for external plotting.  Only
 summary-level data is stored (per-replicate metrics, not event traces).
+
+Two schema-versioned JSON formats live here:
+
+* ``repro-grid-v1`` — one file for a whole grid, flattened to one
+  record per replicate (:func:`save_grid_json`);
+* ``repro-cell-v1`` — one file per grid cell, the unit the campaign
+  result store persists and resumes from (:func:`save_cell_json`).
+  Values survive the round-trip exactly (ints, and floats via
+  ``repr``-exact JSON), so a resumed campaign reports byte-identical
+  metrics to the run that produced the artifact.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 import pathlib
 from typing import Sequence
 
+from .campaign import CellResult, ReplicateMetrics
 from .fig5 import Fig5Row
-from .runner import CellResult
 
 __all__ = [
     "grid_to_records",
@@ -22,6 +33,10 @@ __all__ = [
     "load_grid_records",
     "save_grid_csv",
     "save_fig5_csv",
+    "cell_to_payload",
+    "cell_from_payload",
+    "save_cell_json",
+    "load_cell_json",
 ]
 
 #: The SimulationResult properties exported per replicate.
@@ -77,6 +92,54 @@ def save_grid_csv(cells: Sequence[CellResult], path: str | pathlib.Path) -> None
         writer = csv.DictWriter(handle, fieldnames=list(records[0]))
         writer.writeheader()
         writer.writerows(records)
+
+
+#: Schema tag for per-cell campaign artifacts.
+CELL_FORMAT = "repro-cell-v1"
+
+
+def cell_to_payload(cell: CellResult) -> dict:
+    """The JSON-serializable form of one grid cell."""
+    return {
+        "format": CELL_FORMAT,
+        "n": cell.n,
+        "scheme": cell.scheme,
+        "beamwidth_deg": cell.beamwidth_deg,
+        "replicates": [dataclasses.asdict(r) for r in cell.results],
+    }
+
+
+def cell_from_payload(payload: dict) -> CellResult:
+    """Rebuild a :class:`CellResult` from :func:`cell_to_payload` output."""
+    if payload.get("format") != CELL_FORMAT:
+        raise ValueError(
+            f"not a repro cell payload (format={payload.get('format')!r})"
+        )
+    return CellResult(
+        n=payload["n"],
+        scheme=payload["scheme"],
+        beamwidth_deg=payload["beamwidth_deg"],
+        results=tuple(
+            ReplicateMetrics(**record) for record in payload["replicates"]
+        ),
+    )
+
+
+def save_cell_json(cell: CellResult, path: str | pathlib.Path) -> None:
+    """Write one cell's replicate metrics to a JSON artifact."""
+    pathlib.Path(path).write_text(json.dumps(cell_to_payload(cell), indent=2))
+
+
+def load_cell_json(path: str | pathlib.Path) -> CellResult:
+    """Read a cell artifact written by :func:`save_cell_json`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: corrupt cell artifact ({exc})") from exc
+    try:
+        return cell_from_payload(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 def save_fig5_csv(rows: Sequence[Fig5Row], path: str | pathlib.Path) -> None:

@@ -4,41 +4,53 @@ The cardinal rule, inherited from the paper: **compare schemes on
 identical topologies**.  Topologies are generated once per ``(N, seed)``
 and cached; every scheme/beamwidth combination then runs on the same
 placements, so differences are attributable to the MAC, not the draw.
+
+Execution lives in :mod:`~repro.experiments.campaign`; this module
+keeps the serial, in-process facade (:class:`SimStudyRunner`) that the
+tests and benches drive directly.  Replicate seeds come from
+:func:`~repro.experiments.campaign.replicate_seed` — the SHA-256
+registry derivation, not seed arithmetic — so adjacent base seeds can
+never alias replicate streams.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import pathlib
 
-from ..dessim.rng import RngRegistry
-from ..net.network import NetworkSimulation, SimulationResult
-from ..net.topology import Topology, TopologyConfig, generate_ring_topology
+from ..net.topology import Topology
+from .campaign import (
+    CellResult,
+    CellSpec,
+    ReplicateMetrics,
+    replicate_topology,
+    run_campaign,
+    run_cell_spec,
+)
 from .config import SimStudyConfig
 
-__all__ = ["CellResult", "SimStudyRunner"]
-
-
-@dataclass(frozen=True)
-class CellResult:
-    """All replicate results for one (N, scheme, beamwidth) grid cell."""
-
-    n: int
-    scheme: str
-    beamwidth_deg: float
-    results: tuple[SimulationResult, ...]
-
-    def metric(self, name: str) -> list[float]:
-        """Extract one metric across replicates by property name."""
-        return [getattr(result, name) for result in self.results]
+__all__ = ["CellResult", "ReplicateMetrics", "SimStudyRunner"]
 
 
 class SimStudyRunner:
-    """Runs the (N, scheme, beamwidth) grid with cached topologies."""
+    """Runs the (N, scheme, beamwidth) grid with cached topologies.
 
-    def __init__(self, config: SimStudyConfig) -> None:
+    ``workers`` and ``directory`` turn the grid run into a campaign:
+    parallel fan-out over worker processes and/or an on-disk result
+    store that makes the run resumable.  The defaults preserve the
+    historical serial in-process behaviour (including the cross-scheme
+    topology cache held on this instance).
+    """
+
+    def __init__(
+        self,
+        config: SimStudyConfig,
+        *,
+        workers: int = 1,
+        directory: str | pathlib.Path | None = None,
+    ) -> None:
         self.config = config
-        self._registry = RngRegistry(config.base_seed)
+        self.workers = workers
+        self.directory = directory
         self._topologies: dict[tuple[int, int], Topology] = {}
 
     def topology(self, n: int, replicate: int) -> Topology:
@@ -50,38 +62,30 @@ class SimStudyRunner:
         """
         key = (n, replicate)
         if key not in self._topologies:
-            rng = self._registry.spawn(f"topology-n{n}-r{replicate}")
-            self._topologies[key] = generate_ring_topology(
-                TopologyConfig(n=n), rng.stream("placement")
+            self._topologies[key] = replicate_topology(
+                self.config.base_seed, n, replicate
             )
         return self._topologies[key]
 
     def run_cell(self, n: int, scheme: str, beamwidth_deg: float) -> CellResult:
-        """Run all replicates of one grid cell."""
-        results = []
-        for replicate in range(self.config.topologies):
-            topology = self.topology(n, replicate)
-            simulation = NetworkSimulation(
-                topology,
-                scheme,
-                math.radians(beamwidth_deg),
-                seed=self.config.base_seed + replicate,
-                mac_params=self.config.mac_params,
-                phy_params=self.config.phy_params,
-            )
-            results.append(simulation.run(self.config.sim_time_ns))
-        return CellResult(
-            n=n,
-            scheme=scheme,
-            beamwidth_deg=beamwidth_deg,
-            results=tuple(results),
-        )
+        """Run all replicates of one grid cell (in-process)."""
+        spec = CellSpec(n=n, scheme=scheme, beamwidth_deg=beamwidth_deg,
+                        config=self.config)
+        return run_cell_spec(spec, topology=self.topology)
 
     def run_grid(self) -> list[CellResult]:
-        """Run every (N, scheme, beamwidth) combination."""
-        cells = []
-        for n in self.config.n_values:
-            for scheme in self.config.schemes:
-                for beamwidth in self.config.beamwidths_deg:
-                    cells.append(self.run_cell(n, scheme, beamwidth))
-        return cells
+        """Run every (N, scheme, beamwidth) combination.
+
+        Serial with no store runs in-process through this instance's
+        topology cache; otherwise the grid executes as a campaign.
+        """
+        if self.workers == 1 and self.directory is None:
+            return [
+                self.run_cell(n, scheme, beamwidth)
+                for n in self.config.n_values
+                for scheme in self.config.schemes
+                for beamwidth in self.config.beamwidths_deg
+            ]
+        return run_campaign(
+            self.config, workers=self.workers, directory=self.directory
+        )

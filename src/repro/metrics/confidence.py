@@ -67,6 +67,14 @@ def mean_confidence_interval(
     std_error = math.sqrt(variance / n)
     t_crit = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=n - 1))
     half = t_crit * std_error
+    # Clamp the bounds to the mean: with near-identical samples the
+    # half-width underflows, and float rounding in ``mean ± half`` must
+    # not land an endpoint on the wrong side of the mean — that would
+    # violate ConfidenceInterval's lower <= mean <= upper invariant.
     return ConfidenceInterval(
-        mean=mean, lower=mean - half, upper=mean + half, level=level, count=n
+        mean=mean,
+        lower=min(mean, mean - half),
+        upper=max(mean, mean + half),
+        level=level,
+        count=n,
     )

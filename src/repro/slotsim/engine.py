@@ -261,7 +261,12 @@ class SlotModelEngine:
             else:
                 results.failures += 1
                 results.fail_durations[duration] += 1
-            self._active.remove(hs)
             del self._engaged[hs.sender]
             if hs.responded:
                 del self._engaged[hs.receiver]
+        if finished:
+            # One filtered sweep instead of per-handshake list.remove():
+            # remove() rescans the list, turning completion into
+            # O(active^2) per slot at high p.  ``end`` is only ever set
+            # on the handshakes collected into ``finished`` above.
+            self._active = [hs for hs in self._active if hs.end < 0]

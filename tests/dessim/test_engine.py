@@ -204,3 +204,68 @@ class TestInvariants:
         sim.run()
         assert len(fired) == expected
         assert sim.events_processed == expected
+
+
+class TestPendingCounter:
+    """pending_events is a live counter, not a heap rescan."""
+
+    def test_tracks_schedule_and_run(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_direct_event_cancel_decrements(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        event.cancel()  # bypassing Simulator.cancel
+        assert sim.pending_events == 1
+        event.cancel()  # idempotent: no double decrement
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_late_cancel_after_fire_is_inert(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        keeper = sim.schedule(20, lambda: None)
+        sim.run(until=15)
+        assert sim.pending_events == 1
+        event.cancel()  # already fired; must not decrement again
+        assert sim.pending_events == 1
+        assert keeper is not None
+
+    def test_step_decrements(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        assert sim.step() is True
+        assert sim.pending_events == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=30,
+        )
+    )
+    def test_counter_matches_heap_scan(self, spec):
+        sim = Simulator()
+        events = []
+        for delay, cancel, double_cancel in spec:
+            event = sim.schedule(delay, lambda: None)
+            if cancel:
+                event.cancel()
+            if double_cancel:
+                event.cancel()
+            events.append(event)
+        scan = sum(1 for _, _, ev in sim._queue if not ev.cancelled)
+        assert sim.pending_events == scan
+        sim.run()
+        assert sim.pending_events == 0

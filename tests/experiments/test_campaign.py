@@ -1,0 +1,291 @@
+"""Tests for the campaign layer: seeds, store, resume, parallel fan-out."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import (
+    CampaignProgress,
+    CampaignRunner,
+    CampaignStore,
+    CellSpec,
+    SimStudyConfig,
+    SimStudyRunner,
+    replicate_seed,
+    replicate_topology,
+    run_campaign,
+    run_cell_spec,
+)
+from repro.experiments.io import load_cell_json, save_cell_json
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        n_values=(3,),
+        beamwidths_deg=(30.0,),
+        schemes=("ORTS-OCTS", "DRTS-DCTS"),
+        topologies=1,
+        sim_time_ns=seconds(0.1),
+    )
+    defaults.update(overrides)
+    return SimStudyConfig(**defaults)
+
+
+class TestReplicateSeed:
+    def test_deterministic(self):
+        assert replicate_seed(2003, 3, 0) == replicate_seed(2003, 3, 0)
+
+    def test_distinct_within_base(self):
+        seeds = {replicate_seed(2003, 3, r) for r in range(50)}
+        assert len(seeds) == 50
+
+    def test_adjacent_base_seeds_disjoint(self):
+        """Regression: ``base_seed + replicate`` aliased adjacent bases.
+
+        Under the old additive rule, base 42 / replicate 1 and base 43 /
+        replicate 0 both seeded their runs with 43 — overlapping
+        replicate streams for "independent" studies.  The registry
+        derivation must keep the full streams disjoint.
+        """
+        a = {replicate_seed(42, n, r) for n in (3, 5, 8) for r in range(50)}
+        b = {replicate_seed(43, n, r) for n in (3, 5, 8) for r in range(50)}
+        assert not a & b
+
+    def test_not_additive(self):
+        assert replicate_seed(42, 3, 1) != 42 + 1
+        assert replicate_seed(42, 3, 1) != replicate_seed(42, 3, 0) + 1
+
+
+class TestTopologyDerivation:
+    def test_pure_function_matches_runner_cache(self):
+        """Topology caching unchanged by the refactor: the runner's
+        cached topology is the same derivation as the pure function."""
+        config = tiny_config()
+        runner = SimStudyRunner(config)
+        direct = replicate_topology(config.base_seed, 3, 0)
+        assert runner.topology(3, 0).positions == direct.positions
+
+    def test_runner_cache_shared_across_schemes(self):
+        runner = SimStudyRunner(tiny_config())
+        runner.run_grid()
+        assert set(runner._topologies) == {(3, 0)}
+
+    def test_worker_path_equals_serial_path(self):
+        """run_cell_spec with its default (worker-side) topology memo
+        produces the same cell as the runner's cached path."""
+        config = tiny_config(schemes=("ORTS-OCTS",))
+        spec = CellSpec(3, "ORTS-OCTS", 30.0, config)
+        runner = SimStudyRunner(config)
+        assert run_cell_spec(spec) == runner.run_cell(3, "ORTS-OCTS", 30.0)
+
+
+class TestCellArtifacts:
+    def test_json_roundtrip_exact(self, tmp_path):
+        config = tiny_config(schemes=("ORTS-OCTS",), topologies=2)
+        cell = run_cell_spec(CellSpec(3, "ORTS-OCTS", 30.0, config))
+        path = tmp_path / "cell.json"
+        save_cell_json(cell, path)
+        assert load_cell_json(path) == cell
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            load_cell_json(path)
+
+    def test_corrupt_artifact_rejected(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"format": "repro-cell-v1", "n": 3,')
+        with pytest.raises(ValueError):
+            load_cell_json(path)
+
+
+class TestCampaignStore:
+    def test_save_load(self, tmp_path):
+        config = tiny_config()
+        store = CampaignStore(tmp_path / "camp", config)
+        spec = CellSpec(3, "ORTS-OCTS", 30.0, config)
+        assert store.load(spec) is None
+        cell = run_cell_spec(spec)
+        store.save(spec, cell)
+        assert store.load(spec) == cell
+        assert store.completed_keys() == {spec.key}
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        directory = tmp_path / "camp"
+        CampaignStore(directory, tiny_config())
+        with pytest.raises(ValueError):
+            CampaignStore(directory, tiny_config(topologies=2))
+
+    def test_same_config_reopens(self, tmp_path):
+        directory = tmp_path / "camp"
+        CampaignStore(directory, tiny_config())
+        CampaignStore(directory, tiny_config())  # no error
+
+    def test_rejects_foreign_manifest(self, tmp_path):
+        directory = tmp_path / "camp"
+        directory.mkdir()
+        (directory / "campaign.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            CampaignStore(directory, tiny_config())
+
+
+class TestCampaignRunner:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(tiny_config(), workers=0)
+
+    def test_specs_cover_grid_in_order(self):
+        config = tiny_config(n_values=(3, 5), beamwidths_deg=(30.0, 90.0))
+        specs = CampaignRunner(config).specs()
+        assert len(specs) == 2 * 2 * 2
+        assert specs[0] == CellSpec(3, "ORTS-OCTS", 30.0, config)
+        assert specs[-1] == CellSpec(5, "DRTS-DCTS", 90.0, config)
+
+    def test_matches_serial_runner(self):
+        config = tiny_config()
+        assert run_campaign(config) == SimStudyRunner(config).run_grid()
+
+    def test_workers_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert CampaignRunner(tiny_config(), workers=None).workers == 1
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            CampaignRunner(tiny_config(), workers=None)
+
+    def test_serial_vs_parallel_identical(self):
+        """Acceptance: serial and 4-worker runs of the same config give
+        identical per-cell results."""
+        config = tiny_config(beamwidths_deg=(30.0, 150.0))  # 4 cells
+        serial = run_campaign(config, workers=1)
+        parallel = run_campaign(config, workers=4)
+        assert serial == parallel
+
+    def test_parallel_store_matches_serial(self, tmp_path):
+        config = tiny_config(beamwidths_deg=(30.0, 150.0))
+        serial = run_campaign(config, workers=1)
+        stored = run_campaign(config, workers=2, directory=tmp_path / "camp")
+        assert stored == serial
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        directory = tmp_path / "camp"
+        config = tiny_config(beamwidths_deg=(30.0, 150.0))
+        first = run_campaign(config, directory=directory)
+        artifacts = sorted(directory.glob("cell-*.json"))
+        assert len(artifacts) == 4
+        # Simulate an interrupted campaign: one cell's artifact missing.
+        removed = artifacts[0]
+        removed.unlink()
+        before = {
+            path: path.stat().st_mtime_ns for path in directory.glob("cell-*.json")
+        }
+        resumed = run_campaign(config, directory=directory)
+        assert resumed == first
+        # The surviving artifacts were not rewritten...
+        after = {path: path.stat().st_mtime_ns for path in before}
+        assert after == before
+        # ...and the missing cell was recomputed.
+        assert removed.exists()
+
+    def test_fully_resumed_campaign_runs_nothing(self, tmp_path, monkeypatch):
+        directory = tmp_path / "camp"
+        config = tiny_config()
+        first = run_campaign(config, directory=directory)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume must not re-run completed cells")
+
+        monkeypatch.setattr(
+            "repro.experiments.campaign.run_cell_spec", boom
+        )
+        assert run_campaign(config, directory=directory) == first
+
+
+class TestKilledCampaignResume:
+    def test_sigkilled_campaign_resumes(self, tmp_path):
+        """Acceptance: kill a 2-worker campaign mid-flight, resume from
+        its directory, and get the same results as a fresh serial run —
+        with the pre-kill artifacts untouched."""
+        directory = tmp_path / "camp"
+        script = (
+            "from repro.dessim import seconds\n"
+            "from repro.experiments import SimStudyConfig, run_campaign\n"
+            "config = SimStudyConfig(n_values=(3,),\n"
+            "    beamwidths_deg=(30.0, 90.0, 150.0),\n"
+            "    schemes=('ORTS-OCTS', 'DRTS-DCTS'),\n"
+            "    topologies=1, sim_time_ns=seconds(0.4))\n"
+            f"run_campaign(config, workers=2, directory={str(directory)!r})\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if list(directory.glob("cell-*.json")) or proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+        survivors = {
+            path: path.stat().st_mtime_ns for path in directory.glob("cell-*.json")
+        }
+        assert len(survivors) < 6 or proc.returncode == 0
+
+        config = SimStudyConfig(
+            n_values=(3,),
+            beamwidths_deg=(30.0, 90.0, 150.0),
+            schemes=("ORTS-OCTS", "DRTS-DCTS"),
+            topologies=1,
+            sim_time_ns=seconds(0.4),
+        )
+        resumed = run_campaign(config, directory=directory)
+        assert len(resumed) == 6
+        assert len(list(directory.glob("cell-*.json"))) == 6
+        # Cells completed before the kill were skipped, not re-run.
+        for path, mtime in survivors.items():
+            assert path.stat().st_mtime_ns == mtime
+        # And the resumed campaign equals a fresh serial one.
+        assert resumed == run_campaign(config)
+
+
+class TestCampaignProgress:
+    def test_reports_skips_and_eta(self):
+        ticks = iter(range(0, 100, 10))
+        lines = []
+        progress = CampaignProgress(
+            clock=lambda: float(next(ticks)), echo=lines.append
+        )
+        config = tiny_config()
+        spec_a, spec_b = CampaignRunner(config).specs()
+        progress.start(2)
+        progress.cell_done(spec_a, skipped=True)
+        progress.cell_done(spec_b, skipped=False)
+        assert lines[0] == "campaign: 2 cells"
+        assert "cached, skipped" in lines[1]
+        assert "[1/2]" in lines[1]
+        assert "[2/2]" in lines[2]
+        assert "eta 0.0s" in lines[2]
+
+    def test_wired_into_runner(self):
+        lines = []
+        ticks = iter(range(0, 1000, 1))
+        progress = CampaignProgress(
+            clock=lambda: float(next(ticks)), echo=lines.append
+        )
+        run_campaign(tiny_config(), progress=progress)
+        assert lines[0] == "campaign: 2 cells"
+        assert len(lines) == 3

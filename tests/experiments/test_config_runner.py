@@ -114,3 +114,26 @@ class TestSimStudyRunner:
         # After the grid, only (n=3, replicate=0) exists in the cache —
         # both schemes reused it.
         assert set(runner._topologies) == {(3, 0)}
+
+
+class TestReplicateSeedPlumbing:
+    def test_seeds_are_registry_derived(self):
+        """Regression: replicate seeds come from the SHA-256 registry
+        derivation, not ``base_seed + replicate`` arithmetic."""
+        from repro.experiments import replicate_seed
+
+        cfg = tiny_config(topologies=2)
+        cell = SimStudyRunner(cfg).run_cell(3, "ORTS-OCTS", 30.0)
+        assert [r.seed for r in cell.results] == [
+            replicate_seed(cfg.base_seed, 3, r) for r in range(2)
+        ]
+        assert all(
+            r.seed != cfg.base_seed + r.replicate for r in cell.results
+        )
+
+    def test_adjacent_base_seeds_share_no_replicate_seed(self):
+        from repro.experiments import replicate_seed
+
+        a = {replicate_seed(2003, 3, r) for r in range(10)}
+        b = {replicate_seed(2004, 3, r) for r in range(10)}
+        assert not a & b

@@ -148,3 +148,27 @@ class TestWarmup:
         assert s.rts_sent == 0
         assert s.delays_ns == []
         assert s.bits_delivered == 0
+
+
+class TestNearIdenticalSamples:
+    def test_underflowing_half_width_keeps_invariant(self):
+        """Regression: when the half-width underflows on near-identical
+        samples, the bounds are clamped to the mean instead of tripping
+        ConfidenceInterval's lower <= mean <= upper check."""
+        base = 0.1 + 0.2  # not exactly representable
+        samples = [base] * 6 + [math.nextafter(base, 1.0)]
+        ci = mean_confidence_interval(samples)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.half_width >= 0.0
+
+    def test_identical_tiny_samples(self):
+        # The mean of eight identical tiny values picks up summation
+        # rounding, so the variance is a denormal-scale artifact; the
+        # clamped interval must still bracket the mean.
+        ci = mean_confidence_interval([2.5e-17] * 8)
+        assert ci.lower <= ci.mean <= ci.upper
+
+    def test_huge_magnitude_samples(self):
+        samples = [1e308, math.nextafter(1e308, 0.0), 1e308]
+        ci = mean_confidence_interval(samples)
+        assert ci.lower <= ci.mean <= ci.upper

@@ -155,3 +155,28 @@ class TestIsolatedPair:
         # failure is detected at the early (missing-CTS) checkpoint.
         assert results.failures > 0
         assert set(results.fail_durations) == {12}
+
+
+class TestActiveListHygiene:
+    def test_active_holds_only_live_handshakes(self):
+        """Regression guard for the filtered-sweep completion rebuild:
+        finished handshakes (``end`` set) never linger in ``_active``,
+        and every engaged node maps to a live handshake."""
+        params = PAPER_PARAMETERS.with_neighbors(8.0).with_beamwidth(
+            math.radians(30)
+        )
+        engine = SlotModelEngine(
+            SlotModelConfig(params=params, p=0.2, seed=7)
+        )
+        results = engine.run(2_000)
+        assert results.initiations > 100  # high p: heavy churn exercised
+        assert all(hs.end < 0 for hs in engine._active)
+        active_ids = {id(hs) for hs in engine._active}
+        assert all(id(hs) in active_ids for hs in engine._engaged.values())
+
+    def test_high_load_counts_consistent(self):
+        params = PAPER_PARAMETERS.with_neighbors(8.0)
+        results = SlotModelEngine(
+            SlotModelConfig(params=params, p=0.3, seed=11)
+        ).run(3_000)
+        assert results.successes + results.failures <= results.initiations

@@ -30,6 +30,15 @@ class TestParser:
         assert args.beamwidths == (30.0, 90.0)
         assert args.topologies == 4
         assert args.capture == 10.0
+        assert args.workers is None  # default: fall back to REPRO_WORKERS
+        assert args.campaign_dir is None
+
+    def test_campaign_option_parsing(self):
+        args = build_parser().parse_args(
+            ["fig6", "--workers", "4", "--campaign-dir", "/tmp/camp"]
+        )
+        assert args.workers == 4
+        assert args.campaign_dir == "/tmp/camp"
 
 
 class TestCommands:
@@ -117,6 +126,21 @@ class TestCommands:
         assert code == 0
         assert "N = 3" in out
         assert "Mbps" in out
+
+    def test_fig6_campaign_resume(self, tmp_path, capsys):
+        argv = [
+            "fig6",
+            "--n-values", "3",
+            "--beamwidths", "90",
+            "--topologies", "1",
+            "--sim-seconds", "0.2",
+            "--campaign-dir", str(tmp_path / "camp"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # second run resumes from artifacts
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "camp" / "campaign.json").exists()
 
     def test_fig7_tiny(self, capsys):
         code = main(
