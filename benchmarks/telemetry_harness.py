@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Perf-gate entry point: run the telemetry bench suite from the repo root.
+
+Thin wrapper around :mod:`repro.obs.bench` so CI (and developers) have a
+stable path that does not depend on ``-m`` module resolution:
+
+    PYTHONPATH=src python benchmarks/telemetry_harness.py \
+        --out BENCH_telemetry.json --check benchmarks/baselines/bench_baseline.json
+
+Regenerate the committed baseline after an *intentional* perf change:
+
+    PYTHONPATH=src python benchmarks/telemetry_harness.py \
+        --write-baseline benchmarks/baselines/bench_baseline.json
+
+See docs/reproducing.md ("Reading the perf gate") for how scores are
+normalized against the host-speed calibration loop.
+"""
+
+import sys
+
+from repro.obs.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

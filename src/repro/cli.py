@@ -193,6 +193,41 @@ def build_parser() -> argparse.ArgumentParser:
     fidelity.add_argument("--slots", type=int, default=30_000)
     fidelity.add_argument("--seed", type=int, default=5)
 
+    profile = sub.add_parser(
+        "profile",
+        help="host-time profile of one simulation cell: per-phase wall "
+        "time plus events/sec (network kernel) or slots/sec (slotsim)",
+    )
+    profile.add_argument(
+        "--kernel", choices=("network", "slotsim"), default="network",
+        help="which substrate to profile (default network)",
+    )
+    profile.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="ORTS-OCTS"
+    )
+    profile.add_argument("--n", type=int, default=3, help="density N")
+    profile.add_argument("--beamwidth", type=float, default=90.0)
+    profile.add_argument(
+        "--sim-seconds", type=float, default=0.5,
+        help="simulated seconds (network kernel)",
+    )
+    profile.add_argument(
+        "--warmup-seconds", type=float, default=0.0,
+        help="warm-up transient before the measured window (network kernel)",
+    )
+    profile.add_argument(
+        "--slots", type=int, default=20_000, help="slot count (slotsim kernel)"
+    )
+    profile.add_argument(
+        "--p", type=float, default=0.05,
+        help="per-slot transmission probability (slotsim kernel)",
+    )
+    profile.add_argument("--seed", type=int, default=2003)
+    profile.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write a repro-profile-v1 JSON snapshot",
+    )
+
     validate = sub.add_parser(
         "validate",
         help="Monte-Carlo check of the closed-form P_ws and throughput",
@@ -205,6 +240,79 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--p", type=float, default=0.05)
     validate.add_argument("--samples", type=int, default=30_000)
     return parser
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``repro profile`` subcommand: phases + throughput rates."""
+    import json
+
+    from .obs import MetricsRegistry, PhaseProfiler, format_profile
+
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    rates: list[tuple[str, int, str]] = []
+    if args.kernel == "network":
+        from .experiments import replicate_seed, replicate_topology
+        from .net.network import NetworkSimulation
+
+        with profiler.phase("topology gen"):
+            topology = replicate_topology(args.seed, args.n, 0)
+        with profiler.phase("build"):
+            simulation = NetworkSimulation(
+                topology,
+                args.scheme,
+                math.radians(args.beamwidth),
+                seed=replicate_seed(args.seed, args.n, 0),
+                metrics=metrics,
+            )
+        simulation.run(
+            seconds(args.sim_seconds),
+            warmup_ns=seconds(args.warmup_seconds) if args.warmup_seconds else 0,
+            profiler=profiler,
+        )
+        events = int(metrics.counter("dessim.events").value)
+        rates.append(("events/sec", events, "event loop"))
+        print(
+            f"profile: network kernel, N={args.n}, {args.scheme}, "
+            f"{args.beamwidth:g}dg, {args.sim_seconds:g}s simulated "
+            f"({events:,} events)"
+        )
+    else:
+        from .slotsim import SlotModelConfig, SlotModelEngine
+
+        params = PAPER_PARAMETERS.with_neighbors(float(args.n)).with_beamwidth(
+            math.radians(args.beamwidth)
+        )
+        with profiler.phase("build"):
+            engine = SlotModelEngine(
+                SlotModelConfig(
+                    params=params, scheme=args.scheme, p=args.p, seed=args.seed
+                ),
+                metrics=metrics,
+            )
+        with profiler.phase("event loop"):
+            engine.run(args.slots)
+        slots = int(metrics.counter("slotsim.slots").value)
+        rates.append(("slots/sec", slots, "event loop"))
+        print(
+            f"profile: slotsim kernel, N={args.n}, {args.scheme}, "
+            f"{args.beamwidth:g}dg, p={args.p:g}, {args.slots:,} slots"
+        )
+    print(format_profile(profiler, rates))
+    if args.json:
+        payload = {
+            "format": "repro-profile-v1",
+            "kernel": args.kernel,
+            "phases": profiler.as_dict(),
+            "rates": {
+                name: profiler.rate(count, label) for name, count, label in rates
+            },
+            **metrics.snapshot(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -342,6 +450,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{analytical.t_fail(args.p):14.2f}  "
                 f"{measured.mean_fail_duration:15.2f}"
             )
+    elif args.command == "profile":
+        return _run_profile(args)
     elif args.command == "validate":
         params = PAPER_PARAMETERS.with_neighbors(args.n).with_beamwidth(
             math.radians(args.beamwidth)

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -60,13 +63,18 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._now: int = 0
         self._queue: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
         self._pending: int = 0
+        # Telemetry is harvested (deltas of the existing counters pushed
+        # into the registry when run() returns), never incremented per
+        # event: the inner loop stays exactly as hot as before whether
+        # or not a registry is attached.
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Clock and introspection.
@@ -173,6 +181,8 @@ class Simulator:
                 f"cannot run until t={until} before now={self._now}"
             )
         self._running = True
+        processed_before = self._events_processed
+        scheduled_before = self._seq
         try:
             while self._queue:
                 time, _seq, event = self._queue[0]
@@ -190,3 +200,12 @@ class Simulator:
                 self._now = max(self._now, until)
         finally:
             self._running = False
+            if self._metrics is not None:
+                self._metrics.counter("dessim.runs").inc()
+                self._metrics.counter("dessim.events").inc(
+                    self._events_processed - processed_before
+                )
+                self._metrics.counter("dessim.scheduled").inc(
+                    self._seq - scheduled_before
+                )
+                self._metrics.gauge("dessim.pending").set(self._pending)

@@ -17,10 +17,12 @@ from .campaign import (
     CampaignStore,
     CellSpec,
     ReplicateMetrics,
+    cell_telemetry,
     replicate_seed,
     replicate_topology,
     run_campaign,
     run_cell_spec,
+    run_cell_spec_telemetry,
 )
 from .ablation import (
     Area3SpanRow,
@@ -69,6 +71,8 @@ __all__ = [
     "replicate_topology",
     "run_campaign",
     "run_cell_spec",
+    "run_cell_spec_telemetry",
+    "cell_telemetry",
     "Fig5Row",
     "run_fig5",
     "format_fig5_table",

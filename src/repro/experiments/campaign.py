@@ -38,14 +38,22 @@ import math
 import os
 import pathlib
 import sys
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable
 
 from ..dessim.rng import RngRegistry
 from ..net.network import NetworkSimulation, SimulationResult
 from ..net.topology import Topology, TopologyConfig, generate_ring_topology
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler, wall_clock
+from ..obs.telemetry import (
+    append_telemetry,
+    read_telemetry,
+    summarize_cells,
+    telemetry_record,
+)
 from .config import SimStudyConfig, workers_from_environment
 
 __all__ = [
@@ -55,6 +63,8 @@ __all__ = [
     "replicate_seed",
     "replicate_topology",
     "run_cell_spec",
+    "run_cell_spec_telemetry",
+    "cell_telemetry",
     "config_fingerprint",
     "CampaignStore",
     "CampaignProgress",
@@ -175,6 +185,8 @@ _TOPOLOGY_MEMO: dict[tuple[int, int, int], Topology] = {}
 def run_cell_spec(
     spec: CellSpec,
     topology: Callable[[int, int], Topology] | None = None,
+    metrics: MetricsRegistry | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> CellResult:
     """Run all replicates of one grid cell.
 
@@ -183,33 +195,44 @@ def run_cell_spec(
         topology: optional ``(n, replicate) -> Topology`` provider (the
             serial runner passes its cross-scheme cache); defaults to a
             per-process memo over :func:`replicate_topology`.
+        metrics: optional telemetry registry threaded through to every
+            replicate's :class:`NetworkSimulation`.
+        profiler: optional phase profiler; accumulates "topology gen",
+            "build", "event loop", and "metrics reduction" host time
+            across replicates.
 
     This is the campaign's worker function: a pure function of ``spec``
     regardless of which process runs it or in what order, which is what
-    makes serial and parallel campaigns byte-identical.
+    makes serial and parallel campaigns byte-identical.  ``metrics``
+    and ``profiler`` are strictly observational: passing them cannot
+    change the returned :class:`CellResult` (the determinism guard in
+    ``tests/obs`` asserts this).
     """
     cfg = spec.config
     results = []
     for replicate in range(cfg.topologies):
-        if topology is not None:
-            topo = topology(spec.n, replicate)
-        else:
-            memo_key = (cfg.base_seed, spec.n, replicate)
-            if memo_key not in _TOPOLOGY_MEMO:
-                _TOPOLOGY_MEMO[memo_key] = replicate_topology(
-                    cfg.base_seed, spec.n, replicate
-                )
-            topo = _TOPOLOGY_MEMO[memo_key]
+        with profiler.phase("topology gen") if profiler else nullcontext():
+            if topology is not None:
+                topo = topology(spec.n, replicate)
+            else:
+                memo_key = (cfg.base_seed, spec.n, replicate)
+                if memo_key not in _TOPOLOGY_MEMO:
+                    _TOPOLOGY_MEMO[memo_key] = replicate_topology(
+                        cfg.base_seed, spec.n, replicate
+                    )
+                topo = _TOPOLOGY_MEMO[memo_key]
         seed = replicate_seed(cfg.base_seed, spec.n, replicate)
-        simulation = NetworkSimulation(
-            topo,
-            spec.scheme,
-            math.radians(spec.beamwidth_deg),
-            seed=seed,
-            mac_params=cfg.mac_params,
-            phy_params=cfg.phy_params,
-        )
-        result = simulation.run(cfg.sim_time_ns)
+        with profiler.phase("build") if profiler else nullcontext():
+            simulation = NetworkSimulation(
+                topo,
+                spec.scheme,
+                math.radians(spec.beamwidth_deg),
+                seed=seed,
+                mac_params=cfg.mac_params,
+                phy_params=cfg.phy_params,
+                metrics=metrics,
+            )
+        result = simulation.run(cfg.sim_time_ns, profiler=profiler)
         results.append(ReplicateMetrics.from_result(replicate, seed, result))
     return CellResult(
         n=spec.n,
@@ -217,6 +240,45 @@ def run_cell_spec(
         beamwidth_deg=spec.beamwidth_deg,
         results=tuple(results),
     )
+
+
+def cell_telemetry(
+    spec: CellSpec, metrics: MetricsRegistry, profiler: PhaseProfiler
+) -> dict:
+    """The ``repro-telemetry-v1`` record for one computed cell."""
+    snapshot = metrics.snapshot()
+    events = snapshot["counters"].get("dessim.events", 0)
+    wall_seconds = profiler.total_seconds
+    return telemetry_record(
+        "cell",
+        key=spec.key,
+        n=spec.n,
+        scheme=spec.scheme,
+        beamwidth_deg=spec.beamwidth_deg,
+        replicates=spec.config.topologies,
+        sim_ns=spec.config.sim_time_ns,
+        wall_seconds=wall_seconds,
+        events_processed=events,
+        events_per_sec=events / wall_seconds if wall_seconds > 0 else 0.0,
+        phases=profiler.as_dict(),
+        **snapshot,
+    )
+
+
+def run_cell_spec_telemetry(
+    spec: CellSpec,
+    topology: Callable[[int, int], Topology] | None = None,
+) -> tuple[CellResult, dict]:
+    """Worker variant that also measures: (cell result, telemetry record).
+
+    Same purity contract as :func:`run_cell_spec` for the *result*; the
+    telemetry record carries host-dependent timings and is excluded
+    from resume/equality semantics.
+    """
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    cell = run_cell_spec(spec, topology=topology, metrics=metrics, profiler=profiler)
+    return cell, cell_telemetry(spec, metrics, profiler)
 
 
 # ----------------------------------------------------------------------
@@ -238,15 +300,20 @@ class CampaignStore:
 
         <directory>/campaign.json            # manifest: format + config fingerprint
         <directory>/cell-<key>.json          # one per completed cell
+        <directory>/telemetry.jsonl          # repro-telemetry-v1, one line per computed cell
 
     The manifest pins the config fingerprint so a directory can only be
     resumed with the exact configuration that started it; cell writes
     are atomic (temp file + rename), so a killed campaign never leaves
-    a truncated artifact behind.
+    a truncated artifact behind.  Telemetry is observational sidecar
+    data: it never enters the fingerprint, and
+    :meth:`merge_telemetry_summary` folds its totals back into the
+    manifest when a campaign finishes.
     """
 
     MANIFEST = "campaign.json"
     MANIFEST_FORMAT = "repro-campaign-v1"
+    TELEMETRY = "telemetry.jsonl"
 
     def __init__(self, directory: str | pathlib.Path, config: SimStudyConfig) -> None:
         self.directory = pathlib.Path(directory)
@@ -301,6 +368,40 @@ class CampaignStore:
             for path in self.directory.glob("cell-*.json")
         }
 
+    # -- telemetry sidecar --------------------------------------------
+
+    @property
+    def telemetry_path(self) -> pathlib.Path:
+        return self.directory / self.TELEMETRY
+
+    def record_telemetry(self, record: dict) -> None:
+        """Append one cell's telemetry line (parent process only)."""
+        append_telemetry(self.telemetry_path, record)
+
+    def load_telemetry(self) -> list[dict]:
+        """Every telemetry record written so far (empty if none)."""
+        if not self.telemetry_path.exists():
+            return []
+        return read_telemetry(self.telemetry_path)
+
+    def merge_telemetry_summary(self) -> dict | None:
+        """Fold telemetry totals into the manifest; returns the summary.
+
+        Re-run safe: the summary is recomputed from the whole JSONL
+        file, so a resumed campaign's manifest reflects every cell ever
+        computed in the directory.  Returns ``None`` (and leaves the
+        manifest untouched) when no telemetry exists.
+        """
+        records = self.load_telemetry()
+        if not records:
+            return None
+        summary = summarize_cells(records)
+        manifest_path = self.directory / self.MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        manifest["telemetry"] = summary
+        _atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
+        return summary
+
 
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
@@ -316,9 +417,9 @@ def _atomic_write_text(path: pathlib.Path, text: str) -> None:
 class CampaignProgress:
     """Per-cell completion lines with elapsed wall time and a crude ETA.
 
-    The clock is injectable for tests; the default reads the host's
-    monotonic clock, which is operator-facing reporting only — simulated
-    time never flows through this class.
+    The clock is injectable for tests; the default is the sanctioned
+    host clock from :mod:`repro.obs.profile`, which is operator-facing
+    reporting only — simulated time never flows through this class.
     """
 
     def __init__(
@@ -327,7 +428,7 @@ class CampaignProgress:
         clock: Callable[[], float] | None = None,
         echo: Callable[[str], None] | None = None,
     ) -> None:
-        self._clock = time.monotonic if clock is None else clock
+        self._clock = wall_clock if clock is None else clock
         self._echo = _echo_stderr if echo is None else echo
         self._total = 0
         self._done = 0
@@ -383,6 +484,7 @@ class CampaignRunner:
         workers: int | None = 1,
         directory: str | pathlib.Path | None = None,
         progress: CampaignProgress | None = None,
+        telemetry: bool = True,
     ) -> None:
         if workers is None:
             workers = workers_from_environment()
@@ -392,6 +494,10 @@ class CampaignRunner:
         self.workers = workers
         self.store = None if directory is None else CampaignStore(directory, config)
         self.progress = progress
+        self.telemetry = telemetry
+        #: Telemetry records of the cells *this* run computed (skipped
+        #: cells re-emit nothing; their lines are already on disk).
+        self.telemetry_records: list[dict] = []
 
     def specs(self) -> list[CellSpec]:
         """Every grid cell, in the canonical (N, scheme, beamwidth) order."""
@@ -429,14 +535,26 @@ class CampaignRunner:
                 return cache[key]
 
             for spec in pending:
-                self._finish(spec, run_cell_spec(spec, topology=provider), results)
+                if self.telemetry:
+                    cell, record = run_cell_spec_telemetry(spec, topology=provider)
+                else:
+                    cell, record = run_cell_spec(spec, topology=provider), None
+                self._finish(spec, cell, results, record)
         else:
+            worker = run_cell_spec_telemetry if self.telemetry else run_cell_spec
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
             ) as pool:
-                futures = {pool.submit(run_cell_spec, spec): spec for spec in pending}
+                futures = {pool.submit(worker, spec): spec for spec in pending}
                 for future in as_completed(futures):
-                    self._finish(futures[future], future.result(), results)
+                    outcome = future.result()
+                    if self.telemetry:
+                        cell, record = outcome
+                    else:
+                        cell, record = outcome, None
+                    self._finish(futures[future], cell, results, record)
+        if self.store is not None and self.telemetry:
+            self.store.merge_telemetry_summary()
         return [results[spec] for spec in specs]
 
     def _finish(
@@ -444,9 +562,14 @@ class CampaignRunner:
         spec: CellSpec,
         cell: CellResult,
         results: dict[CellSpec, CellResult],
+        record: dict | None = None,
     ) -> None:
         if self.store is not None:
             self.store.save(spec, cell)
+        if record is not None:
+            self.telemetry_records.append(record)
+            if self.store is not None:
+                self.store.record_telemetry(record)
         results[spec] = cell
         if self.progress is not None:
             self.progress.cell_done(spec, skipped=False)
@@ -458,11 +581,20 @@ def run_campaign(
     workers: int | None = 1,
     directory: str | pathlib.Path | None = None,
     progress: CampaignProgress | None = None,
+    telemetry: bool = True,
 ) -> list[CellResult]:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it.
 
-    ``workers=None`` reads ``REPRO_WORKERS`` (default 1).
+    ``workers=None`` reads ``REPRO_WORKERS`` (default 1).  With a
+    ``directory``, per-cell telemetry JSONL accumulates next to the
+    cell artifacts and its totals are merged into the manifest;
+    ``telemetry=False`` switches all observation off (results are
+    identical either way).
     """
     return CampaignRunner(
-        config, workers=workers, directory=directory, progress=progress
+        config,
+        workers=workers,
+        directory=directory,
+        progress=progress,
+        telemetry=telemetry,
     ).run()

@@ -4,6 +4,13 @@ Simulated time is :attr:`Simulator.now` — an integer nanosecond counter.
 Reading the wall clock (or any other host entropy source) anywhere in
 the simulator makes results differ between runs and machines, which is
 exactly the failure mode the reproduction exists to rule out.
+
+Both *calls* of banned callables and ``from``-imports that bind one
+locally (``from time import perf_counter``) are flagged: an imported
+clock is a clock about to be read.  The single sanctioned wall-clock
+module is ``repro.obs.profile`` — host-side profiling is *about* the
+host clock — whitelisted via ``[tool.simlint.rules.SL002]`` in
+pyproject.toml, not here, so the exemption is visible configuration.
 """
 
 from __future__ import annotations
@@ -63,18 +70,20 @@ class WallClockRule(Rule):
         "allow": [],
     }
 
+    @staticmethod
+    def _matches(name: str, banned: tuple[str, ...]) -> bool:
+        return any(
+            name == target or name.endswith(f".{target}") for target in banned
+        )
+
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
             return
         banned = tuple(self.options["banned"])  # type: ignore[arg-type]
         for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = module.resolved_call_name(node)
-            if name is None:
-                continue
-            for target in banned:
-                if name == target or name.endswith(f".{target}"):
+            if isinstance(node, ast.Call):
+                name = module.resolved_call_name(node)
+                if name is not None and self._matches(name, banned):
                     yield self.finding(
                         module,
                         node.lineno,
@@ -82,4 +91,17 @@ class WallClockRule(Rule):
                         f"nondeterministic call {name!r}; simulation "
                         "code must use Simulator.now / injected streams",
                     )
-                    break
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-internal
+                for item in node.names:
+                    imported = f"{node.module}.{item.name}"
+                    if self._matches(imported, banned):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            f"nondeterministic import {imported!r}; only "
+                            "the sanctioned profiling module "
+                            "(repro.obs.profile) may read the host clock",
+                        )

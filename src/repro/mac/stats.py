@@ -13,6 +13,10 @@ Everything the paper's evaluation measures comes from these counters:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["MacStats"]
 
@@ -85,6 +89,27 @@ class MacStats:
         self.delays_ns.clear()
         self.data_received = 0
         self.bits_received = 0
+
+    def publish(self, metrics: "MetricsRegistry", prefix: str = "mac") -> None:
+        """Accumulate these counters into a telemetry registry.
+
+        The MAC already counts its hot paths in this bundle; telemetry
+        harvests the totals after a run rather than double-counting
+        inline, so enabling observation costs the MAC nothing.
+        """
+        counter = metrics.counter
+        counter(f"{prefix}.packets_enqueued").inc(self.packets_enqueued)
+        counter(f"{prefix}.packets_delivered").inc(self.packets_delivered)
+        counter(f"{prefix}.packets_dropped").inc(self.packets_dropped)
+        counter(f"{prefix}.bits_delivered").inc(self.bits_delivered)
+        counter(f"{prefix}.rts_sent").inc(self.rts_sent)
+        counter(f"{prefix}.cts_sent").inc(self.cts_sent)
+        counter(f"{prefix}.data_sent").inc(self.data_sent)
+        counter(f"{prefix}.ack_sent").inc(self.ack_sent)
+        counter(f"{prefix}.cts_timeouts").inc(self.cts_timeouts)
+        counter(f"{prefix}.ack_timeouts").inc(self.ack_timeouts)
+        counter(f"{prefix}.data_received").inc(self.data_received)
+        counter(f"{prefix}.bits_received").inc(self.bits_received)
 
     def merge(self, other: "MacStats") -> None:
         """Accumulate another node's counters into this one (for sums)."""

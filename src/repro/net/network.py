@@ -12,9 +12,15 @@ metrics of the innermost ``N`` nodes.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..dessim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.profile import PhaseProfiler
 from ..dessim.rng import RngRegistry
 from ..dessim.trace import Tracer
 from ..mac.config import DSSS_MAC, MacParameters
@@ -90,6 +96,7 @@ class NetworkSimulation:
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         cbr_interval_ns: int | None = None,
         trace: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         """Build the network.
 
@@ -101,6 +108,11 @@ class NetworkSimulation:
                 always-backlogged saturated sources; a positive value
                 gives fixed-interval CBR sources instead, for
                 below-saturation load studies.
+            metrics: optional telemetry registry
+                (:class:`repro.obs.MetricsRegistry`); the kernel,
+                channel, and MAC layers harvest their counters into it.
+                Purely observational — attaching one cannot change
+                simulation results.
         """
         if scheme not in POLICIES:
             raise KeyError(
@@ -111,7 +123,8 @@ class NetworkSimulation:
         self.topology = topology
         self.scheme = scheme
         self.beamwidth = beamwidth
-        self.sim = Simulator()
+        self.metrics = metrics
+        self.sim = Simulator(metrics=metrics)
         self.tracer = Tracer(enabled=trace, capacity=None)
         self.rng = RngRegistry(seed)
         phy = phy_params if phy_params is not None else PhyParameters()
@@ -119,6 +132,7 @@ class NetworkSimulation:
             self.sim,
             phy=phy,
             propagation=UnitDiskPropagation(range_m=topology.config.range_m),
+            metrics=metrics,
         )
         policy = POLICIES[scheme]
 
@@ -163,7 +177,12 @@ class NetworkSimulation:
                     packet_bytes=packet_bytes,
                 )
 
-    def run(self, duration_ns: int, warmup_ns: int = 0) -> SimulationResult:
+    def run(
+        self,
+        duration_ns: int,
+        warmup_ns: int = 0,
+        profiler: "PhaseProfiler | None" = None,
+    ) -> SimulationResult:
         """Start all sources and run, returning post-warm-up metrics.
 
         Args:
@@ -173,6 +192,9 @@ class NetworkSimulation:
                 ends, so cold-start effects (everyone contending at
                 t = 0 with empty NAVs and minimal windows) don't bias
                 short runs.
+            profiler: optional :class:`repro.obs.PhaseProfiler`; the
+                "warmup", "event loop", and "metrics reduction" phases
+                accumulate host time into it.
         """
         if duration_ns <= 0:
             raise ValueError(f"duration must be positive, got {duration_ns}")
@@ -181,14 +203,22 @@ class NetworkSimulation:
         for source in self.sources.values():
             source.start()
         if warmup_ns:
-            self.sim.run(until=self.sim.now + warmup_ns)
-            for mac in self.macs.values():
-                mac.stats.reset()
-        self.sim.run(until=self.sim.now + duration_ns)
-        return SimulationResult(
-            scheme=self.scheme,
-            beamwidth=self.beamwidth,
-            duration_ns=duration_ns,
-            inner_ids=tuple(self.topology.inner_ids),
-            stats={nid: mac.stats for nid, mac in self.macs.items()},
-        )
+            with profiler.phase("warmup") if profiler else nullcontext():
+                self.sim.run(until=self.sim.now + warmup_ns)
+                for mac in self.macs.values():
+                    mac.stats.reset()
+        with profiler.phase("event loop") if profiler else nullcontext():
+            self.sim.run(until=self.sim.now + duration_ns)
+        with profiler.phase("metrics reduction") if profiler else nullcontext():
+            result = SimulationResult(
+                scheme=self.scheme,
+                beamwidth=self.beamwidth,
+                duration_ns=duration_ns,
+                inner_ids=tuple(self.topology.inner_ids),
+                stats={nid: mac.stats for nid, mac in self.macs.items()},
+            )
+            if self.metrics is not None:
+                self.metrics.gauge("net.nodes").set(len(self.macs))
+                for _node_id, mac in sorted(self.macs.items()):
+                    mac.stats.publish(self.metrics)
+        return result

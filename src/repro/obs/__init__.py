@@ -1,0 +1,53 @@
+"""Observability: metrics, host-side profiling, and JSONL telemetry.
+
+The measurement substrate the ROADMAP's "as fast as the hardware
+allows" goal is judged against, in the GloMoSim/Parsec tradition of
+per-layer event counters kept strictly apart from simulated time:
+
+* :mod:`repro.obs.metrics` — named counters / gauges / fixed-bucket
+  histograms (:class:`MetricsRegistry`); disabled registries hand out
+  shared null instruments so hot paths pay (nearly) nothing.
+* :mod:`repro.obs.profile` — the one sanctioned wall-clock module
+  (lint rule SL002): :class:`PhaseProfiler` times labeled host-side
+  phases and reports events/sec and slots/sec.
+* :mod:`repro.obs.telemetry` — schema-versioned JSONL records; the
+  campaign layer writes one per computed cell.
+* :mod:`repro.obs.bench` — the benchmark harness behind the CI
+  perf gate (imported explicitly, not re-exported here, because it
+  pulls in the whole simulation stack).
+"""
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+)
+from .profile import PhaseProfiler, PhaseRecord, format_profile, wall_clock
+from .telemetry import (
+    TELEMETRY_FORMAT,
+    append_telemetry,
+    read_telemetry,
+    summarize_cells,
+    telemetry_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "exponential_bounds",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "format_profile",
+    "wall_clock",
+    "TELEMETRY_FORMAT",
+    "telemetry_record",
+    "append_telemetry",
+    "read_telemetry",
+    "summarize_cells",
+]

@@ -1,0 +1,233 @@
+"""Counters, gauges, and fixed-bucket histograms for the hot paths.
+
+The same philosophy as :class:`repro.dessim.trace.Tracer`: instrumented
+code pays (nearly) nothing when observation is off.  A disabled
+:class:`MetricsRegistry` hands out shared null instruments whose
+``inc``/``set``/``observe`` are empty methods, so components resolve
+their instruments once at construction time and the per-call cost in a
+disabled run is a single no-op method call — and the innermost loops
+(the event kernel, the slot loop) avoid even that by *harvesting* their
+existing counters into the registry when a run ends instead of
+incrementing per event (see ``docs/observability.md``).
+
+Determinism: instruments are write-only from the simulation's point of
+view — nothing in this module feeds back into event order or RNG
+draws, and :meth:`MetricsRegistry.snapshot` iterates names in sorted
+order so emitted telemetry is byte-stable for identical runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "exponential_bounds",
+]
+
+
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot inc by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, node count, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: upper-inclusive bounds plus an overflow bin.
+
+    ``bounds`` must be strictly ascending; an observation ``v`` lands in
+    the first bucket whose bound satisfies ``v <= bound``, or in the
+    overflow bin when it exceeds every bound.  ``counts`` therefore has
+    ``len(bounds) + 1`` entries.  Bounds are fixed at creation so two
+    runs of the same code always bucket identically.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[int | float]) -> None:
+        ordered = tuple(bounds)
+        if not ordered:
+            raise ValueError(f"histogram {name}: need at least one bound")
+        if any(b >= c for b, c in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly ascending, got {ordered}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total: int | float = 0
+
+    def observe(self, value: int | float, count: int = 1) -> None:
+        """Record ``value`` ``count`` times."""
+        if count < 1:
+            raise ValueError(f"histogram {self.name}: count must be >= 1, got {count}")
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.count += count
+        self.total += value * count
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed values (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", (1,))
+
+    def observe(self, value: int | float, count: int = 1) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+def exponential_bounds(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` bucket bounds growing geometrically from ``start``."""
+    if start <= 0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+class MetricsRegistry:
+    """Named instruments, memoized by name.
+
+    ``MetricsRegistry(enabled=False)`` (or the shared
+    :data:`NULL_REGISTRY`) returns shared null instruments from every
+    accessor: nothing is allocated, nothing is recorded, and
+    :meth:`snapshot` is empty.  Asking for the same name with a
+    different instrument kind (or a histogram with different bounds) is
+    an error — names are a flat, global-per-registry namespace,
+    conventionally ``layer.metric`` (``dessim.events``,
+    ``phy.transmissions``, ``mac.rts_sent``).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise ValueError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[int | float]) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        histogram = self._get(name, Histogram, lambda: Histogram(name, bounds))
+        if histogram.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{histogram.bounds}, not {tuple(bounds)}"
+            )
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and repeated harness runs)."""
+        self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: ``{"counters": .., "gauges": .., "histograms": ..}``.
+
+        Names are emitted in sorted order so the snapshot of a
+        deterministic run is itself deterministic.
+        """
+        counters: dict[str, int | float] = {}
+        gauges: dict[str, int | float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if type(instrument) is Counter:
+                counters[name] = instrument.value
+            elif type(instrument) is Gauge:
+                gauges[name] = instrument.value
+            else:
+                assert type(instrument) is Histogram
+                histograms[name] = {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "total": instrument.total,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: Shared disabled registry: the default for instrumented components, so
+#: un-instrumented construction costs one attribute read per instrument.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,129 @@
+"""Host-side phase profiling — the one sanctioned wall-clock module.
+
+Simulated time is :attr:`repro.dessim.Simulator.now`; the *host* clock
+is banned from simulation code by lint rule SL002 precisely because it
+varies between runs and machines.  Profiling, however, is *about* the
+host clock — how long topology generation, warm-up, the event loop,
+and metrics reduction take in real seconds — so this module is the
+single place allowed to read it (``[tool.simlint.rules.SL002]``
+whitelists exactly this file; importing ``time.perf_counter`` anywhere
+else under ``src/`` is a lint error).
+
+Nothing measured here may feed back into the simulation: profilers
+observe runs, they never steer them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterator, Sequence
+
+__all__ = ["wall_clock", "PhaseRecord", "PhaseProfiler", "format_profile"]
+
+
+def wall_clock() -> float:
+    """Monotonic host seconds (the sanctioned wall-clock read)."""
+    return perf_counter()
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Accumulated host time of one labeled phase."""
+
+    label: str
+    seconds: float
+    entries: int
+
+
+class PhaseProfiler:
+    """Accumulates host seconds per labeled phase.
+
+    Phases are accumulating: re-entering ``phase("event loop")`` adds to
+    the same bucket, so per-replicate loops sum naturally.  The clock is
+    injectable for tests; the default is :func:`wall_clock`.
+
+    Example::
+
+        profiler = PhaseProfiler()
+        with profiler.phase("topology"):
+            topology = generate_ring_topology(config, stream)
+        with profiler.phase("event loop"):
+            simulation.run(duration)
+        print(format_profile(profiler, [("events/sec", n_events, "event loop")]))
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = wall_clock if clock is None else clock
+        self._seconds: dict[str, float] = {}
+        self._entries: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Time one ``with`` block under ``label`` (accumulating)."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._seconds[label] = self._seconds.get(label, 0.0) + elapsed
+            self._entries[label] = self._entries.get(label, 0) + 1
+
+    def add(self, label: str, seconds: float) -> None:
+        """Record externally measured seconds under ``label``."""
+        if seconds < 0:
+            raise ValueError(f"phase {label!r}: seconds must be >= 0, got {seconds}")
+        self._seconds[label] = self._seconds.get(label, 0.0) + seconds
+        self._entries[label] = self._entries.get(label, 0) + 1
+
+    def seconds(self, label: str) -> float:
+        """Accumulated seconds of ``label`` (0.0 if never entered)."""
+        return self._seconds.get(label, 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    @property
+    def phases(self) -> tuple[PhaseRecord, ...]:
+        """Phases in first-entered order."""
+        return tuple(
+            PhaseRecord(label, self._seconds[label], self._entries[label])
+            for label in self._seconds
+        )
+
+    def rate(self, count: int | float, label: str) -> float:
+        """``count`` per accumulated second of ``label`` (0.0 if untimed)."""
+        elapsed = self._seconds.get(label, 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return count / elapsed
+
+    def as_dict(self) -> dict[str, float]:
+        """``{label: seconds}`` in first-entered order (JSON-ready)."""
+        return dict(self._seconds)
+
+
+def format_profile(
+    profiler: PhaseProfiler,
+    rates: Sequence[tuple[str, int | float, str]] = (),
+) -> str:
+    """Render a profile as an aligned text table.
+
+    ``rates`` rows are ``(name, count, phase_label)`` — e.g.
+    ``("events/sec", 1_200_000, "event loop")`` — appended below the
+    phase table as throughput lines.
+    """
+    records = profiler.phases
+    lines = ["phase                    seconds      share"]
+    total = profiler.total_seconds
+    for record in records:
+        share = record.seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{record.label:<22} {record.seconds:10.4f}  {share:8.1%}"
+        )
+    lines.append(f"{'total':<22} {total:10.4f}  {1.0:8.1%}" if records else "no phases recorded")
+    for name, count, label in rates:
+        lines.append(f"{name:<22} {profiler.rate(count, label):12,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Structured JSONL telemetry: one line per observed unit of work.
+
+The campaign layer emits one ``repro-telemetry-v1`` record per computed
+grid cell (see :mod:`repro.experiments.campaign`); the record carries
+host-side timings from :class:`~repro.obs.profile.PhaseProfiler` and the
+counter snapshot of a :class:`~repro.obs.metrics.MetricsRegistry`.
+Telemetry is *observational*: it never enters the campaign fingerprint,
+and enabling or disabling it cannot change simulation results (the
+determinism guard in ``tests/obs/test_determinism_guard.py`` asserts
+exactly that).
+
+Record shape::
+
+    {"format": "repro-telemetry-v1", "kind": "cell",
+     "key": "n3-ORTS-OCTS-bw30", "n": 3, "scheme": "ORTS-OCTS",
+     "beamwidth_deg": 30.0, "replicates": 2, "sim_ns": 200000000,
+     "wall_seconds": 1.83, "events_processed": 412345,
+     "events_per_sec": 225325.0,
+     "phases": {"topology": 0.01, "build": 0.02, "event loop": 1.79},
+     "counters": {...}, "gauges": {...}, "histograms": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "telemetry_record",
+    "append_telemetry",
+    "read_telemetry",
+    "summarize_cells",
+]
+
+#: Schema tag carried by every JSONL line.
+TELEMETRY_FORMAT = "repro-telemetry-v1"
+
+
+def telemetry_record(kind: str, **fields) -> dict:
+    """A schema-tagged record; ``fields`` must be JSON-serializable."""
+    if not kind:
+        raise ValueError("telemetry records need a non-empty kind")
+    return {"format": TELEMETRY_FORMAT, "kind": kind, **fields}
+
+
+def append_telemetry(path: str | pathlib.Path, record: dict) -> None:
+    """Append one record as a single JSON line.
+
+    Single-writer by design: the campaign runner appends from the
+    parent process only, so lines are never interleaved even when the
+    cells themselves ran in a worker pool.
+    """
+    if record.get("format") != TELEMETRY_FORMAT:
+        raise ValueError(
+            f"refusing to write a record without format={TELEMETRY_FORMAT!r}; "
+            "build it with telemetry_record()"
+        )
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+
+
+def read_telemetry(path: str | pathlib.Path) -> list[dict]:
+    """Parse a JSONL telemetry file, validating every line's format."""
+    records = []
+    text = pathlib.Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: corrupt telemetry line ({exc})") from exc
+        if record.get("format") != TELEMETRY_FORMAT:
+            raise ValueError(
+                f"{path}:{lineno}: not a telemetry record "
+                f"(format={record.get('format')!r})"
+            )
+        records.append(record)
+    return records
+
+
+def summarize_cells(records: Iterable[dict]) -> dict:
+    """Aggregate cell records for the campaign manifest.
+
+    Returns totals over every ``kind == "cell"`` record: cell count,
+    host seconds, events processed, and the pooled events/sec.  The
+    summary is what ``campaign.json`` embeds so a finished campaign's
+    cost is readable without re-parsing the JSONL.
+    """
+    cells = 0
+    wall_seconds = 0.0
+    events = 0
+    for record in records:
+        if record.get("kind") != "cell":
+            continue
+        cells += 1
+        wall_seconds += record.get("wall_seconds", 0.0)
+        events += record.get("events_processed", 0)
+    return {
+        "format": TELEMETRY_FORMAT,
+        "cells": cells,
+        "wall_seconds": wall_seconds,
+        "events_processed": events,
+        "events_per_sec": events / wall_seconds if wall_seconds > 0 else 0.0,
+    }

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..dessim.engine import Simulator
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from .antenna import AntennaPattern
 from .frames import Frame, FrameType, PhyParameters
 from .propagation import Position, UnitDiskPropagation
@@ -71,6 +72,7 @@ class Channel:
         sim: Simulator,
         phy: PhyParameters | None = None,
         propagation: UnitDiskPropagation | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.phy = phy if phy is not None else PhyParameters()
@@ -80,6 +82,12 @@ class Channel:
         self._radios: dict[int, "Radio"] = {}
         self._next_tx_id = 0
         self.stats = ChannelStats()
+        # Instruments resolved once here: without a registry these are
+        # the shared null instruments, so the per-transmission cost in
+        # an unobserved run is two empty method calls.
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._tx_counter = registry.counter("phy.transmissions")
+        self._airtime_counter = registry.counter("phy.airtime_ns")
 
     # ------------------------------------------------------------------
 
@@ -143,6 +151,8 @@ class Channel:
         )
         self._next_tx_id += 1
         self.stats.record(frame, airtime)
+        self._tx_counter.inc()
+        self._airtime_counter.inc(airtime)
 
         for node_id in self.audible_nodes(sender, pattern):
             radio = self._radios[node_id]

@@ -18,9 +18,13 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..phy.frames import FrameType
 from .model import SlotModelConfig, TorusGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["SlotModelEngine", "SlotModelResults"]
 
@@ -81,9 +85,15 @@ class SlotModelEngine:
     """Runs the abstract slotted protocol on a torus."""
 
     def __init__(
-        self, config: SlotModelConfig, geometry: TorusGeometry | None = None
+        self,
+        config: SlotModelConfig,
+        geometry: TorusGeometry | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = config
+        # Harvested into the registry when run() returns (never per
+        # slot), so the slot loop costs the same with telemetry off.
+        self._metrics = metrics
         # One seed drives placement and all per-slot draws; the slot
         # model is a single-stream Monte-Carlo kernel, not a network of
         # components, so a registry of named streams buys nothing here.
@@ -204,7 +214,27 @@ class SlotModelEngine:
             # 4. Checkpoint decisions and completions.
             self._advance(now, results)
 
+        if self._metrics is not None:
+            self._harvest(results)
         return results
+
+    def _harvest(self, results: SlotModelResults) -> None:
+        """Push one run's outcome counts into the attached registry."""
+        metrics = self._metrics
+        assert metrics is not None
+        metrics.counter("slotsim.slots").inc(results.slots)
+        metrics.counter("slotsim.initiations").inc(results.initiations)
+        metrics.counter("slotsim.successes").inc(results.successes)
+        metrics.counter("slotsim.failures").inc(results.failures)
+        metrics.counter("slotsim.payload_slots").inc(results.payload_slots)
+        # Handshake failure durations bucket naturally at the model's
+        # two checkpoints: the early RTS/CTS give-up and the full
+        # T_succeed spent on a DATA/ACK loss.
+        histogram = metrics.histogram(
+            "slotsim.fail_duration_slots", (self.t_fail_early, self.t_succeed)
+        )
+        for duration, count in sorted(results.fail_durations.items()):
+            histogram.observe(duration, count)
 
     def _slot_clean(
         self,

@@ -156,6 +156,76 @@ class TestWallClockBan:  # SL002
         )
         assert findings == []
 
+    def test_flags_perf_counter_from_import_without_call(self, check):
+        # Binding a banned clock locally is flagged even before any call:
+        # an imported clock is a clock about to be read.
+        findings = check(
+            "SL002",
+            """
+            from time import perf_counter
+
+            CLOCK = perf_counter
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "import" in findings[0].message
+        assert "repro.obs.profile" in findings[0].message
+
+    def test_flags_aliased_perf_counter_import(self, check):
+        findings = check(
+            "SL002",
+            """
+            from time import perf_counter as clock
+
+            def read():
+                return clock()
+            """,
+        )
+        # Once at the import, once at the (alias-resolved) call.
+        assert len(findings) == 2
+
+    def test_plain_time_module_import_is_clean(self, check):
+        # ``import time`` alone binds no clock; only reads are banned.
+        findings = check(
+            "SL002",
+            """
+            import time
+
+            def annotate(t: "time.struct_time"):
+                return t
+            """,
+        )
+        assert findings == []
+
+    def test_sanctioned_profile_module_is_exempt(self, check):
+        source = """
+        from time import perf_counter
+
+        def wall_clock():
+            return perf_counter()
+        """
+        # The repo config (pyproject [tool.simlint.rules.SL002]) allows
+        # exactly obs/profile.py; the same code anywhere else is debt.
+        options = {"allow": ["obs/profile.py"]}
+        clean = check(
+            "SL002", source, path="src/repro/obs/profile.py", options=options
+        )
+        assert clean == []
+        rejected = check(
+            "SL002", source, path="src/repro/obs/telemetry.py", options=options
+        )
+        assert [f.rule_id for f in rejected] == ["SL002", "SL002"]
+
+    def test_repo_config_sanctions_only_obs_profile(self):
+        # Regression for the telemetry PR: the committed pyproject must
+        # whitelist repro.obs.profile — and nothing else — for SL002.
+        import pathlib
+
+        from repro.lint import load_config
+
+        config = load_config(pathlib.Path(__file__).parents[2] / "pyproject.toml")
+        assert config.options_for("SL002") == {"allow": ["obs/profile.py"]}
+
 
 class TestUnitDiscipline:  # SL003
     def test_flags_float_literal_into_schedule(self, check):

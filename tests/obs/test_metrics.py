@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="cannot inc"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_upper_inclusive_bucketing_with_overflow(self):
+        hist = Histogram("d", bounds=(10, 20, 30))
+        hist.observe(10)  # first bucket: v <= 10
+        hist.observe(11)  # second bucket
+        hist.observe(30)  # third bucket
+        hist.observe(31)  # overflow
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.total == 82
+
+    def test_weighted_observation(self):
+        hist = Histogram("d", bounds=(10,))
+        hist.observe(5, count=3)
+        assert hist.counts == [3, 0]
+        assert hist.mean == 5.0
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("d", bounds=(1,)).mean == 0.0
+
+    def test_rejects_unordered_bounds(self):
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("d", bounds=(10, 10))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            Histogram("d", bounds=())
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            Histogram("d", bounds=(1,)).observe(0, count=0)
+
+
+class TestExponentialBounds:
+    def test_geometric_growth(self):
+        assert exponential_bounds(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_bounds(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            exponential_bounds(1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            exponential_bounds(1.0, 2.0, 0)
+
+
+class TestMetricsRegistry:
+    def test_memoizes_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="is a Counter"):
+            registry.gauge("a")
+
+    def test_histogram_bounds_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", bounds=(1, 3))
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("m.depth").set(5)
+        registry.histogram("h.d", bounds=(10,)).observe(4)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["gauges"] == {"m.depth": 5}
+        assert snap["histograms"]["h.d"] == {
+            "bounds": [10],
+            "counts": [1, 0],
+            "count": 1,
+            "total": 4,
+        }
+
+    def test_clear_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.gauge("a") is registry.gauge("b")
+        assert registry.histogram("a", (1,)) is registry.histogram("b", (5, 9))
+
+    def test_null_instruments_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc(100)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1,)).observe(3)
+        assert len(registry) == 0
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_shared_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("x").inc()
+        assert len(NULL_REGISTRY) == 0

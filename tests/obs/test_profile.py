@@ -1,0 +1,103 @@
+"""Unit tests for the phase profiler (injected fake clock throughout)."""
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler, format_profile, wall_clock
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestPhaseProfiler:
+    def test_phase_times_the_block(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=2.0))
+        with profiler.phase("work"):
+            pass
+        assert profiler.seconds("work") == 2.0
+        assert profiler.total_seconds == 2.0
+
+    def test_phases_accumulate_on_reentry(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with profiler.phase("loop"):
+                pass
+        (record,) = profiler.phases
+        assert record.label == "loop"
+        assert record.seconds == 3.0
+        assert record.entries == 3
+
+    def test_phase_records_even_when_block_raises(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=1.0))
+        with pytest.raises(RuntimeError):
+            with profiler.phase("boom"):
+                raise RuntimeError("x")
+        assert profiler.seconds("boom") == 1.0
+
+    def test_phases_keep_first_entered_order(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        for label in ("topology gen", "build", "event loop", "build"):
+            with profiler.phase(label):
+                pass
+        assert [r.label for r in profiler.phases] == [
+            "topology gen",
+            "build",
+            "event loop",
+        ]
+
+    def test_add_records_external_seconds(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        profiler.add("reduce", 0.5)
+        profiler.add("reduce", 0.25)
+        assert profiler.seconds("reduce") == 0.75
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PhaseProfiler(clock=FakeClock()).add("x", -1.0)
+
+    def test_rate(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=2.0))
+        with profiler.phase("event loop"):
+            pass
+        assert profiler.rate(1000, "event loop") == 500.0
+        assert profiler.rate(1000, "never entered") == 0.0
+
+    def test_as_dict_is_json_ready(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=1.0))
+        with profiler.phase("a"):
+            pass
+        assert profiler.as_dict() == {"a": 1.0}
+
+    def test_untimed_phase_reads_zero(self):
+        assert PhaseProfiler(clock=FakeClock()).seconds("nope") == 0.0
+
+
+class TestFormatProfile:
+    def test_table_has_phases_total_and_rates(self):
+        profiler = PhaseProfiler(clock=FakeClock(step=1.0))
+        with profiler.phase("event loop"):
+            pass
+        text = format_profile(profiler, [("events/sec", 5000, "event loop")])
+        assert "event loop" in text
+        assert "total" in text
+        assert "events/sec" in text
+        assert "5,000" in text
+
+    def test_empty_profiler_renders_placeholder(self):
+        assert "no phases recorded" in format_profile(PhaseProfiler(clock=FakeClock()))
+
+
+class TestWallClock:
+    def test_is_monotonic_nondecreasing(self):
+        a = wall_clock()
+        b = wall_clock()
+        assert b >= a

@@ -180,3 +180,37 @@ class TestCommands:
         )
         assert code == 0
         assert "Jain" in capsys.readouterr().out
+
+    def test_profile_network(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--kernel", "network",
+                "--n", "3",
+                "--sim-seconds", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event loop" in out
+        assert "events/sec" in out
+
+    def test_profile_slotsim_with_json(self, tmp_path, capsys):
+        report = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--kernel", "slotsim",
+                "--slots", "500",
+                "--json", str(report),
+            ]
+        )
+        assert code == 0
+        assert "slots/sec" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["format"] == "repro-profile-v1"
+        assert payload["kernel"] == "slotsim"
+        assert "event loop" in payload["phases"]
+        assert payload["counters"]["slotsim.slots"] == 500
