@@ -75,6 +75,96 @@ def test_saturated_network_second(benchmark):
     assert delivered > 0
 
 
+def test_large_topology_transmit_scan(benchmark):
+    """0.2 simulated seconds of a ~200-node directional cell.
+
+    The regime the channel's :class:`~repro.phy.LinkCache` was built
+    for: with 200 nodes and 60-degree beams, every transmit resolves
+    audibility through the sector index instead of an O(N) trig sweep.
+    A regression in the cache hot path (row lookups, sector binning,
+    the transmit loop) shows up here before anywhere else.
+    """
+    from repro.dessim.rng import RngRegistry
+
+    topology = generate_ring_topology(
+        TopologyConfig(n=8, rings=5), RngRegistry(7).stream("placement")
+    )
+
+    def run():
+        net = NetworkSimulation(topology, "DRTS-OCTS", math.pi / 3, seed=1)
+        return net.run(seconds(0.2)).inner_packets_delivered
+
+    assert benchmark(run) > 0
+
+
+def test_mobility_churn_invalidation(benchmark):
+    """Saturated ring with wandering nodes: link-cache invalidation.
+
+    Half the nodes move every simulated millisecond, so each step bumps
+    a position epoch and forces lazy row rebuilds.  Guards the
+    invalidation/rebuild cost the static benches never exercise.
+    """
+    from repro.dessim.rng import RngRegistry
+    from repro.dessim.units import MILLISECOND
+    from repro.mac.config import DSSS_MAC
+    from repro.mac.dcf import DcfMac
+    from repro.mac.neighbors import SnapshotNeighborTable
+    from repro.mac.policy import POLICIES
+    from repro.net.mobility import RandomWaypointMobility
+    from repro.phy.channel import Channel
+    from repro.phy.propagation import Position, UnitDiskPropagation
+    from repro.phy.radio import Radio
+    from repro.traffic.cbr import SaturatedCbrSource
+
+    def run():
+        sim = Simulator()
+        channel = Channel(sim, propagation=UnitDiskPropagation(range_m=250.0))
+        rng = RngRegistry(13)
+        n = 12
+        radios = {
+            nid: Radio(
+                sim,
+                nid,
+                Position(
+                    150.0 * math.cos(2 * math.pi * nid / n),
+                    150.0 * math.sin(2 * math.pi * nid / n),
+                ),
+                channel,
+            )
+            for nid in range(n)
+        }
+        macs = {
+            nid: DcfMac(
+                sim,
+                radios[nid],
+                DSSS_MAC,
+                SnapshotNeighborTable(channel, nid, 10 * MILLISECOND, sim=sim),
+                POLICIES["DRTS-OCTS"],
+                beamwidth=math.pi / 3,
+                rng=rng.stream(f"mac{nid}"),
+            )
+            for nid in range(n)
+        }
+        for nid in range(0, n, 2):
+            RandomWaypointMobility(
+                sim,
+                radios[nid],
+                rng.stream(f"waypoints{nid}"),
+                speed_mps=50.0,
+                bounds=(-250.0, -250.0, 250.0, 250.0),
+                step_ns=MILLISECOND,
+            ).start()
+        for nid in range(n):
+            SaturatedCbrSource(
+                sim, macs[nid], [(nid + 1) % n], rng.stream(f"traffic{nid}")
+            ).start()
+        sim.run(until=seconds(0.2))
+        assert channel.cache is not None and channel.cache.move_seq > n
+        return sim.events_processed
+
+    assert benchmark(run) > 1_000
+
+
 def test_slotsim_throughput(benchmark):
     """10k slots of the abstract model world."""
     config = SlotModelConfig(

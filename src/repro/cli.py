@@ -206,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", choices=sorted(SCHEME_FACTORIES), default="ORTS-OCTS"
     )
     profile.add_argument("--n", type=int, default=3, help="density N")
+    profile.add_argument(
+        "--rings", type=int, default=3,
+        help="concentric rings in the topology (network kernel); "
+        "--n 8 --rings 5 is the ~200-node link-cache bench configuration",
+    )
     profile.add_argument("--beamwidth", type=float, default=90.0)
     profile.add_argument(
         "--sim-seconds", type=float, default=0.5,
@@ -256,7 +261,7 @@ def _run_profile(args: argparse.Namespace) -> int:
         from .net.network import NetworkSimulation
 
         with profiler.phase("topology gen"):
-            topology = replicate_topology(args.seed, args.n, 0)
+            topology = replicate_topology(args.seed, args.n, 0, rings=args.rings)
         with profiler.phase("build"):
             simulation = NetworkSimulation(
                 topology,
@@ -273,9 +278,9 @@ def _run_profile(args: argparse.Namespace) -> int:
         events = int(metrics.counter("dessim.events").value)
         rates.append(("events/sec", events, "event loop"))
         print(
-            f"profile: network kernel, N={args.n}, {args.scheme}, "
-            f"{args.beamwidth:g}dg, {args.sim_seconds:g}s simulated "
-            f"({events:,} events)"
+            f"profile: network kernel, N={args.n}, rings={args.rings}, "
+            f"{args.scheme}, {args.beamwidth:g}dg, "
+            f"{args.sim_seconds:g}s simulated ({events:,} events)"
         )
     else:
         from .slotsim import SlotModelConfig, SlotModelEngine

@@ -12,8 +12,7 @@ nodes.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
@@ -26,24 +25,37 @@ class SimulationError(RuntimeError):
     """Raised on scheduler misuse (scheduling into the past, etc.)."""
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Hold on to the instance to :meth:`Simulator.cancel` it later.
+
+    A ``__slots__`` class rather than a dataclass: one Event is
+    allocated per scheduled callback, so instance dicts were the
+    kernel's single largest allocation cost.
     """
 
-    time: int
-    seq: int
-    callback: Callable[..., None]
-    args: tuple[Any, ...] = ()
-    cancelled: bool = field(default=False, compare=False)
-    # Scheduler bookkeeping hook: fires exactly once, on the transition
-    # from pending to cancelled, and is detached when the event pops so
-    # a late cancel() on an already-fired event cannot double-count.
-    _on_cancel: Callable[[], None] | None = field(
-        default=None, compare=False, repr=False
-    )
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_on_cancel")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+        # Scheduler bookkeeping hook: fires exactly once, on the
+        # transition from pending to cancelled, and is detached when the
+        # event pops so a late cancel() on an already-fired event cannot
+        # double-count.
+        _on_cancel: Callable[[], None] | None = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self._on_cancel = _on_cancel
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it (idempotent)."""
@@ -51,6 +63,13 @@ class Event:
             self.cancelled = True
             if self._on_cancel is not None:
                 self._on_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time}, seq={self.seq}, "
+            f"callback={self.callback!r}, args={self.args!r}, "
+            f"cancelled={self.cancelled})"
+        )
 
 
 class Simulator:
@@ -70,6 +89,9 @@ class Simulator:
         self._events_processed: int = 0
         self._running: bool = False
         self._pending: int = 0
+        # Bound once: attribute access on a method allocates a fresh
+        # bound-method object, and schedule() runs once per event.
+        self._note_cancelled_ref = self._note_cancelled
         # Telemetry is harvested (deltas of the existing counters pushed
         # into the registry when run() returns), never incremented per
         # event: the inner loop stays exactly as hot as before whether
@@ -105,10 +127,25 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        The hottest scheduler entry point (timers route every MAC
+        timeout through here), so the :meth:`schedule_at` body is
+        inlined rather than delegated — one call frame per event saved.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        if not isinstance(time, int):
+            raise SimulationError(
+                f"event times must be integers (ns), got {type(time).__name__}"
+            )
+        seq = self._seq
+        event = Event(time, seq, callback, args, False, self._note_cancelled_ref)
+        heappush(self._queue, (time, seq, event))
+        self._seq = seq + 1
+        self._pending += 1
+        return event
 
     def schedule_at(
         self, time: int, callback: Callable[..., None], *args: Any
@@ -122,15 +159,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(
-            time=time,
-            seq=self._seq,
-            callback=callback,
-            args=args,
-            _on_cancel=self._note_cancelled,
-        )
-        heapq.heappush(self._queue, (time, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        event = Event(time, seq, callback, args, False, self._note_cancelled_ref)
+        heappush(self._queue, (time, seq, event))
+        self._seq = seq + 1
         self._pending += 1
         return event
 
@@ -157,7 +189,7 @@ class Simulator:
             ``True`` if an event ran, ``False`` if the queue was empty.
         """
         while self._queue:
-            time, _seq, event = heapq.heappop(self._queue)
+            time, _seq, event = heappop(self._queue)
             if event.cancelled:
                 continue
             self._pending -= 1
@@ -183,12 +215,19 @@ class Simulator:
         self._running = True
         processed_before = self._events_processed
         scheduled_before = self._seq
+        # Hot loop: the queue, pop, and the horizon are hoisted to
+        # locals — attribute reads per event add up over millions of
+        # events.  ``self._now`` / ``self._events_processed`` stay live
+        # on the instance because callbacks read them mid-run.
+        queue = self._queue
+        pop = heappop
+        horizon = until
         try:
-            while self._queue:
-                time, _seq, event = self._queue[0]
-                if until is not None and time > until:
+            while queue:
+                time, _seq, event = queue[0]
+                if horizon is not None and time > horizon:
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 if event.cancelled:
                     continue
                 self._pending -= 1

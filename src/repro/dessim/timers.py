@@ -24,7 +24,13 @@ class Timer:
 
     Restarting a pending timer cancels the previous expiry; the timer
     fires at most once per :meth:`start`.
+
+    ``__slots__`` and the inlined cancel in :meth:`start` matter: the
+    MAC arms a timer per backoff slot, making start/cancel churn the
+    kernel's hottest caller after the event loop itself.
     """
+
+    __slots__ = ("_sim", "name", "_callback", "_event", "_expiry", "_fire_ref")
 
     def __init__(
         self,
@@ -37,6 +43,10 @@ class Timer:
         self._callback = callback
         self._event: Event | None = None
         self._expiry: int | None = None
+        # Bound once: ``start`` passes ``_fire`` to the scheduler on
+        # every (re)arm, and a fresh bound method per arm is allocation
+        # the backoff slot loop can feel.
+        self._fire_ref = self._fire
 
     @property
     def pending(self) -> bool:
@@ -62,9 +72,13 @@ class Timer:
             raise SimulationError(
                 f"timer {self.name!r}: negative delay {delay}"
             )
-        self.cancel()
-        self._expiry = self._sim.now + delay
-        self._event = self._sim.schedule(delay, self._fire, args)
+        previous = self._event
+        if previous is not None:
+            previous.cancel()
+        sim = self._sim
+        event = sim.schedule(delay, self._fire_ref, args)
+        self._expiry = event.time
+        self._event = event
 
     def cancel(self) -> None:
         """Disarm the timer if pending (idempotent)."""

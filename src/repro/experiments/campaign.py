@@ -90,15 +90,22 @@ def replicate_seed(base_seed: int, n: int, replicate: int) -> int:
     return RngRegistry(base_seed).spawn(f"sim-n{n}-r{replicate}").master_seed
 
 
-def replicate_topology(base_seed: int, n: int, replicate: int) -> Topology:
+def replicate_topology(
+    base_seed: int, n: int, replicate: int, rings: int = 3
+) -> Topology:
     """The ring topology for ``(base_seed, N, replicate)``.
 
     Same derivation the serial runner has always used — a named child
     registry per ``(N, replicate)`` — exposed as a pure function so
     worker processes can regenerate topologies without shared state.
+    ``rings`` widens the layout beyond the paper's 3 (e.g. the
+    200-node ``n=8, rings=5`` profile/bench configuration) without
+    disturbing the rings=3 stream derivation.
     """
     registry = RngRegistry(base_seed).spawn(f"topology-n{n}-r{replicate}")
-    return generate_ring_topology(TopologyConfig(n=n), registry.stream("placement"))
+    return generate_ring_topology(
+        TopologyConfig(n=n, rings=rings), registry.stream("placement")
+    )
 
 
 # ----------------------------------------------------------------------

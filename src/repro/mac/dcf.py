@@ -103,6 +103,9 @@ class DcfMac:
 
         self.backoff = BackoffManager(params, rng)
         self.nav = Nav()
+        # Hoisted: the backoff countdown re-arms its timer once per
+        # slot, and two dataclass-attribute hops per tick add up.
+        self._slot_time_ns = params.slot_time_ns
 
         self.phase = DcfPhase.NO_PACKET
         self.queue: deque[Packet] = deque()
@@ -203,16 +206,17 @@ class DcfMac:
     def _on_ifs_expired(self) -> None:
         if self._backoff_remaining > 0:
             self.phase = DcfPhase.ACCESS_BACKOFF
-            self._slot_timer.start(self.params.slot_time_ns)
+            self._slot_timer.start(self._slot_time_ns)
         else:
             self._transmit_rts()
 
     def _on_slot_expired(self) -> None:
-        self._backoff_remaining -= 1
-        if self._backoff_remaining <= 0:
+        remaining = self._backoff_remaining - 1
+        self._backoff_remaining = remaining
+        if remaining <= 0:
             self._transmit_rts()
         else:
-            self._slot_timer.start(self.params.slot_time_ns)
+            self._slot_timer.start(self._slot_time_ns)
 
     def _on_nav_expired(self) -> None:
         self._maybe_begin_ifs()

@@ -30,20 +30,22 @@ class NeighborTable:
         return self._channel.neighbors_of(self.node_id)
 
     def bearing_to(self, other_id: int) -> float:
-        """True bearing from this node to a neighbor, in radians."""
-        me = self._channel.position_of(self.node_id)
-        other = self._channel.position_of(other_id)
-        if me.distance_to(other) == 0.0:
+        """True bearing from this node to a neighbor, in radians.
+
+        One pair lookup serves both the co-location check and the
+        bearing (the channel's link cache makes it a dict hit).
+        """
+        link = self._channel.link(self.node_id, other_id)
+        if link.distance_m == 0.0:
             raise ValueError(
                 f"nodes {self.node_id} and {other_id} are co-located; "
                 "bearing undefined"
             )
-        return me.bearing_to(other)
+        return link.bearing
 
     def distance_to(self, other_id: int) -> float:
         """True distance from this node to another, in meters."""
-        me = self._channel.position_of(self.node_id)
-        return me.distance_to(self._channel.position_of(other_id))
+        return self._channel.link(self.node_id, other_id).distance_m
 
 
 class SnapshotNeighborTable(NeighborTable):

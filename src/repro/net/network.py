@@ -97,6 +97,7 @@ class NetworkSimulation:
         cbr_interval_ns: int | None = None,
         trace: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        link_cache: bool = True,
     ) -> None:
         """Build the network.
 
@@ -113,6 +114,12 @@ class NetworkSimulation:
                 channel, and MAC layers harvest their counters into it.
                 Purely observational — attaching one cannot change
                 simulation results.
+            link_cache: ``True`` (default) resolves audibility and
+                neighbor queries through the channel's
+                :class:`~repro.phy.LinkCache` fast path; ``False``
+                keeps the naive O(N) trig scan.  Results are
+                bit-identical either way (the equivalence suite pins
+                this) — the flag exists for that comparison.
         """
         if scheme not in POLICIES:
             raise KeyError(
@@ -132,7 +139,7 @@ class NetworkSimulation:
             self.sim,
             phy=phy,
             propagation=UnitDiskPropagation(range_m=topology.config.range_m),
-            metrics=metrics,
+            link_cache=link_cache,
         )
         policy = POLICIES[scheme]
 
@@ -219,6 +226,7 @@ class NetworkSimulation:
             )
             if self.metrics is not None:
                 self.metrics.gauge("net.nodes").set(len(self.macs))
+                self.channel.stats.publish(self.metrics)
                 for _node_id, mac in sorted(self.macs.items()):
                     mac.stats.publish(self.metrics)
         return result

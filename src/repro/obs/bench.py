@@ -1,9 +1,10 @@
 """The telemetry benchmark harness behind the CI perf gate.
 
-Runs a small fixed suite over the three simulation substrates — the
-dessim event kernel, the slotsim Monte-Carlo loop, and one saturated
-network cell — and writes a schema-versioned ``BENCH_telemetry.json``
-snapshot.  ``--check`` compares the snapshot against a committed
+Runs a small fixed suite over the simulation substrates — the dessim
+event kernel, the slotsim Monte-Carlo loop, a saturated network cell,
+a ~200-node directional cell (the link-cache transmit scan), and a
+mobility-churn case (link-cache invalidation) — and writes a
+schema-versioned ``BENCH_telemetry.json`` snapshot.  ``--check`` compares the snapshot against a committed
 baseline (``benchmarks/baselines/bench_baseline.json``) and exits
 non-zero on a >tolerance regression; that exit code *is* the CI
 ``perf-gate`` job.
@@ -138,6 +139,101 @@ def _case_network_cell(sim_seconds: float) -> int:
     return int(metrics.counter("dessim.events").value)
 
 
+def _case_network_large(sim_seconds: float) -> int:
+    """~200-node directional cell: the link-cache transmit scan bench.
+
+    ``n=8, rings=5`` is the configuration the channel fast path was
+    sized against; a narrow beam makes every transmit a sector lookup
+    rather than an O(N) trig sweep, so this case moves when the
+    :class:`~repro.phy.LinkCache` hot path regresses.
+    """
+    from ..dessim import seconds
+    from ..dessim.rng import RngRegistry
+    from ..net import NetworkSimulation, TopologyConfig, generate_ring_topology
+
+    placement = RngRegistry(7).stream("placement")
+    topology = generate_ring_topology(TopologyConfig(n=8, rings=5), placement)
+    metrics = MetricsRegistry()
+    net = NetworkSimulation(
+        topology, "DRTS-OCTS", math.pi / 3, seed=1, metrics=metrics
+    )
+    result = net.run(seconds(sim_seconds))
+    assert result.duration_ns > 0
+    return int(metrics.counter("dessim.events").value)
+
+
+def _case_mobility_churn(sim_seconds: float) -> int:
+    """Saturated ring with wandering nodes: cache-invalidation bench.
+
+    Half the nodes follow random-waypoint mobility with a 1 ms step, so
+    every millisecond of simulated time bumps position epochs and forces
+    the link cache to rebuild rows.  This case moves when invalidation
+    or rebuild cost regresses, which the static cases cannot see.
+    """
+    from ..dessim import Simulator, seconds
+    from ..dessim.rng import RngRegistry
+    from ..dessim.units import MILLISECOND
+    from ..mac.config import DSSS_MAC
+    from ..mac.dcf import DcfMac
+    from ..mac.neighbors import SnapshotNeighborTable
+    from ..mac.policy import POLICIES
+    from ..net.mobility import RandomWaypointMobility
+    from ..phy.channel import Channel
+    from ..phy.propagation import Position, UnitDiskPropagation
+    from ..phy.radio import Radio
+    from ..traffic.cbr import SaturatedCbrSource
+
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=250.0))
+    rng = RngRegistry(13)
+    n = 12
+    radios = {
+        nid: Radio(
+            sim,
+            nid,
+            Position(
+                150.0 * math.cos(2 * math.pi * nid / n),
+                150.0 * math.sin(2 * math.pi * nid / n),
+            ),
+            channel,
+        )
+        for nid in range(n)
+    }
+    macs = {
+        nid: DcfMac(
+            sim,
+            radios[nid],
+            DSSS_MAC,
+            SnapshotNeighborTable(channel, nid, 10 * MILLISECOND, sim=sim),
+            POLICIES["DRTS-OCTS"],
+            beamwidth=math.pi / 3,
+            rng=rng.stream(f"mac{nid}"),
+        )
+        for nid in range(n)
+    }
+    movers = [
+        RandomWaypointMobility(
+            sim,
+            radios[nid],
+            rng.stream(f"waypoints{nid}"),
+            speed_mps=50.0,
+            bounds=(-250.0, -250.0, 250.0, 250.0),
+            step_ns=MILLISECOND,
+        )
+        for nid in range(0, n, 2)
+    ]
+    for mover in movers:
+        mover.start()
+    for nid in range(n):
+        SaturatedCbrSource(
+            sim, macs[nid], [(nid + 1) % n], rng.stream(f"traffic{nid}")
+        ).start()
+    sim.run(until=seconds(sim_seconds))
+    cache = channel.cache
+    assert cache is not None and cache.move_seq > len(movers)
+    return sim.events_processed
+
+
 def _timed(fn: Callable[[], int], repeats: int) -> dict:
     """Best paired (calibration, case) measurement over ``repeats`` runs.
 
@@ -183,6 +279,8 @@ def run_suite(
         ("dessim_event_kernel", lambda: _case_event_kernel(chains, depth)),
         ("slotsim_loop", lambda: _case_slotsim(slotsim_slots)),
         ("network_cell", lambda: _case_network_cell(network_sim_seconds)),
+        ("network_large", lambda: _case_network_large(network_sim_seconds)),
+        ("mobility_churn", lambda: _case_mobility_churn(network_sim_seconds)),
     )
     for name, fn in suite:
         cases[name] = _timed(fn, repeats)

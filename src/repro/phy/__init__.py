@@ -17,6 +17,7 @@ from .antenna import (
 )
 from .channel import Channel, ChannelStats, Transmission
 from .frames import CAPTURE_PHY, DSSS_PHY, FRAME_SIZES, Frame, FrameType, PhyParameters
+from .linkcache import DEFAULT_SECTORS, Link, LinkCache
 from .propagation import Position, UnitDiskPropagation
 from .radio import MacListener, Radio, RadioError, RadioState
 
@@ -29,6 +30,9 @@ __all__ = [
     "Channel",
     "ChannelStats",
     "Transmission",
+    "Link",
+    "LinkCache",
+    "DEFAULT_SECTORS",
     "Frame",
     "FrameType",
     "FRAME_SIZES",

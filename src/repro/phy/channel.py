@@ -8,20 +8,28 @@ audible radio gets a ``signal start`` event after the propagation delay
 and a ``signal end`` event one air time later; everything else —
 collision detection, capture-free corruption, deafness while
 transmitting — is the receiving radio's business.
+
+Audibility is resolved through a :class:`~repro.phy.linkcache.LinkCache`
+by default — per-pair geometry cached with epoch invalidation and
+sector-indexed per-sender rows — which is bit-identical to the naive
+all-radios trig scan (``link_cache=False`` keeps the naive path for
+equivalence testing).  See ``docs/api.md``, "Channel fast path".
 """
 
 from __future__ import annotations
 
+from collections import Counter as CounterDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..dessim.engine import Simulator
-from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from .antenna import AntennaPattern
 from .frames import Frame, FrameType, PhyParameters
+from .linkcache import DEFAULT_SECTORS, Link, LinkCache
 from .propagation import Position, UnitDiskPropagation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.metrics import MetricsRegistry
     from .radio import Radio
 
 __all__ = ["Transmission", "Channel", "ChannelStats"]
@@ -46,22 +54,41 @@ class Transmission:
 
 @dataclass
 class ChannelStats:
-    """Medium-level accounting, mostly for tests and sanity checks."""
+    """Medium-level accounting, harvested into telemetry after a run."""
 
     transmissions: int = 0
-    frames_by_type: dict[FrameType, int] = field(default_factory=dict)
+    frames_by_type: CounterDict[FrameType] = field(default_factory=CounterDict)
     airtime_ns: int = 0
-    airtime_by_type_ns: dict[FrameType, int] = field(default_factory=dict)
+    airtime_by_type_ns: CounterDict[FrameType] = field(default_factory=CounterDict)
 
     def record(self, frame: Frame, airtime_ns: int) -> None:
+        ftype = frame.ftype
         self.transmissions += 1
-        self.frames_by_type[frame.ftype] = (
-            self.frames_by_type.get(frame.ftype, 0) + 1
-        )
+        self.frames_by_type[ftype] += 1
         self.airtime_ns += airtime_ns
-        self.airtime_by_type_ns[frame.ftype] = (
-            self.airtime_by_type_ns.get(frame.ftype, 0) + airtime_ns
-        )
+        self.airtime_by_type_ns[ftype] += airtime_ns
+
+    def publish(self, metrics: "MetricsRegistry", prefix: str = "phy") -> None:
+        """Accumulate these counters into a telemetry registry.
+
+        Same harvest-don't-increment contract as
+        :meth:`repro.mac.stats.MacStats.publish`: the channel counts its
+        hot path in this bundle and telemetry harvests the totals after
+        a run, so an attached registry costs the transmit path nothing.
+        Every frame type is published (zero or not) so snapshot keys are
+        stable across runs; iteration follows the ``FrameType`` enum
+        order, never insertion order.
+        """
+        counter = metrics.counter
+        counter(f"{prefix}.transmissions").inc(self.transmissions)
+        counter(f"{prefix}.airtime_ns").inc(self.airtime_ns)
+        for ftype in FrameType:
+            counter(f"{prefix}.frames.{ftype.value}").inc(
+                self.frames_by_type[ftype]
+            )
+            counter(f"{prefix}.airtime.{ftype.value}_ns").inc(
+                self.airtime_by_type_ns[ftype]
+            )
 
 
 class Channel:
@@ -72,7 +99,8 @@ class Channel:
         sim: Simulator,
         phy: PhyParameters | None = None,
         propagation: UnitDiskPropagation | None = None,
-        metrics: MetricsRegistry | None = None,
+        link_cache: bool = True,
+        sectors: int = DEFAULT_SECTORS,
     ) -> None:
         self.sim = sim
         self.phy = phy if phy is not None else PhyParameters()
@@ -82,12 +110,11 @@ class Channel:
         self._radios: dict[int, "Radio"] = {}
         self._next_tx_id = 0
         self.stats = ChannelStats()
-        # Instruments resolved once here: without a registry these are
-        # the shared null instruments, so the per-transmission cost in
-        # an unobserved run is two empty method calls.
-        registry = metrics if metrics is not None else NULL_REGISTRY
-        self._tx_counter = registry.counter("phy.transmissions")
-        self._airtime_counter = registry.counter("phy.airtime_ns")
+        self._cache: LinkCache | None = (
+            LinkCache(self.propagation, self._radios, sectors=sectors)
+            if link_cache
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -96,14 +123,31 @@ class Channel:
         if radio.node_id in self._radios:
             raise ValueError(f"node id {radio.node_id} already attached")
         self._radios[radio.node_id] = radio
+        if self._cache is not None:
+            self._cache.note_attached(radio.node_id)
 
     @property
     def radios(self) -> dict[int, "Radio"]:
         """Attached radios keyed by node id (read-only view by convention)."""
         return self._radios
 
+    @property
+    def cache(self) -> LinkCache | None:
+        """The link/geometry cache, or ``None`` on the naive path."""
+        return self._cache
+
+    def note_moved(self, node_id: int) -> None:
+        """A radio's position changed (``Radio.position``'s setter)."""
+        if self._cache is not None:
+            self._cache.note_moved(node_id)
+
     def audible_nodes(self, sender: "Radio", pattern: AntennaPattern) -> list[int]:
         """Node ids that would hear a transmission from ``sender``."""
+        if self._cache is not None:
+            return [
+                entry[0]
+                for entry in self._cache.audible_entries(sender.node_id, pattern)
+            ]
         audible = []
         for node_id, radio in self._radios.items():
             if node_id == sender.node_id:
@@ -118,6 +162,8 @@ class Channel:
 
     def neighbors_of(self, node_id: int) -> list[int]:
         """Node ids within range of the given node (omni ground truth)."""
+        if self._cache is not None:
+            return self._cache.neighbors_of(node_id)
         me = self._radios[node_id]
         return [
             other_id
@@ -129,6 +175,25 @@ class Channel:
     def position_of(self, node_id: int) -> Position:
         """Ground-truth position of a node (the oracle neighbor protocol)."""
         return self._radios[node_id].position
+
+    def link(self, src_id: int, dst_id: int) -> Link:
+        """Pair geometry from ``src_id`` to ``dst_id`` (cached when on).
+
+        One lookup serves range, distance, bearing, delay and power —
+        the :class:`~repro.mac.neighbors.NeighborTable` point queries
+        resolve through this instead of re-deriving trig per call.
+        """
+        if self._cache is not None:
+            return self._cache.link(src_id, dst_id)
+        src = self._radios[src_id].position
+        dst = self._radios[dst_id].position
+        return Link(
+            in_range=self.propagation.reaches(src, dst),
+            distance_m=src.distance_to(dst),
+            bearing=src.bearing_to(dst),
+            delay_ns=self.propagation.delay(src, dst),
+            rx_power=self.propagation.rx_power(src, dst),
+        )
 
     # ------------------------------------------------------------------
 
@@ -151,13 +216,21 @@ class Channel:
         )
         self._next_tx_id += 1
         self.stats.record(frame, airtime)
-        self._tx_counter.inc()
-        self._airtime_counter.inc(airtime)
 
+        radios = self._radios
+        schedule = self.sim.schedule
+        if self._cache is not None:
+            for node_id, _bearing, delay, power in self._cache.audible_entries(
+                sender.node_id, pattern
+            ):
+                radio = radios[node_id]
+                schedule(delay, radio.on_signal_start, tx, power)
+                schedule(delay + airtime, radio.on_signal_end, tx)
+            return tx
         for node_id in self.audible_nodes(sender, pattern):
-            radio = self._radios[node_id]
+            radio = radios[node_id]
             delay = self.propagation.delay(sender.position, radio.position)
             power = self.propagation.rx_power(sender.position, radio.position)
-            self.sim.schedule(delay, radio.on_signal_start, tx, power)
-            self.sim.schedule(delay + airtime, radio.on_signal_end, tx)
+            schedule(delay, radio.on_signal_start, tx, power)
+            schedule(delay + airtime, radio.on_signal_end, tx)
         return tx

@@ -118,6 +118,10 @@ class PhyParameters:
                 "capture_threshold must be positive or None, got "
                 f"{self.capture_threshold}"
             )
+        # Air-time memo: airtime_ns is called once per transmission but a
+        # run only ever sees a handful of distinct frame sizes (RTS, CTS,
+        # ACK, data).  Not a dataclass field, so eq/hash are unaffected.
+        object.__setattr__(self, "_airtime_cache", {})
 
     @property
     def bit_time_ns(self) -> int:
@@ -125,10 +129,19 @@ class PhyParameters:
         return 1_000_000_000 // self.bitrate_bps
 
     def airtime_ns(self, size_bytes: int) -> int:
-        """Time to transmit a frame: sync preamble plus payload bits."""
+        """Time to transmit a frame: sync preamble plus payload bits.
+
+        Memoized by frame size (a run sees ~4 distinct sizes).
+        """
+        cache: dict[int, int] = self._airtime_cache  # type: ignore[attr-defined]
+        airtime = cache.get(size_bytes)
+        if airtime is not None:
+            return airtime
         if size_bytes <= 0:
             raise ValueError(f"size_bytes must be positive, got {size_bytes}")
-        return self.sync_time_ns + size_bytes * 8 * self.bit_time_ns
+        airtime = self.sync_time_ns + size_bytes * 8 * self.bit_time_ns
+        cache[size_bytes] = airtime
+        return airtime
 
     def frame_airtime_ns(self, ftype: FrameType) -> int:
         """Air time of a standard-sized frame of the given type."""

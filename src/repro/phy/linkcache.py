@@ -1,0 +1,248 @@
+"""Link/geometry cache: the channel's sector-indexed fast path.
+
+The naive channel answers "who hears this transmission?" with an O(N)
+trig scan — one ``hypot`` + ``atan2`` per attached radio per
+transmission — and the oracle neighbor protocol re-derives its neighbor
+set from ground truth on every query.  Both costs are pure geometry
+that only changes when a node *moves*, which is never (the paper's
+static topologies) or rarely (random-waypoint steps every ~100 ms of
+simulated time, versus thousands of transmissions in between).
+
+This module caches that geometry:
+
+* a **point cache** of :class:`Link` records per ordered node pair —
+  ``(in_range, distance_m, bearing, delay_ns, rx_power)`` — so
+  :meth:`~repro.mac.neighbors.NeighborTable.bearing_to` and
+  ``distance_to`` become one dict lookup;
+* a **row cache** per sender: its in-range neighbors in attach order,
+  binned into angular sectors, so ``audible_nodes`` only inspects the
+  sectors overlapping the transmit beam plus one boundary check per
+  candidate instead of scanning every radio on the medium.
+
+Invalidation is epoch-based and lazy.  Every node carries an epoch that
+:meth:`note_moved` bumps (``Radio.position``'s setter calls it); a
+cached pair record is valid only while both endpoints' epochs match,
+so a move invalidates exactly that node's pair rows and nothing is
+recomputed until the next query that needs it.  Rows additionally
+carry a global move stamp: any move marks all rows stale (a mover can
+enter or leave *any* sender's range), but a stale row's rebuild reuses
+every pair record whose endpoints did not move, so the trig cost of a
+rebuild is proportional to how many nodes actually moved.
+
+Determinism: the cache is bit-identical to the naive scan by
+construction — bearings, delays and powers come from the same
+:class:`~repro.phy.propagation.UnitDiskPropagation` calls on the same
+:class:`~repro.phy.propagation.Position` values, and audible sets are
+emitted in the same attach order the naive loop iterates in
+(``tests/phy/test_linkcache.py`` pins the equivalence property).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, NamedTuple
+
+from .antenna import AntennaPattern, normalize_angle
+from .propagation import UnitDiskPropagation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .radio import Radio
+
+__all__ = ["Link", "LinkCache", "DEFAULT_SECTORS"]
+
+#: Default number of angular bins per sender row.  16 keeps a paper-
+#: sized beam (30-150 degrees) overlapping 2-8 bins while the bin
+#: arrays stay tiny; the per-candidate ``covers`` check makes the
+#: result independent of this value.
+DEFAULT_SECTORS = 16
+
+_TWO_PI = 2 * math.pi
+
+
+class Link(NamedTuple):
+    """Cached geometry of one ordered node pair ``(src -> dst)``."""
+
+    in_range: bool
+    distance_m: float
+    bearing: float
+    delay_ns: int
+    rx_power: float
+
+
+class _Row:
+    """One sender's in-range neighbors, sector-indexed, at a move stamp."""
+
+    __slots__ = ("stamp", "ids", "entries", "bins")
+
+    def __init__(
+        self,
+        stamp: int,
+        ids: list[int],
+        entries: list[tuple[int, float, int, float]],
+        bins: list[list[int]],
+    ) -> None:
+        self.stamp = stamp
+        self.ids = ids
+        self.entries = entries
+        self.bins = bins
+
+
+class LinkCache:
+    """Per-pair geometry cache with sector-indexed audibility rows.
+
+    The cache shares the channel's radio dict (so attach order — the
+    naive scan's iteration order — is preserved) and observes position
+    changes through :meth:`note_moved`.  All public query methods are
+    bit-identical to the naive channel scan they replace.
+    """
+
+    def __init__(
+        self,
+        propagation: UnitDiskPropagation,
+        radios: dict[int, "Radio"],
+        sectors: int = DEFAULT_SECTORS,
+    ) -> None:
+        if sectors < 1:
+            raise ValueError(f"sectors must be >= 1, got {sectors}")
+        self.propagation = propagation
+        self.sectors = sectors
+        self._width = _TWO_PI / sectors
+        self._radios = radios
+        self._epochs: dict[int, int] = {}
+        self._move_seq = 0
+        self._links: dict[tuple[int, int], tuple[int, int, Link]] = {}
+        self._rows: dict[int, _Row] = {}
+
+    # ------------------------------------------------------------------
+    # Invalidation hooks (the channel and radios call these).
+    # ------------------------------------------------------------------
+
+    def note_attached(self, node_id: int) -> None:
+        """A new radio joined the medium: all rows must see it."""
+        self._epochs[node_id] = 0
+        self._move_seq += 1
+
+    def note_moved(self, node_id: int) -> None:
+        """``node_id`` changed position: its pair records are stale."""
+        self._epochs[node_id] = self._epochs.get(node_id, 0) + 1
+        self._move_seq += 1
+
+    # ------------------------------------------------------------------
+    # Point queries.
+    # ------------------------------------------------------------------
+
+    def link(self, src_id: int, dst_id: int) -> Link:
+        """The cached :class:`Link` from ``src_id`` to ``dst_id``."""
+        epoch_src = self._epochs[src_id]
+        epoch_dst = self._epochs[dst_id]
+        key = (src_id, dst_id)
+        cached = self._links.get(key)
+        if (
+            cached is not None
+            and cached[0] == epoch_src
+            and cached[1] == epoch_dst
+        ):
+            return cached[2]
+        src = self._radios[src_id].position
+        dst = self._radios[dst_id].position
+        propagation = self.propagation
+        link = Link(
+            in_range=propagation.reaches(src, dst),
+            distance_m=src.distance_to(dst),
+            bearing=src.bearing_to(dst),
+            delay_ns=propagation.delay(src, dst),
+            rx_power=propagation.rx_power(src, dst),
+        )
+        self._links[key] = (epoch_src, epoch_dst, link)
+        return link
+
+    # ------------------------------------------------------------------
+    # Row queries (the transmit fast path).
+    # ------------------------------------------------------------------
+
+    def _row(self, sender_id: int) -> _Row:
+        row = self._rows.get(sender_id)
+        if row is not None and row.stamp == self._move_seq:
+            return row
+        # Rebuild in attach order; unchanged pairs come straight from
+        # the point cache, so only moved endpoints pay for trig.
+        link = self.link
+        sectors = self.sectors
+        width = self._width
+        ids: list[int] = []
+        entries: list[tuple[int, float, int, float]] = []
+        bins: list[list[int]] = [[] for _ in range(sectors)]
+        for node_id in self._radios:
+            if node_id == sender_id:
+                continue
+            record = link(sender_id, node_id)
+            if not record.in_range:
+                continue
+            # Bearings live in (-pi, pi]; +pi lands on the last bin's
+            # inclusive edge (the beam query scans a one-bin margin, so
+            # the wrap seam is covered either way).
+            sector = int((record.bearing + math.pi) / width)
+            if sector >= sectors:
+                sector = sectors - 1
+            bins[sector].append(len(entries))
+            ids.append(node_id)
+            entries.append(
+                (node_id, record.bearing, record.delay_ns, record.rx_power)
+            )
+        row = _Row(self._move_seq, ids, entries, bins)
+        self._rows[sender_id] = row
+        return row
+
+    def neighbors_of(self, node_id: int) -> list[int]:
+        """In-range node ids in attach order (the naive scan's order)."""
+        return list(self._row(node_id).ids)
+
+    def audible_entries(
+        self, sender_id: int, pattern: AntennaPattern
+    ) -> list[tuple[int, float, int, float]]:
+        """``(node_id, bearing, delay_ns, rx_power)`` per audible radio.
+
+        Attach order, exactly the naive scan's audible set.  The
+        returned list is cache-owned for the omni case — treat it as
+        read-only.
+        """
+        row = self._row(sender_id)
+        entries = row.entries
+        if pattern.is_omni:
+            return entries
+        covers = pattern.covers
+        # Which sector bins can hold a covered bearing?  The beam arc
+        # spans beamwidth radians; scan the bins it straddles plus a
+        # one-bin float-safety margin on each side.  Candidates outside
+        # the beam are rejected by the same `covers` check the naive
+        # scan applies, so the margin costs a comparison, never
+        # correctness.
+        span = int(pattern.beamwidth / self._width) + 4
+        if span >= self.sectors:
+            return [entry for entry in entries if covers(entry[1])]
+        low = normalize_angle(pattern.boresight - pattern.beamwidth / 2.0)
+        start = int((low + math.pi) / self._width) - 1
+        sectors = self.sectors
+        bins = row.bins
+        indices: list[int] = []
+        for offset in range(span):
+            indices.extend(bins[(start + offset) % sectors])
+        indices.sort()  # bin contents are disjoint; sorting restores attach order
+        return [entries[i] for i in indices if covers(entries[i][1])]
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and sizing).
+    # ------------------------------------------------------------------
+
+    @property
+    def move_seq(self) -> int:
+        """Total attach/move bumps observed (row-staleness stamp)."""
+        return self._move_seq
+
+    def epoch_of(self, node_id: int) -> int:
+        """Position epoch of one node (0 until its first move)."""
+        return self._epochs[node_id]
+
+    def cached_pairs(self) -> int:
+        """Number of ordered pairs currently in the point cache."""
+        return len(self._links)

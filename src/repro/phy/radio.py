@@ -84,7 +84,7 @@ class Radio:
     ) -> None:
         self.sim = sim
         self.node_id = node_id
-        self.position = position
+        self._position = position
         self.channel = channel
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.state = RadioState.IDLE
@@ -108,6 +108,22 @@ class Radio:
         self._mac = mac
 
     @property
+    def position(self) -> Position:
+        """Where this radio currently sits on the plane."""
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        """Move the radio; the channel's link cache sees the epoch bump.
+
+        Mobility models assign here (random-waypoint steps land on this
+        setter unchanged); the channel lazily invalidates only this
+        node's cached geometry rows.
+        """
+        self._position = value
+        self.channel.note_moved(self.node_id)
+
+    @property
     def mac(self) -> MacListener:
         if self._mac is None:
             raise RadioError(f"node {self.node_id}: no MAC attached")
@@ -128,7 +144,9 @@ class Radio:
         Our own transmission counts as busy (the MAC must not start a
         second one), and any impinging signal counts as busy.
         """
-        return self.transmitting or bool(self._incoming)
+        # `transmitting` inlined: this property sits on the carrier-
+        # sense path of every signal edge.
+        return self.state is RadioState.TRANSMITTING or bool(self._incoming)
 
     def transmit(self, frame: Frame, pattern: AntennaPattern | None = None) -> None:
         """Radiate a frame with the given antenna pattern (omni default).

@@ -30,6 +30,8 @@ class TestRunSuite:
             "dessim_event_kernel",
             "slotsim_loop",
             "network_cell",
+            "network_large",
+            "mobility_churn",
         }
         for case in payload["cases"].values():
             assert case["count"] > 0

@@ -254,6 +254,22 @@ class TestChannelBookkeeping:
         assert channel.stats.frames_by_type[FrameType.RTS] == 1
         assert channel.stats.airtime_ns == RTS_AIR
 
+    def test_stats_publish_into_registry(self, sim, channel):
+        from repro.obs import MetricsRegistry
+
+        a, _ = make_node(sim, channel, 0, 0, 0)
+        make_node(sim, channel, 1, 200, 0)
+        a.transmit(rts(0, 1))
+        sim.run()
+        metrics = MetricsRegistry()
+        channel.stats.publish(metrics)
+        assert metrics.counter("phy.transmissions").value == 1
+        assert metrics.counter("phy.airtime_ns").value == RTS_AIR
+        assert metrics.counter("phy.frames.rts").value == 1
+        assert metrics.counter("phy.airtime.rts_ns").value == RTS_AIR
+        # Untransmitted types publish explicit zeros: stable snapshot keys.
+        assert metrics.counter("phy.frames.data").value == 0
+
     def test_duplicate_node_id_rejected(self, sim, channel):
         make_node(sim, channel, 0, 0, 0)
         with pytest.raises(ValueError):

@@ -1,0 +1,212 @@
+"""Equivalence suite: the link-cache fast path vs the naive scan.
+
+The channel's :class:`~repro.phy.LinkCache` is a pure optimisation —
+ISSUE: every query it answers must be bit-identical (same values, same
+order) to the naive O(N) trig scan it replaces, on static topologies
+and under mobility with epoch invalidation.  These tests pin that
+property, plus a full-stack determinism guard: a complete
+:class:`~repro.net.NetworkSimulation` run produces identical results
+with the fast path on and off.
+"""
+
+import math
+import random
+
+from repro.dessim import Simulator, seconds
+from repro.net import NetworkSimulation, TopologyConfig, generate_ring_topology
+from repro.phy import (
+    Channel,
+    OmniAntenna,
+    Position,
+    Radio,
+    SectorAntenna,
+    UnitDiskPropagation,
+)
+
+RANGE_M = 300.0
+
+
+def _paired_worlds(positions, range_m=RANGE_M):
+    """Two identical radio fields: one cached channel, one naive."""
+    worlds = []
+    for cached in (True, False):
+        sim = Simulator()
+        channel = Channel(
+            sim,
+            propagation=UnitDiskPropagation(range_m=range_m),
+            link_cache=cached,
+        )
+        radios = [
+            Radio(sim, node_id, pos, channel)
+            for node_id, pos in enumerate(positions)
+        ]
+        worlds.append((channel, radios))
+    (cached_channel, cached_radios), (naive_channel, naive_radios) = worlds
+    assert cached_channel.cache is not None
+    assert naive_channel.cache is None
+    return cached_channel, cached_radios, naive_channel, naive_radios
+
+
+def _random_positions(rng, count, spread=700.0):
+    """A cluster sized so some pairs are in range and some are not."""
+    return [
+        Position(rng.uniform(-spread, spread), rng.uniform(-spread, spread))
+        for _ in range(count)
+    ]
+
+
+def _patterns(rng):
+    """A sweep of patterns: omni plus beams from sliver to full circle."""
+    yield OmniAntenna()
+    for beamwidth in (0.05, math.pi / 6, math.pi / 3, math.pi, 2 * math.pi - 1e-9):
+        yield SectorAntenna(rng.uniform(-math.pi, math.pi), beamwidth)
+    # beamwidth = 2*pi is a SectorAntenna that reports is_omni.
+    yield SectorAntenna(rng.uniform(-math.pi, math.pi), 2 * math.pi)
+
+
+def _assert_equivalent(cached_channel, cached_radios, naive_channel, naive_radios, rng):
+    for node_id in range(len(cached_radios)):
+        assert cached_channel.neighbors_of(node_id) == naive_channel.neighbors_of(
+            node_id
+        )
+        for pattern in _patterns(rng):
+            fast = cached_channel.audible_nodes(cached_radios[node_id], pattern)
+            slow = naive_channel.audible_nodes(naive_radios[node_id], pattern)
+            assert fast == slow, (node_id, pattern)
+
+
+def test_audible_sets_identical_on_random_topologies():
+    """Cached audible/neighbor sets match the naive scan exactly."""
+    for seed in range(8):
+        rng = random.Random(seed)
+        positions = _random_positions(rng, rng.randint(2, 25))
+        _assert_equivalent(*_paired_worlds(positions), rng)
+
+
+def test_link_geometry_matches_naive_channel():
+    """Point-cache Links equal the naive channel's inline computation."""
+    rng = random.Random(99)
+    positions = _random_positions(rng, 12)
+    cached_channel, _, naive_channel, _ = _paired_worlds(positions)
+    for src in range(len(positions)):
+        for dst in range(len(positions)):
+            if src == dst:
+                continue
+            assert cached_channel.link(src, dst) == naive_channel.link(src, dst)
+            # Repeat query is a cache hit and still identical.
+            assert cached_channel.link(src, dst) == naive_channel.link(src, dst)
+
+
+def test_beam_straddling_the_wrap_seam():
+    """Targets at bearings near +/-pi survive the sector-bin wrap."""
+    positions = [Position(0.0, 0.0)]
+    # A fan of nodes hugging the +/-pi seam behind the sender, plus a
+    # node exactly at bearing pi and one on each beam edge.
+    for offset in (-0.3, -0.1, -1e-9, 0.0, 1e-9, 0.1, 0.3):
+        bearing = math.pi + offset
+        positions.append(
+            Position(100.0 * math.cos(bearing), 100.0 * math.sin(bearing))
+        )
+    cached_channel, cached_radios, naive_channel, naive_radios = _paired_worlds(
+        positions
+    )
+    for boresight in (math.pi, -math.pi, math.pi - 0.2, -math.pi + 0.2):
+        for beamwidth in (0.2, 0.6, math.pi / 2):
+            pattern = SectorAntenna(boresight, beamwidth)
+            fast = cached_channel.audible_nodes(cached_radios[0], pattern)
+            slow = naive_channel.audible_nodes(naive_radios[0], pattern)
+            assert fast == slow, (boresight, beamwidth)
+
+
+def test_equivalence_under_mobility():
+    """Moves through Radio.position keep the cache exact.
+
+    Random-waypoint mobility assigns ``radio.position``; the setter
+    bumps the node's epoch, so every later query must reflect the new
+    geometry — applied identically to a naive world.
+    """
+    rng = random.Random(4242)
+    positions = _random_positions(rng, 15)
+    cached_channel, cached_radios, naive_channel, naive_radios = _paired_worlds(
+        positions
+    )
+    cache = cached_channel.cache
+    # Warm every row and pair, then churn: move a random subset, check
+    # full equivalence, repeat.  Stale cached geometry would surface as
+    # a mismatch on the first post-move round.
+    _assert_equivalent(cached_channel, cached_radios, naive_channel, naive_radios, rng)
+    for _ in range(5):
+        movers = rng.sample(range(len(positions)), 4)
+        for node_id in movers:
+            target = Position(rng.uniform(-700, 700), rng.uniform(-700, 700))
+            epoch_before = cache.epoch_of(node_id)
+            cached_radios[node_id].position = target
+            naive_radios[node_id].position = target
+            assert cache.epoch_of(node_id) == epoch_before + 1
+        _assert_equivalent(
+            cached_channel, cached_radios, naive_channel, naive_radios, rng
+        )
+
+
+def test_move_seq_advances_on_attach_and_move():
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=RANGE_M))
+    cache = channel.cache
+    assert cache.move_seq == 0
+    a = Radio(sim, 0, Position(0, 0), channel)
+    Radio(sim, 1, Position(50, 0), channel)
+    assert cache.move_seq == 2
+    a.position = Position(10, 0)
+    assert cache.move_seq == 3
+    assert cache.epoch_of(0) == 1
+    assert cache.epoch_of(1) == 0
+
+
+def test_point_cache_reused_across_row_rebuilds():
+    """A move rebuilds rows but re-derives only the mover's pairs."""
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=RANGE_M))
+    cache = channel.cache
+    radios = [
+        Radio(sim, i, Position(60.0 * i, 0.0), channel) for i in range(6)
+    ]
+    for node_id in range(6):
+        channel.neighbors_of(node_id)
+    warm = cache.cached_pairs()
+    assert warm == 6 * 5
+    radios[0].position = Position(5.0, 0.0)
+    # Requerying one sender's row revalidates that row; pair records
+    # between unmoved endpoints are served from cache (the count cannot
+    # shrink and grows only by re-derived mover pairs).
+    channel.neighbors_of(1)
+    assert cache.cached_pairs() == warm
+
+
+def test_full_network_run_identical_with_and_without_cache():
+    """Determinism guard: the fast path changes nothing observable.
+
+    Two complete NetworkSimulation runs over the same topology, scheme,
+    and seed — one with the link cache, one naive — must agree on every
+    MAC counter, the kernel event count, and the derived figures.
+    """
+    topology = generate_ring_topology(TopologyConfig(n=3), random.Random(7))
+    results = []
+    sims = []
+    for link_cache in (True, False):
+        net = NetworkSimulation(
+            topology,
+            "DRTS-OCTS",
+            math.pi / 3,
+            seed=11,
+            link_cache=link_cache,
+        )
+        results.append(net.run(seconds(0.05)))
+        sims.append(net.sim)
+    fast, slow = results
+    assert fast.stats == slow.stats
+    assert fast.inner_ids == slow.inner_ids
+    assert fast.inner_throughput_bps == slow.inner_throughput_bps
+    assert fast.inner_mean_delay_s == slow.inner_mean_delay_s
+    assert fast.inner_collision_ratio == slow.inner_collision_ratio
+    assert sims[0].events_processed == sims[1].events_processed
+    assert sims[0].now == sims[1].now
