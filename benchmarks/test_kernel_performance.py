@@ -165,6 +165,33 @@ def test_mobility_churn_invalidation(benchmark):
     assert benchmark(run) > 1_000
 
 
+def test_multihop_medium_relay_plane(benchmark):
+    """0.2 simulated seconds of routed flows over a connected cell.
+
+    The full multi-hop stack — greedy geographic routing, per-node
+    forwarding agents, flow sources — on the directional MAC.  Guards
+    the relay plane (queue handling, payload plumbing, delivery
+    listeners), which the single-hop benches never touch.
+    """
+    from repro.dessim.rng import RngRegistry
+    from repro.net import (
+        MultihopNetworkSimulation,
+        generate_connected_ring_topology,
+    )
+
+    topology = generate_connected_ring_topology(
+        TopologyConfig(n=5, rings=2), RngRegistry(2).stream("placement")
+    )
+
+    def run():
+        net = MultihopNetworkSimulation(
+            topology, "DRTS-OCTS", math.pi / 2, seed=1
+        )
+        return net.run(seconds(0.2)).packets_delivered_e2e
+
+    assert benchmark(run) > 0
+
+
 def test_slotsim_throughput(benchmark):
     """10k slots of the abstract model world."""
     config = SlotModelConfig(

@@ -55,6 +55,10 @@ def _float_tuple(raw: str) -> tuple[float, ...]:
     return tuple(float(part) for part in raw.split(",") if part.strip())
 
 
+def _str_tuple(raw: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
 def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--n-values", type=_int_tuple, default=(3, 8),
@@ -141,6 +145,62 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         cmd = sub.add_parser(name, help=help_text)
         _add_sim_options(cmd)
+
+    multihop = sub.add_parser(
+        "multihop",
+        help="end-to-end multi-hop study: routed flows over the relay plane",
+    )
+    multihop.add_argument(
+        "--scheme", type=_str_tuple, default=None, metavar="LIST",
+        help="comma-separated schemes, case/underscore-insensitive "
+        "(e.g. drts_octs); default: all three",
+    )
+    multihop.add_argument(
+        "--beamwidth", type=_float_tuple, default=(30.0, 90.0, 150.0),
+        metavar="LIST", help="comma-separated beamwidths in degrees",
+    )
+    multihop.add_argument(
+        "--router", choices=("greedy", "shortest-path"), default="greedy",
+        help="next-hop strategy (default greedy geographic)",
+    )
+    multihop.add_argument(
+        "--n-values", type=_int_tuple, default=(3,),
+        help="comma-separated densities N (default 3)",
+    )
+    multihop.add_argument(
+        "--rings", type=int, default=3,
+        help="concentric rings in each topology (default 3)",
+    )
+    multihop.add_argument(
+        "--topologies", type=int, default=2,
+        help="random topologies per configuration",
+    )
+    multihop.add_argument(
+        "--sim-seconds", type=float, default=0.5,
+        help="simulated seconds per run",
+    )
+    multihop.add_argument(
+        "--flow-interval-ms", type=float, default=40.0,
+        help="per-flow packet inter-arrival in milliseconds",
+    )
+    multihop.add_argument(
+        "--min-hops", type=int, default=2,
+        help="flow destinations are at least this many hops away",
+    )
+    multihop.add_argument(
+        "--relay-queue", type=int, default=50, help="per-node relay-queue bound"
+    )
+    multihop.add_argument("--ttl", type=int, default=32, help="per-packet hop budget")
+    multihop.add_argument("--seed", type=int, default=2003, help="base seed")
+    multihop.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign worker processes (default: REPRO_WORKERS or 1)",
+    )
+    multihop.add_argument(
+        "--campaign-dir", default=None, metavar="DIR",
+        help="persist one JSON artifact per completed cell under DIR; "
+        "rerunning with the same configuration skips finished cells",
+    )
 
     sub.add_parser("ablation", help="analytical design-choice ablations")
 
@@ -361,6 +421,39 @@ def main(argv: Sequence[str] | None = None) -> int:
                 run_fairness(_sim_config(args), **_campaign_options(args))
             )
         )
+    elif args.command == "multihop":
+        from .dessim.units import milliseconds
+        from .experiments.multihop import (
+            MultihopStudyConfig,
+            format_multihop_table,
+            normalize_scheme,
+            run_multihop,
+        )
+
+        schemes = (
+            tuple(normalize_scheme(s) for s in args.scheme)
+            if args.scheme
+            else ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
+        )
+        config = MultihopStudyConfig(
+            n_values=args.n_values,
+            beamwidths_deg=args.beamwidth,
+            schemes=schemes,
+            topologies=args.topologies,
+            sim_time_ns=seconds(args.sim_seconds),
+            base_seed=args.seed,
+            router=args.router,
+            flow_interval_ns=milliseconds(args.flow_interval_ms),
+            min_flow_hops=args.min_hops,
+            relay_queue=args.relay_queue,
+            ttl=args.ttl,
+            rings=args.rings,
+        )
+        print(
+            f"Multi-hop study: router={args.router}, "
+            f"{config.topologies} topologies, {args.sim_seconds:g}s simulated"
+        )
+        print(format_multihop_table(run_multihop(config, **_campaign_options(args))))
     elif args.command == "ablation":
         print("Fixed p vs optimised p (N=5, theta=30dg):")
         print(format_fixed_p_table(run_fixed_p_ablation()))

@@ -8,7 +8,9 @@
 * :mod:`~repro.experiments.fairness` — the Section-4 fairness claims,
 * :mod:`~repro.experiments.ablation` — design-choice ablations,
 * :mod:`~repro.experiments.campaign` — parallel, resumable grid
-  execution (worker fan-out, per-cell result store, progress/ETA).
+  execution (worker fan-out, per-cell result store, progress/ETA),
+* :mod:`~repro.experiments.multihop` — end-to-end multi-hop study over
+  the routing subsystem (same campaign machinery, ``"multihop"`` cells).
 """
 
 from .campaign import (
@@ -53,6 +55,18 @@ from .mobility_study import (
 )
 from .fig6 import Fig6Cell, format_fig6_table, run_fig6
 from .fig7 import Fig7Cell, format_fig7_table, run_fig7
+from .multihop import (
+    MultihopCell,
+    MultihopReplicateMetrics,
+    MultihopStudyConfig,
+    format_multihop_table,
+    multihop_replicate_topology,
+    normalize_scheme,
+    run_multihop,
+    run_multihop_cell_spec,
+    run_multihop_cell_spec_telemetry,
+    summarize_multihop,
+)
 from .runner import CellResult, SimStudyRunner
 from .table1 import Table1Entry, format_table1, table1_entries
 
@@ -82,6 +96,16 @@ __all__ = [
     "Fig7Cell",
     "run_fig7",
     "format_fig7_table",
+    "MultihopCell",
+    "MultihopReplicateMetrics",
+    "MultihopStudyConfig",
+    "normalize_scheme",
+    "multihop_replicate_topology",
+    "run_multihop",
+    "run_multihop_cell_spec",
+    "run_multihop_cell_spec_telemetry",
+    "summarize_multihop",
+    "format_multihop_table",
     "Table1Entry",
     "table1_entries",
     "format_table1",

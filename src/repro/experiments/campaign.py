@@ -41,7 +41,7 @@ import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, ClassVar
 
 from ..dessim.rng import RngRegistry
 from ..net.network import NetworkSimulation, SimulationResult
@@ -122,6 +122,11 @@ class ReplicateMetrics:
     properties plus provenance (replicate index and derived seed), with
     the per-node event counters left behind in the worker.
     """
+
+    #: Artifact dispatch tag: ``repro-cell-v1`` payloads carry it as
+    #: their ``"kind"`` key so :mod:`repro.experiments.io` knows which
+    #: replicate class to rebuild (multi-hop cells use ``"multihop"``).
+    kind: ClassVar[str] = "sim"
 
     replicate: int
     seed: int
@@ -492,7 +497,27 @@ class CampaignRunner:
         directory: str | pathlib.Path | None = None,
         progress: CampaignProgress | None = None,
         telemetry: bool = True,
+        worker: Callable[..., CellResult] | None = None,
+        worker_telemetry: Callable[..., tuple[CellResult, dict]] | None = None,
+        topology_fn: Callable[[int, int, int], Topology] | None = None,
     ) -> None:
+        """Build the runner.
+
+        Args:
+            worker: cell worker, ``(spec, topology=...) -> CellResult``;
+                defaults to :func:`run_cell_spec`.  Must be a top-level
+                module function — parallel campaigns pickle it to worker
+                processes.  Other studies (e.g. the multi-hop driver in
+                :mod:`repro.experiments.multihop`) plug their own in.
+            worker_telemetry: measuring variant, ``(spec, topology=...)
+                -> (CellResult, telemetry record)``; defaults to
+                :func:`run_cell_spec_telemetry`.
+            topology_fn: ``(base_seed, n, replicate) -> Topology`` used
+                by the serial path's cross-scheme topology cache;
+                defaults to :func:`replicate_topology`.  Must match the
+                derivation the worker uses internally, or serial and
+                parallel runs would diverge.
+        """
         if workers is None:
             workers = workers_from_environment()
         if workers < 1:
@@ -502,6 +527,11 @@ class CampaignRunner:
         self.store = None if directory is None else CampaignStore(directory, config)
         self.progress = progress
         self.telemetry = telemetry
+        self.worker = run_cell_spec if worker is None else worker
+        self.worker_telemetry = (
+            run_cell_spec_telemetry if worker_telemetry is None else worker_telemetry
+        )
+        self.topology_fn = replicate_topology if topology_fn is None else topology_fn
         #: Telemetry records of the cells *this* run computed (skipped
         #: cells re-emit nothing; their lines are already on disk).
         self.telemetry_records: list[dict] = []
@@ -536,19 +566,19 @@ class CampaignRunner:
             def provider(n: int, replicate: int) -> Topology:
                 key = (n, replicate)
                 if key not in cache:
-                    cache[key] = replicate_topology(
+                    cache[key] = self.topology_fn(
                         self.config.base_seed, n, replicate
                     )
                 return cache[key]
 
             for spec in pending:
                 if self.telemetry:
-                    cell, record = run_cell_spec_telemetry(spec, topology=provider)
+                    cell, record = self.worker_telemetry(spec, topology=provider)
                 else:
-                    cell, record = run_cell_spec(spec, topology=provider), None
+                    cell, record = self.worker(spec, topology=provider), None
                 self._finish(spec, cell, results, record)
         else:
-            worker = run_cell_spec_telemetry if self.telemetry else run_cell_spec
+            worker = self.worker_telemetry if self.telemetry else self.worker
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
             ) as pool:
@@ -589,6 +619,9 @@ def run_campaign(
     directory: str | pathlib.Path | None = None,
     progress: CampaignProgress | None = None,
     telemetry: bool = True,
+    worker: Callable[..., CellResult] | None = None,
+    worker_telemetry: Callable[..., tuple[CellResult, dict]] | None = None,
+    topology_fn: Callable[[int, int, int], Topology] | None = None,
 ) -> list[CellResult]:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it.
 
@@ -596,7 +629,9 @@ def run_campaign(
     ``directory``, per-cell telemetry JSONL accumulates next to the
     cell artifacts and its totals are merged into the manifest;
     ``telemetry=False`` switches all observation off (results are
-    identical either way).
+    identical either way).  ``worker``/``worker_telemetry``/
+    ``topology_fn`` plug an alternate study in (see
+    :class:`CampaignRunner`).
     """
     return CampaignRunner(
         config,
@@ -604,4 +639,7 @@ def run_campaign(
         directory=directory,
         progress=progress,
         telemetry=telemetry,
+        worker=worker,
+        worker_telemetry=worker_telemetry,
+        topology_fn=topology_fn,
     ).run()

@@ -98,15 +98,42 @@ def save_grid_csv(cells: Sequence[CellResult], path: str | pathlib.Path) -> None
 CELL_FORMAT = "repro-cell-v1"
 
 
+def _replicate_decoder(kind: str):
+    """The record-rebuild function for one replicate ``kind``.
+
+    Deferred imports keep this module importable from
+    :mod:`repro.experiments.campaign`'s methods without a cycle.
+    """
+    if kind == "sim":
+        return lambda record: ReplicateMetrics(**record)
+    if kind == "multihop":
+        from .multihop import MultihopReplicateMetrics
+
+        return MultihopReplicateMetrics.from_record
+    raise ValueError(f"unknown replicate kind {kind!r}")
+
+
 def cell_to_payload(cell: CellResult) -> dict:
-    """The JSON-serializable form of one grid cell."""
-    return {
+    """The JSON-serializable form of one grid cell.
+
+    The single-hop study's cells omit the ``"kind"`` key (so artifacts
+    written before the multi-hop subsystem stay loadable unchanged);
+    other replicate classes declare a ``kind`` tag that is stored and
+    dispatched on at load time.
+    """
+    kinds = sorted({getattr(r, "kind", "sim") for r in cell.results})
+    if len(kinds) > 1:
+        raise ValueError(f"cell mixes replicate kinds: {kinds}")
+    payload = {
         "format": CELL_FORMAT,
         "n": cell.n,
         "scheme": cell.scheme,
         "beamwidth_deg": cell.beamwidth_deg,
         "replicates": [dataclasses.asdict(r) for r in cell.results],
     }
+    if kinds and kinds[0] != "sim":
+        payload["kind"] = kinds[0]
+    return payload
 
 
 def cell_from_payload(payload: dict) -> CellResult:
@@ -115,13 +142,12 @@ def cell_from_payload(payload: dict) -> CellResult:
         raise ValueError(
             f"not a repro cell payload (format={payload.get('format')!r})"
         )
+    decode = _replicate_decoder(payload.get("kind", "sim"))
     return CellResult(
         n=payload["n"],
         scheme=payload["scheme"],
         beamwidth_deg=payload["beamwidth_deg"],
-        results=tuple(
-            ReplicateMetrics(**record) for record in payload["replicates"]
-        ),
+        results=tuple(decode(record) for record in payload["replicates"]),
     )
 
 

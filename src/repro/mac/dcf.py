@@ -286,6 +286,7 @@ class DcfMac:
             duration_ns=self._handshake_tail_ns(FrameType.DATA, packet.size_bytes),
             handshake_id=self._current_handshake,
             created_ns=packet.created_ns,
+            payload=packet.payload,
         )
         self.phase = DcfPhase.AWAIT_ACK
         self.stats.data_sent += 1

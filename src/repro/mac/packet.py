@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["Packet"]
 
@@ -17,11 +17,16 @@ class Packet:
         size_bytes: payload size on the wire (Table 1: 1460 B).
         created_ns: when the packet entered the MAC queue — the delay
             measurements in Fig. 7 run from here to ACK reception.
+        payload: optional upper-layer metadata carried opaquely on the
+            DATA frame (e.g. a :class:`~repro.route.FlowPayload`
+            routing header).  Excluded from equality — it identifies
+            the network-layer packet, not the MAC transmission.
     """
 
     dst: int
     size_bytes: int
     created_ns: int
+    payload: object | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

@@ -2,6 +2,7 @@
 
 from .confidence import ConfidenceInterval, mean_confidence_interval
 from .fairness import jain_index
+from .flows import FlowMetrics, FlowRecord, FlowStats
 from .measures import (
     aggregate_collision_ratio,
     delay_percentiles,
@@ -14,6 +15,9 @@ from .utilization import UtilizationReport, utilization_report
 
 __all__ = [
     "jain_index",
+    "FlowMetrics",
+    "FlowRecord",
+    "FlowStats",
     "ConfidenceInterval",
     "mean_confidence_interval",
     "delay_percentiles",

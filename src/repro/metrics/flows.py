@@ -1,0 +1,141 @@
+"""Per-flow end-to-end metrics for the multi-hop workload.
+
+The single-hop metrics in :mod:`repro.metrics.measures` stop at MAC
+service; a relayed packet is "delivered" there once per hop.  This
+module measures what the *flow* sees: end-to-end goodput (payload bits
+that reached the final destination), origination-to-destination delay,
+and the hop count each delivered packet actually took.
+
+:class:`FlowMetrics` is the live accumulator wired into the forwarding
+agents during a run; :class:`FlowRecord` is the frozen, JSON-exact
+summary that campaign artifacts persist (ints, and floats that
+round-trip exactly through ``repr``-exact JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dessim.units import SECOND
+
+__all__ = ["FlowStats", "FlowRecord", "FlowMetrics"]
+
+
+@dataclass
+class FlowStats:
+    """Live accumulator for one flow."""
+
+    flow_id: str
+    src: int
+    dst: int
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    bits_delivered: int = 0
+    #: End-to-end delay per delivered packet (origination -> final rx).
+    delays_ns: list[int] = field(default_factory=list)
+    #: MAC hops per delivered packet.
+    hop_counts: list[int] = field(default_factory=list)
+
+    def record_delivery(self, payload_bits: int, delay_ns: int, hops: int) -> None:
+        self.packets_delivered += 1
+        self.bits_delivered += payload_bits
+        self.delays_ns.append(delay_ns)
+        self.hop_counts.append(hops)
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean end-to-end delay in seconds (0.0 with no deliveries)."""
+        if not self.delays_ns:
+            return 0.0
+        return sum(self.delays_ns) / len(self.delays_ns) / SECOND
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count of delivered packets (0.0 with no deliveries)."""
+        if not self.hop_counts:
+            return 0.0
+        return sum(self.hop_counts) / len(self.hop_counts)
+
+    def goodput_bps(self, duration_ns: int) -> float:
+        """Delivered payload bits per second over the window."""
+        if duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ns}")
+        return self.bits_delivered * SECOND / duration_ns
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Frozen per-flow summary, exact under JSON round-trips."""
+
+    flow_id: str
+    src: int
+    dst: int
+    packets_sent: int
+    packets_delivered: int
+    goodput_bps: float
+    mean_delay_s: float
+    mean_hops: float
+
+    @classmethod
+    def from_stats(cls, stats: FlowStats, duration_ns: int) -> "FlowRecord":
+        return cls(
+            flow_id=stats.flow_id,
+            src=stats.src,
+            dst=stats.dst,
+            packets_sent=stats.packets_sent,
+            packets_delivered=stats.packets_delivered,
+            goodput_bps=stats.goodput_bps(duration_ns),
+            mean_delay_s=stats.mean_delay_s,
+            mean_hops=stats.mean_hops,
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of sent packets (0.0 when nothing sent)."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_sent
+
+
+class FlowMetrics:
+    """The network-wide flow table: one :class:`FlowStats` per flow.
+
+    Iteration and summaries run over flows sorted by ``(src, dst)`` so
+    emitted artifacts are byte-stable for identical runs.
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[str, FlowStats] = {}
+
+    def register(self, flow_id: str, src: int, dst: int) -> FlowStats:
+        """Create (or return) the accumulator for one flow."""
+        stats = self._flows.get(flow_id)
+        if stats is None:
+            stats = FlowStats(flow_id=flow_id, src=src, dst=dst)
+            self._flows[flow_id] = stats
+        return stats
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __getitem__(self, flow_id: str) -> FlowStats:
+        return self._flows[flow_id]
+
+    def flows(self) -> list[FlowStats]:
+        """All flows, sorted by (src, dst) for deterministic output."""
+        return sorted(self._flows.values(), key=lambda f: (f.src, f.dst))
+
+    def records(self, duration_ns: int) -> tuple[FlowRecord, ...]:
+        """Frozen per-flow summaries in deterministic order."""
+        return tuple(
+            FlowRecord.from_stats(stats, duration_ns) for stats in self.flows()
+        )
+
+    def reset(self) -> None:
+        """Zero every flow's counters (used to discard warm-up)."""
+        for stats in self._flows.values():
+            stats.packets_sent = 0
+            stats.packets_delivered = 0
+            stats.bits_delivered = 0
+            stats.delays_ns.clear()
+            stats.hop_counts.clear()

@@ -19,13 +19,20 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from ..phy.propagation import Position
 
-__all__ = ["TopologyConfig", "Topology", "TopologyError", "generate_ring_topology"]
+__all__ = [
+    "TopologyConfig",
+    "Topology",
+    "TopologyError",
+    "generate_ring_topology",
+    "generate_connected_ring_topology",
+]
 
 
 class TopologyError(RuntimeError):
@@ -165,3 +172,39 @@ def generate_ring_topology(
         f"no admissible topology in {config.max_attempts} attempts for "
         f"N={config.n}, R={config.range_m}"
     )
+
+
+def generate_connected_ring_topology(
+    config: TopologyConfig,
+    rng: random.Random,
+    *,
+    max_resamples: int = 25,
+) -> Topology:
+    """An admissible placement whose unit-disk graph is connected.
+
+    Multi-hop experiments need every flow destination reachable; the
+    paper's degree conditions admit placements whose outer ring still
+    fragments.  This wrapper resamples (continuing the same ``rng``
+    stream, so the result is a pure function of the stream state) until
+    the connectivity graph has a single component.  If ``max_resamples``
+    admissible-but-partitioned placements go by, it *warns* and returns
+    the last one rather than failing — stranded flows then show up as
+    dead-end drops in the routing metrics, not as a crashed campaign.
+
+    Raises:
+        TopologyError: propagated from :func:`generate_ring_topology`
+            when no admissible placement exists at all.
+    """
+    if max_resamples < 1:
+        raise ValueError(f"max_resamples must be >= 1, got {max_resamples}")
+    for _resample in range(max_resamples):
+        topology = generate_ring_topology(config, rng)
+        if nx.is_connected(topology.connectivity_graph()):
+            return topology
+    warnings.warn(
+        f"no connected topology in {max_resamples} resamples for "
+        f"N={config.n}, rings={config.rings}; proceeding with a partitioned "
+        "placement (unreachable flows will count as dead-end drops)",
+        stacklevel=2,
+    )
+    return topology

@@ -1,16 +1,45 @@
-"""Post-run invariant validation for network simulations.
+"""Topology and post-run invariant validation for network simulations.
 
 A downstream user extending the MAC or PHY wants a cheap way to know
 they broke something.  :func:`validate_simulation` re-checks the
 cross-layer invariants the test suite relies on and returns a list of
 human-readable violations (empty when everything holds).
+
+:func:`connected_components` / :func:`is_connected` answer the
+question multi-hop experiments must ask *before* running: can every
+node reach every other at all?  A partitioned topology silently zeroes
+end-to-end goodput for the stranded flows, which reads as a routing
+failure when it is really a placement artifact — so the multi-hop
+topology generator (:func:`~repro.net.topology
+.generate_connected_ring_topology`) resamples or warns on partitions.
 """
 
 from __future__ import annotations
 
-from .network import NetworkSimulation, SimulationResult
+import networkx as nx
 
-__all__ = ["validate_simulation"]
+from .network import NetworkSimulation, SimulationResult
+from .topology import Topology
+
+__all__ = ["connected_components", "is_connected", "validate_simulation"]
+
+
+def connected_components(topology: Topology) -> list[list[int]]:
+    """Connected components of the unit-disk graph, deterministically.
+
+    Components are each sorted by node id and ordered by their smallest
+    member, so the same topology always yields the same list — safe to
+    hash into artifacts.
+    """
+    graph = topology.connectivity_graph()
+    components = [sorted(component) for component in nx.connected_components(graph)]
+    components.sort(key=lambda component: component[0])
+    return components
+
+
+def is_connected(topology: Topology) -> bool:
+    """Whether every node can reach every other over unit-disk links."""
+    return len(connected_components(topology)) <= 1
 
 
 def validate_simulation(

@@ -2,8 +2,9 @@
 
 Runs a small fixed suite over the simulation substrates — the dessim
 event kernel, the slotsim Monte-Carlo loop, a saturated network cell,
-a ~200-node directional cell (the link-cache transmit scan), and a
-mobility-churn case (link-cache invalidation) — and writes a
+a ~200-node directional cell (the link-cache transmit scan), a
+mobility-churn case (link-cache invalidation), and a routed multi-hop
+cell (the relay plane) — and writes a
 schema-versioned ``BENCH_telemetry.json`` snapshot.  ``--check`` compares the snapshot against a committed
 baseline (``benchmarks/baselines/bench_baseline.json``) and exits
 non-zero on a >tolerance regression; that exit code *is* the CI
@@ -162,6 +163,36 @@ def _case_network_large(sim_seconds: float) -> int:
     return int(metrics.counter("dessim.events").value)
 
 
+def _case_multihop_medium(sim_seconds: float) -> int:
+    """Routed flows over a connected two-ring cell: the relay-plane bench.
+
+    Exercises the full multi-hop stack — greedy geographic routing,
+    per-node forwarding agents, flow sources — on top of the
+    directional MAC, so it moves when the relay plane (queue handling,
+    payload plumbing, delivery listeners) regresses in a way the
+    single-hop cases cannot see.
+    """
+    from ..dessim import seconds
+    from ..dessim.rng import RngRegistry
+    from ..net import (
+        MultihopNetworkSimulation,
+        TopologyConfig,
+        generate_connected_ring_topology,
+    )
+
+    placement = RngRegistry(2).stream("placement")
+    topology = generate_connected_ring_topology(
+        TopologyConfig(n=5, rings=2), placement
+    )
+    metrics = MetricsRegistry()
+    net = MultihopNetworkSimulation(
+        topology, "DRTS-OCTS", math.pi / 2, seed=1, metrics=metrics
+    )
+    result = net.run(seconds(sim_seconds))
+    assert result.packets_originated > 0
+    return int(metrics.counter("dessim.events").value)
+
+
 def _case_mobility_churn(sim_seconds: float) -> int:
     """Saturated ring with wandering nodes: cache-invalidation bench.
 
@@ -281,6 +312,7 @@ def run_suite(
         ("network_cell", lambda: _case_network_cell(network_sim_seconds)),
         ("network_large", lambda: _case_network_large(network_sim_seconds)),
         ("mobility_churn", lambda: _case_mobility_churn(network_sim_seconds)),
+        ("multihop_medium", lambda: _case_multihop_medium(network_sim_seconds)),
     )
     for name, fn in suite:
         cases[name] = _timed(fn, repeats)

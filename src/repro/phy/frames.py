@@ -53,6 +53,10 @@ class Frame:
             statistics can attribute ACK timeouts to their RTS.
         created_ns: time the underlying payload packet entered the MAC
             queue (DATA frames only) — used for delay measurements.
+        payload: opaque upper-layer metadata riding on DATA frames
+            (e.g. a routing header); the PHY and MAC never look inside.
+            Excluded from equality/hashing so frame identity stays a
+            MAC-level notion.
     """
 
     ftype: FrameType
@@ -62,6 +66,7 @@ class Frame:
     duration_ns: int = 0
     handshake_id: int = field(default=-1)
     created_ns: int = field(default=-1)
+    payload: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

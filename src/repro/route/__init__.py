@@ -1,0 +1,38 @@
+"""Multi-hop routing and end-to-end forwarding.
+
+The paper's setting is a *multi-hop* ad hoc network, but its Section-4
+evaluation stops at single-hop saturated traffic.  This package layers
+the missing relay plane between :mod:`repro.mac` and :mod:`repro.net`:
+
+* :class:`~repro.route.router.Router` — the next-hop interface, with
+  two deterministic implementations:
+  :class:`~repro.route.router.GreedyGeographicRouter` (geographic
+  forwarding over the :class:`~repro.mac.neighbors.NeighborTable`
+  location oracle, with a strict-progress dead-end/loop guard) and
+  :class:`~repro.route.router.StaticShortestPathRouter` (hop-count
+  shortest paths precomputed per topology);
+* :class:`~repro.route.forwarding.ForwardingAgent` — one per node,
+  above :class:`~repro.mac.DcfMac`: owns a bounded relay queue with
+  deterministic drop accounting and re-enqueues received transit
+  packets toward their final destination;
+* :class:`~repro.route.stats.RouteStats` — per-node forwarding
+  counters, harvested into telemetry like
+  :class:`~repro.mac.stats.MacStats`.
+
+Everything here obeys the repo's determinism contract: no RNG draws,
+no wall clocks, and iteration over sorted views only — the same seed
+produces bit-identical multi-hop artifacts.
+"""
+
+from .forwarding import FlowPayload, ForwardingAgent
+from .router import GreedyGeographicRouter, Router, StaticShortestPathRouter
+from .stats import RouteStats
+
+__all__ = [
+    "Router",
+    "GreedyGeographicRouter",
+    "StaticShortestPathRouter",
+    "ForwardingAgent",
+    "FlowPayload",
+    "RouteStats",
+]

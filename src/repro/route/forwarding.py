@@ -1,0 +1,206 @@
+"""The per-node forwarding agent: the relay plane above the MAC.
+
+A :class:`ForwardingAgent` owns everything between "this node has a
+packet for a far destination" and "the MAC has a packet for a
+neighbor": next-hop resolution through a
+:class:`~repro.route.router.Router`, a bounded relay queue with
+deterministic drop accounting, and re-enqueueing of received transit
+packets toward their final destination.
+
+Network-layer metadata rides on the MAC's DATA frames as an opaque
+:class:`FlowPayload` (see ``payload`` on
+:class:`~repro.mac.packet.Packet` and :class:`~repro.phy.Frame`), so
+the MAC state machine needs no knowledge of routing — it delivers
+frames to its ``delivery_listeners`` exactly as before, and the agent
+picks out the ones that are flow traffic.
+
+Queueing discipline: the agent keeps *at most one* packet in the MAC
+queue at a time and holds the rest in its own bounded FIFO.  This
+keeps the MAC's head-of-line service order intact while making the
+relay buffer — the thing that actually overflows in a congested
+multi-hop network — explicitly sized and accounted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable
+
+from ..dessim.engine import Simulator
+from ..mac.dcf import DcfMac
+from ..mac.packet import Packet
+from ..phy.frames import Frame, FrameType
+from .router import Router
+from .stats import RouteStats
+
+__all__ = ["FlowPayload", "ForwardingAgent"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowPayload:
+    """Network-layer header of one end-to-end packet.
+
+    Attributes:
+        flow_id: stable flow identifier (``"src->dst"``).
+        src: originating node id.
+        dst: final-destination node id.
+        seq: per-flow sequence number, 0-based.
+        created_ns: origination time — end-to-end delay runs from here
+            to the final destination's reception.
+        hop_count: MAC hops completed so far (0 at the origin).
+    """
+
+    flow_id: str
+    src: int
+    dst: int
+    seq: int
+    created_ns: int
+    hop_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"flow src and dst must differ, got {self.src}")
+        if self.created_ns < 0:
+            raise ValueError(f"created_ns must be >= 0, got {self.created_ns}")
+        if self.hop_count < 0:
+            raise ValueError(f"hop_count must be >= 0, got {self.hop_count}")
+
+
+class ForwardingAgent:
+    """One node's relay plane, layered on its :class:`~repro.mac.DcfMac`.
+
+    Args:
+        sim: the shared simulator (for timestamps only — the agent is
+            purely reactive and schedules no events of its own).
+        mac: the node's MAC entity; the agent registers itself on the
+            MAC's service and delivery listener hooks.
+        router: next-hop oracle shared across the network.
+        max_queue: bound of the relay FIFO; arrivals beyond it are
+            dropped and counted (``dropped_queue_full``).
+        ttl: maximum MAC hops a packet may take; a transit packet whose
+            next hop would exceed it is dropped (``dropped_ttl``).
+            Guards against forwarding loops a router could produce.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: DcfMac,
+        router: Router,
+        *,
+        max_queue: int = 50,
+        ttl: int = 32,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        self.sim = sim
+        self.mac = mac
+        self.router = router
+        self.node_id = mac.node_id
+        self.max_queue = max_queue
+        self.ttl = ttl
+        self.stats = RouteStats()
+        #: (next_hop, payload, size_bytes) awaiting MAC service.
+        self._relay_queue: deque[tuple[int, FlowPayload, int]] = deque()
+        self._mac_busy = False
+        #: Called with (payload, delay_ns, hops) on final delivery here.
+        self.delivery_listeners: list[Callable[[FlowPayload, int, int], None]] = []
+        mac.service_listeners.append(self._on_serviced)
+        mac.delivery_listeners.append(self._on_frame)
+
+    @property
+    def queue_length(self) -> int:
+        """Relay packets waiting (excludes the one in the MAC, if any)."""
+        return len(self._relay_queue)
+
+    # ------------------------------------------------------------------
+    # Origination (called by traffic sources).
+    # ------------------------------------------------------------------
+
+    def originate(self, payload: FlowPayload, size_bytes: int) -> bool:
+        """Inject one end-to-end packet at its origin.
+
+        Returns ``True`` when the packet entered the relay queue,
+        ``False`` when it was dropped (dead end or queue full) — the
+        drop is already accounted in :attr:`stats` either way.
+        """
+        if payload.src != self.node_id:
+            raise ValueError(
+                f"node {self.node_id} originating a packet with src {payload.src}"
+            )
+        self.stats.originated += 1
+        return self._accept(payload, size_bytes)
+
+    # ------------------------------------------------------------------
+    # Relay queue.
+    # ------------------------------------------------------------------
+
+    def _accept(self, payload: FlowPayload, size_bytes: int) -> bool:
+        """Resolve the next hop and queue the packet, accounting drops."""
+        next_hop = self.router.next_hop(self.node_id, payload.dst)
+        if next_hop is None:
+            self.stats.dropped_dead_end += 1
+            return False
+        if len(self._relay_queue) >= self.max_queue:
+            self.stats.dropped_queue_full += 1
+            return False
+        self._relay_queue.append((next_hop, payload, size_bytes))
+        self._feed()
+        return True
+
+    def _feed(self) -> None:
+        """Hand the MAC its next packet, one at a time."""
+        if self._mac_busy or not self._relay_queue:
+            return
+        next_hop, payload, size_bytes = self._relay_queue.popleft()
+        self._mac_busy = True
+        self.mac.enqueue(
+            Packet(
+                dst=next_hop,
+                size_bytes=size_bytes,
+                created_ns=self.sim.now,
+                payload=payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # MAC callbacks.
+    # ------------------------------------------------------------------
+
+    def _on_serviced(self, packet: Packet, delivered: bool) -> None:
+        if not isinstance(packet.payload, FlowPayload):
+            return  # not ours (co-resident single-hop traffic)
+        self._mac_busy = False
+        if not delivered:
+            self.stats.dropped_mac += 1
+        self._feed()
+
+    def _on_frame(self, frame: Frame) -> None:
+        payload = frame.payload
+        if frame.ftype is not FrameType.DATA or not isinstance(
+            payload, FlowPayload
+        ):
+            return
+        hops = payload.hop_count + 1
+        if payload.dst == self.node_id:
+            self.stats.delivered += 1
+            delay_ns = self.sim.now - payload.created_ns
+            for listener in self.delivery_listeners:
+                listener(payload, delay_ns, hops)
+            return
+        # Transit: one hop consumed, re-route toward the destination.
+        if hops >= self.ttl:
+            self.stats.dropped_ttl += 1
+            return
+        hopped = dataclasses.replace(payload, hop_count=hops)
+        if self._accept(hopped, frame.size_bytes):
+            self.stats.forwarded += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ForwardingAgent(node={self.node_id}, queue={self.queue_length}, "
+            f"busy={self._mac_busy})"
+        )

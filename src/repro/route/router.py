@@ -1,0 +1,156 @@
+"""Next-hop selection: the Router interface and two implementations.
+
+Both routers are *deterministic*: given the same topology they answer
+every ``next_hop`` query identically, with ties broken by smallest
+node id.  Neither draws randomness, so routing can never perturb the
+MAC/traffic RNG streams.
+
+:class:`GreedyGeographicRouter` is the natural companion to the
+paper's neighbor-protocol assumption — Section 4 grants the MAC a
+protocol that knows every neighbor's location, and greedy geographic
+forwarding needs exactly that and nothing more.  It forwards to the
+in-range neighbor that makes the most progress toward the destination
+and refuses to forward when no neighbor is *strictly* closer than the
+current node (the classic dead-end guard, which also makes routes
+provably loop-free: the remaining distance decreases at every hop).
+
+:class:`StaticShortestPathRouter` is the ground-truth baseline: a
+hop-count shortest-path (breadth-first) next-hop table precomputed
+over the topology's unit-disk connectivity graph.  Where greedy
+forwarding can strand a packet in a local minimum, the static router
+delivers whenever a path exists — the gap between the two is itself a
+measurement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Mapping, Protocol
+
+from ..mac.neighbors import NeighborTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: net.multihop imports us
+    from ..net.topology import Topology
+
+__all__ = ["Router", "GreedyGeographicRouter", "StaticShortestPathRouter"]
+
+
+class Router(Protocol):
+    """Answers one question: from ``current``, where next toward ``dst``?"""
+
+    def next_hop(self, current: int, dst: int) -> int | None:
+        """The neighbor to relay through, or ``None`` when stuck.
+
+        ``None`` means the router has no admissible next hop (greedy
+        dead end, or no path in the connectivity graph); the caller
+        accounts the packet as a dead-end drop.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class GreedyGeographicRouter:
+    """Greedy geographic forwarding over the location oracle.
+
+    Args:
+        tables: one :class:`~repro.mac.neighbors.NeighborTable` per
+            node id — the *same* objects the MACs consult, so a stale
+            :class:`~repro.mac.neighbors.SnapshotNeighborTable` can be
+            substituted and the router degrades with it.
+
+    The next hop for ``(current, dst)`` is the in-range neighbor that
+    minimizes the remaining distance to ``dst``, provided that distance
+    is strictly smaller than the current node's own — otherwise the
+    packet is at a local minimum and the router reports a dead end
+    rather than looping.  Ties (equidistant neighbors) break toward
+    the smallest node id.
+    """
+
+    def __init__(self, tables: Mapping[int, NeighborTable]) -> None:
+        if not tables:
+            raise ValueError("need at least one neighbor table")
+        self._tables = dict(tables)
+
+    def next_hop(self, current: int, dst: int) -> int | None:
+        if current == dst:
+            raise ValueError(f"node {current} routing to itself")
+        table = self._tables[current]
+        best_id: int | None = None
+        best_distance = table.distance_to(dst)
+        for neighbor in sorted(table.neighbor_ids()):
+            if neighbor == dst:
+                return dst  # destination in range: done
+            neighbor_table = self._tables.get(neighbor)
+            if neighbor_table is None:
+                continue  # not a routing participant
+            distance = neighbor_table.distance_to(dst)
+            if distance < best_distance:
+                best_id = neighbor
+                best_distance = distance
+        return best_id
+
+
+class StaticShortestPathRouter:
+    """Hop-count shortest-path next-hop table over the ground truth.
+
+    Precomputed per topology with a deterministic breadth-first search
+    from every destination (neighbors visited in ascending id order),
+    so among equal-length paths the one through the smallest-id parent
+    always wins.  Queries are O(1) dict lookups; unreachable pairs
+    answer ``None``.
+    """
+
+    def __init__(self, next_hops: Mapping[tuple[int, int], int]) -> None:
+        self._next_hops = dict(next_hops)
+
+    @classmethod
+    def from_topology(cls, topology: "Topology") -> "StaticShortestPathRouter":
+        """Build the table from a topology's unit-disk connectivity."""
+        graph = topology.connectivity_graph()
+        adjacency = {
+            node: sorted(graph.neighbors(node)) for node in sorted(graph.nodes)
+        }
+        return cls(cls._bfs_next_hops(adjacency))
+
+    @staticmethod
+    def _bfs_next_hops(
+        adjacency: Mapping[int, list[int]]
+    ) -> dict[tuple[int, int], int]:
+        """BFS from each destination; record every node's hop toward it.
+
+        Searching *from the destination* means each discovered node's
+        parent is its next hop, and visiting neighbors in ascending id
+        order pins the tie-break.
+        """
+        table: dict[tuple[int, int], int] = {}
+        for dst in sorted(adjacency):
+            parent: dict[int, int] = {dst: dst}
+            frontier: deque[int] = deque([dst])
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in adjacency[node]:
+                    if neighbor not in parent:
+                        parent[neighbor] = node
+                        frontier.append(neighbor)
+            for node, toward in parent.items():
+                if node != dst:
+                    table[(node, dst)] = toward
+        return table
+
+    def next_hop(self, current: int, dst: int) -> int | None:
+        if current == dst:
+            raise ValueError(f"node {current} routing to itself")
+        return self._next_hops.get((current, dst))
+
+    def hop_count(self, src: int, dst: int) -> int | None:
+        """Path length in hops, or ``None`` when unreachable."""
+        if src == dst:
+            return 0
+        hops = 0
+        node = src
+        while node != dst:
+            node_next = self._next_hops.get((node, dst))
+            if node_next is None:
+                return None
+            node = node_next
+            hops += 1
+        return hops

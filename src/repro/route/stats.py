@@ -1,0 +1,77 @@
+"""Per-node forwarding statistics.
+
+Same design as :class:`~repro.mac.stats.MacStats`: the forwarding
+agent counts its hot path in this plain bundle, and telemetry
+*harvests* the totals into a :class:`~repro.obs.MetricsRegistry` after
+the run — enabling observation costs the relay path nothing and can
+never change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = ["RouteStats"]
+
+
+@dataclass
+class RouteStats:
+    """Counter bundle for one node's forwarding agent."""
+
+    #: Packets this node injected as a flow origin.
+    originated: int = 0
+    #: Transit packets accepted into the relay queue (not ours, re-sent).
+    forwarded: int = 0
+    #: Packets that reached this node as their final destination.
+    delivered: int = 0
+
+    #: Drops, by cause — mutually exclusive, counted where they happen.
+    dropped_queue_full: int = 0
+    dropped_dead_end: int = 0
+    dropped_ttl: int = 0
+    dropped_mac: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        """All relay-plane drops at this node."""
+        return (
+            self.dropped_queue_full
+            + self.dropped_dead_end
+            + self.dropped_ttl
+            + self.dropped_mac
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (used to discard warm-up transients)."""
+        self.originated = 0
+        self.forwarded = 0
+        self.delivered = 0
+        self.dropped_queue_full = 0
+        self.dropped_dead_end = 0
+        self.dropped_ttl = 0
+        self.dropped_mac = 0
+
+    def publish(self, metrics: "MetricsRegistry", prefix: str = "route") -> None:
+        """Accumulate these counters into a telemetry registry."""
+        counter = metrics.counter
+        counter(f"{prefix}.originated").inc(self.originated)
+        counter(f"{prefix}.forwarded").inc(self.forwarded)
+        counter(f"{prefix}.delivered").inc(self.delivered)
+        counter(f"{prefix}.dropped_queue_full").inc(self.dropped_queue_full)
+        counter(f"{prefix}.dropped_dead_end").inc(self.dropped_dead_end)
+        counter(f"{prefix}.dropped_ttl").inc(self.dropped_ttl)
+        counter(f"{prefix}.dropped_mac").inc(self.dropped_mac)
+
+    def merge(self, other: "RouteStats") -> None:
+        """Accumulate another node's counters into this one (for sums)."""
+        self.originated += other.originated
+        self.forwarded += other.forwarded
+        self.delivered += other.delivered
+        self.dropped_queue_full += other.dropped_queue_full
+        self.dropped_dead_end += other.dropped_dead_end
+        self.dropped_ttl += other.dropped_ttl
+        self.dropped_mac += other.dropped_mac

@@ -1,6 +1,13 @@
-"""Traffic generators: the paper's saturated CBR workload and a
-fixed-rate CBR variant for below-saturation studies."""
+"""Traffic generators: the paper's saturated CBR workload, a
+fixed-rate CBR variant for below-saturation studies, and end-to-end
+multi-hop flow sources for the routing subsystem."""
 
 from .cbr import DEFAULT_PACKET_BYTES, CbrSource, SaturatedCbrSource
+from .flows import FlowTrafficSource
 
-__all__ = ["SaturatedCbrSource", "CbrSource", "DEFAULT_PACKET_BYTES"]
+__all__ = [
+    "SaturatedCbrSource",
+    "CbrSource",
+    "FlowTrafficSource",
+    "DEFAULT_PACKET_BYTES",
+]

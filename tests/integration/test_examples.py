@@ -19,6 +19,7 @@ class TestExamplesCompile:
             "sim_throughput_study.py",
             "fairness_study.py",
             "mobility_study.py",
+            "multihop_study.py",
             "scripted_scenario.py",
         ],
     )

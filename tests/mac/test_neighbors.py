@@ -4,7 +4,9 @@ import math
 
 import pytest
 
-from repro.mac import NeighborTable
+from repro.dessim import milliseconds
+from repro.mac import NeighborTable, SnapshotNeighborTable
+from repro.phy import Position
 
 from .conftest import TinyNetwork
 
@@ -38,3 +40,66 @@ class TestNeighborTable:
         net = TinyNetwork({0: (0, 0), 1: (0, 0)})
         with pytest.raises(ValueError):
             NeighborTable(net.channel, 0).bearing_to(1)
+
+
+class TestSnapshotStalenessUnderMobility:
+    """Regression: the snapshot table must serve *stale* data between
+    refreshes, while the live oracle tracks the move immediately."""
+
+    def make_tables(self, net, interval_ns=milliseconds(100)):
+        live = NeighborTable(net.channel, 0)
+        snap = SnapshotNeighborTable(net.channel, 0, interval_ns, sim=net.sim)
+        return live, snap
+
+    def test_bearing_stays_stale_until_refresh(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        live, snap = self.make_tables(net)
+        assert snap.bearing_to(1) == pytest.approx(0.0)  # first query snapshots
+        assert snap.refreshes == 1
+
+        net.radios[1].position = Position(0.0, 200.0)  # peer moves due north
+
+        # Live oracle sees the move at once; the snapshot still aims east.
+        assert live.bearing_to(1) == pytest.approx(math.pi / 2)
+        assert snap.bearing_to(1) == pytest.approx(0.0)
+        assert snap.refreshes == 1
+
+        # Past the refresh interval, the snapshot catches up to live.
+        net.sim.run(until=net.sim.now + milliseconds(100))
+        assert snap.bearing_to(1) == pytest.approx(live.bearing_to(1))
+        assert snap.refreshes == 2
+
+    def test_neighbor_set_stays_stale_until_refresh(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        live, snap = self.make_tables(net)
+        assert snap.neighbor_ids() == [1]
+
+        net.radios[1].position = Position(5000.0, 0.0)  # moves out of range
+
+        assert live.neighbor_ids() == []
+        assert snap.neighbor_ids() == [1]  # stale: still listed
+
+        net.sim.run(until=net.sim.now + milliseconds(100))
+        assert snap.neighbor_ids() == []
+
+    def test_zero_interval_degrades_to_live(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        live, snap = self.make_tables(net, interval_ns=0)
+        snap.bearing_to(1)
+        net.radios[1].position = Position(0.0, 200.0)
+        assert snap.bearing_to(1) == pytest.approx(live.bearing_to(1))
+        assert snap.neighbor_ids() == live.neighbor_ids()
+
+    def test_unseen_peer_falls_back_to_live(self):
+        # 2 starts out of range, snapshot taken, then 2 moves in range:
+        # it was never in a snapshot, so bearings come from the oracle.
+        net = TinyNetwork({0: (0, 0), 1: (200, 0), 2: (5000, 0)})
+        _, snap = self.make_tables(net)
+        assert snap.neighbor_ids() == [1]
+        net.radios[2].position = Position(100.0, 0.0)
+        assert snap.bearing_to(2) == pytest.approx(0.0)
+
+    def test_rejects_negative_interval(self):
+        net = TinyNetwork({0: (0, 0), 1: (200, 0)})
+        with pytest.raises(ValueError):
+            SnapshotNeighborTable(net.channel, 0, -1, sim=net.sim)

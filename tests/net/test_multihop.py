@@ -1,0 +1,143 @@
+"""Tests for the multi-hop network assembly."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.dessim import milliseconds, seconds
+from repro.net import (
+    MultihopNetworkSimulation,
+    Topology,
+    TopologyConfig,
+    is_connected,
+)
+from repro.obs import MetricsRegistry
+from repro.phy import Position
+
+
+def spoke_topology() -> Topology:
+    """A deterministic *connected* 3-ring topology.
+
+    Four spokes (N/E/S/W) with one node per ring at radii 150/450/750:
+    consecutive spoke nodes are exactly 300 m apart (= range, in range),
+    and the four inner nodes are 150*sqrt(2) = 212 m from each other, so
+    the unit-disk graph is a single component.  Inner-to-outer flows
+    need >= 2 hops.
+    """
+    config = TopologyConfig(n=4, range_m=300.0, rings=3)
+    positions: dict[int, Position] = {}
+    ring_of: dict[int, int] = {}
+    node_id = 0
+    for ring, radius in enumerate((150.0, 450.0, 750.0)):
+        for dx, dy in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+            positions[node_id] = Position(dx * radius, dy * radius)
+            ring_of[node_id] = ring
+            node_id += 1
+    return Topology(config=config, positions=positions, ring_of=ring_of)
+
+
+def run_multihop(router, **kwargs):
+    sim = MultihopNetworkSimulation(
+        spoke_topology(),
+        "DRTS-OCTS",
+        math.radians(90),
+        seed=7,
+        router=router,
+        flow_interval_ns=milliseconds(20),
+        **kwargs,
+    )
+    return sim, sim.run(seconds(0.5))
+
+
+class TestSpokeFixture:
+    def test_is_connected(self):
+        assert is_connected(spoke_topology())
+
+
+class TestDelivery:
+    """The acceptance property: both routers deliver end to end."""
+
+    @pytest.mark.parametrize("router", ["greedy", "shortest-path"])
+    def test_positive_goodput_with_delay_and_hops(self, router):
+        _, result = run_multihop(router)
+        assert result.total_goodput_bps > 0
+        assert result.packets_delivered_e2e > 0
+        assert result.mean_delay_s > 0
+        assert result.mean_hop_count >= 2  # min_flow_hops default
+        delivered = [f for f in result.flows if f.packets_delivered > 0]
+        assert delivered
+        for flow in delivered:
+            assert flow.mean_delay_s > 0
+            assert flow.mean_hops >= 1
+
+    def test_every_node_originates(self):
+        sim, result = run_multihop("shortest-path")
+        # On a connected topology every node has a far destination.
+        assert sorted(sim.sources) == sorted(sim.macs)
+        assert len(result.flows) == len(sim.macs)
+
+    def test_route_totals_balance(self):
+        _, result = run_multihop("shortest-path")
+        totals = result.route_totals()
+        assert totals.originated == result.packets_originated
+        assert totals.delivered == result.packets_delivered_e2e
+        assert 0.0 < result.delivery_ratio <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        _, first = run_multihop("greedy")
+        _, second = run_multihop("greedy")
+        assert first.flows == second.flows
+        assert first.mean_delay_s == second.mean_delay_s
+        assert dataclasses.asdict(first.route_totals()) == dataclasses.asdict(
+            second.route_totals()
+        )
+
+    def test_telemetry_does_not_change_results(self):
+        _, bare = run_multihop("greedy")
+        metrics = MetricsRegistry()
+        _, observed = run_multihop("greedy", metrics=metrics)
+        assert bare.flows == observed.flows
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["route.originated"] == observed.packets_originated
+        assert snapshot["route.delivered"] == observed.packets_delivered_e2e
+
+    def test_warmup_discards_transient(self):
+        sim = MultihopNetworkSimulation(
+            spoke_topology(),
+            "DRTS-OCTS",
+            math.radians(90),
+            seed=7,
+            flow_interval_ns=milliseconds(20),
+        )
+        result = sim.run(seconds(0.3), warmup_ns=milliseconds(100))
+        # Sent counts reflect the measured window only (~15 ticks/flow),
+        # not the warm-up.
+        for flow in result.flows:
+            assert flow.packets_sent <= 16
+
+
+class TestValidation:
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            MultihopNetworkSimulation(spoke_topology(), "XRTS", math.pi, seed=1)
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(KeyError):
+            MultihopNetworkSimulation(
+                spoke_topology(), "DRTS-OCTS", math.pi, seed=1, router="magic"
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MultihopNetworkSimulation(
+                spoke_topology(), "DRTS-OCTS", math.pi, seed=1, flow_interval_ns=0
+            )
+        with pytest.raises(ValueError):
+            MultihopNetworkSimulation(
+                spoke_topology(), "DRTS-OCTS", math.pi, seed=1, min_flow_hops=0
+            )
+        with pytest.raises(ValueError):
+            MultihopNetworkSimulation(spoke_topology(), "DRTS-OCTS", 7.0, seed=1)

@@ -3,10 +3,18 @@
 import math
 import random
 
+import warnings
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.net import TopologyConfig, TopologyError, generate_ring_topology
+from repro.net import (
+    TopologyConfig,
+    TopologyError,
+    generate_connected_ring_topology,
+    generate_ring_topology,
+    is_connected,
+)
 from repro.net.topology import _admissible, _uniform_in_annulus
 
 
@@ -142,3 +150,56 @@ class TestGenerateRingTopology:
             TopologyConfig(n=n), random.Random(11)
         )
         assert len(topo.positions) == 9 * n
+
+
+class TestGenerateConnectedRingTopology:
+    # Pinned seed facts (n=5, rings=2): random.Random(2) is connected
+    # on the first draw; random.Random(0) is partitioned on the first
+    # draw but connects within a few resamples of the same stream.
+    TWO_RING = {"n": 5, "rings": 2}
+
+    def test_connected_first_draw_matches_plain_generator(self):
+        # No resample needed: the wrapper is a pass-through, warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            topo = generate_connected_ring_topology(
+                TopologyConfig(**self.TWO_RING), random.Random(2)
+            )
+        plain = generate_ring_topology(TopologyConfig(**self.TWO_RING), random.Random(2))
+        assert topo.positions == plain.positions
+        assert is_connected(topo)
+
+    def test_resamples_to_connected_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            topo = generate_connected_ring_topology(
+                TopologyConfig(**self.TWO_RING), random.Random(0), max_resamples=10
+            )
+        assert is_connected(topo)
+        # And it actually resampled: the first draw is partitioned.
+        first = generate_ring_topology(TopologyConfig(**self.TWO_RING), random.Random(0))
+        assert topo.positions != first.positions
+
+    def test_warns_and_returns_partitioned_on_exhaustion(self):
+        # The paper's 3-ring geometry essentially never connects.
+        with pytest.warns(UserWarning, match="partitioned"):
+            topo = generate_connected_ring_topology(
+                TopologyConfig(n=3, rings=3), random.Random(0), max_resamples=2
+            )
+        assert len(topo.positions) == 27  # still a full, admissible placement
+        assert not is_connected(topo)
+
+    def test_deterministic_in_stream_state(self):
+        a = generate_connected_ring_topology(
+            TopologyConfig(**self.TWO_RING), random.Random(0)
+        )
+        b = generate_connected_ring_topology(
+            TopologyConfig(**self.TWO_RING), random.Random(0)
+        )
+        assert a.positions == b.positions
+
+    def test_rejects_bad_max_resamples(self):
+        with pytest.raises(ValueError):
+            generate_connected_ring_topology(
+                TopologyConfig(**self.TWO_RING), random.Random(0), max_resamples=0
+            )

@@ -8,10 +8,42 @@ import pytest
 from repro.dessim import seconds
 from repro.net import (
     NetworkSimulation,
+    Topology,
     TopologyConfig,
+    connected_components,
     generate_ring_topology,
+    is_connected,
     validate_simulation,
 )
+from repro.phy import Position
+
+
+def topology_at(positions: dict[int, tuple[float, float]]) -> Topology:
+    return Topology(
+        config=TopologyConfig(n=max(2, len(positions)), range_m=300.0),
+        positions={i: Position(x, y) for i, (x, y) in positions.items()},
+        ring_of={i: 0 for i in positions},
+    )
+
+
+class TestConnectivity:
+    def test_line_is_one_component(self):
+        topo = topology_at({0: (0, 0), 1: (250, 0), 2: (500, 0)})
+        assert connected_components(topo) == [[0, 1, 2]]
+        assert is_connected(topo)
+
+    def test_partition_splits_components(self):
+        # Two clusters separated by far more than the 300 m range.
+        topo = topology_at({0: (0, 0), 3: (100, 0), 1: (5000, 0), 2: (5100, 0)})
+        assert connected_components(topo) == [[0, 3], [1, 2]]
+        assert not is_connected(topo)
+
+    def test_components_ordered_by_smallest_member(self):
+        topo = topology_at({5: (0, 0), 1: (5000, 0), 3: (-5000, 0)})
+        assert connected_components(topo) == [[1], [3], [5]]
+
+    def test_single_node_is_connected(self):
+        assert is_connected(topology_at({0: (0, 0)}))
 
 
 @pytest.fixture(scope="module")

@@ -32,6 +32,7 @@ class TestRunSuite:
             "network_cell",
             "network_large",
             "mobility_churn",
+            "multihop_medium",
         }
         for case in payload["cases"].values():
             assert case["count"] > 0

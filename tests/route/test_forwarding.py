@@ -1,0 +1,202 @@
+"""Tests for the relay plane (ForwardingAgent + FlowPayload)."""
+
+import math
+
+import pytest
+
+from repro.dessim import RngRegistry, Simulator, seconds
+from repro.mac import DSSS_MAC, DcfMac, NeighborTable, POLICIES, Packet
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+from repro.route import FlowPayload, ForwardingAgent, GreedyGeographicRouter
+
+
+class ChainNetwork:
+    """A chain of DcfMac nodes, each with a ForwardingAgent."""
+
+    def __init__(self, positions, *, max_queue=50, ttl=32, router=None):
+        self.sim = Simulator()
+        self.channel = Channel(
+            self.sim, propagation=UnitDiskPropagation(range_m=300.0)
+        )
+        rng = RngRegistry(11)
+        self.macs: dict[int, DcfMac] = {}
+        self.radios: dict[int, Radio] = {}
+        tables: dict[int, NeighborTable] = {}
+        for node_id, (x, y) in sorted(positions.items()):
+            radio = Radio(self.sim, node_id, Position(x, y), self.channel)
+            self.radios[node_id] = radio
+            tables[node_id] = NeighborTable(self.channel, node_id)
+            self.macs[node_id] = DcfMac(
+                self.sim,
+                radio,
+                DSSS_MAC,
+                tables[node_id],
+                POLICIES["ORTS-OCTS"],
+                beamwidth=math.pi,
+                rng=rng.stream(f"mac-{node_id}"),
+            )
+        self.router = router if router is not None else GreedyGeographicRouter(tables)
+        self.agents = {
+            node_id: ForwardingAgent(
+                self.sim, mac, self.router, max_queue=max_queue, ttl=ttl
+            )
+            for node_id, mac in sorted(self.macs.items())
+        }
+        self.deliveries: list[tuple[FlowPayload, int, int]] = []
+        for agent in self.agents.values():
+            agent.delivery_listeners.append(
+                lambda payload, delay, hops: self.deliveries.append(
+                    (payload, delay, hops)
+                )
+            )
+
+    def originate(self, src, dst, *, seq=0, size=1460):
+        return self.agents[src].originate(
+            FlowPayload(
+                flow_id=f"{src}->{dst}",
+                src=src,
+                dst=dst,
+                seq=seq,
+                created_ns=self.sim.now,
+            ),
+            size,
+        )
+
+
+#: 0 - 1 - 2, each hop 250 m: ends are out of each other's range.
+CHAIN3 = {0: (0, 0), 1: (250, 0), 2: (500, 0)}
+
+
+class TestFlowPayload:
+    def test_rejects_self_flow(self):
+        with pytest.raises(ValueError):
+            FlowPayload(flow_id="0->0", src=0, dst=0, seq=0, created_ns=0)
+
+    def test_rejects_negative_times_and_hops(self):
+        with pytest.raises(ValueError):
+            FlowPayload(flow_id="0->1", src=0, dst=1, seq=0, created_ns=-1)
+        with pytest.raises(ValueError):
+            FlowPayload(
+                flow_id="0->1", src=0, dst=1, seq=0, created_ns=0, hop_count=-1
+            )
+
+
+class TestEndToEndRelay:
+    def test_two_hop_delivery(self):
+        net = ChainNetwork(CHAIN3)
+        assert net.originate(0, 2) is True
+        net.sim.run(until=seconds(1))
+        assert len(net.deliveries) == 1
+        payload, delay_ns, hops = net.deliveries[0]
+        assert payload.dst == 2
+        assert hops == 2
+        assert delay_ns > 0
+
+    def test_stats_accounting_along_the_path(self):
+        net = ChainNetwork(CHAIN3)
+        net.originate(0, 2)
+        net.sim.run(until=seconds(1))
+        assert net.agents[0].stats.originated == 1
+        assert net.agents[1].stats.forwarded == 1
+        assert net.agents[2].stats.delivered == 1
+        for agent in net.agents.values():
+            assert agent.stats.dropped_total == 0
+
+    def test_direct_neighbor_is_single_hop(self):
+        net = ChainNetwork(CHAIN3)
+        net.originate(0, 1)
+        net.sim.run(until=seconds(1))
+        (_, _, hops) = net.deliveries[0]
+        assert hops == 1
+
+    def test_origin_src_must_match_node(self):
+        net = ChainNetwork(CHAIN3)
+        with pytest.raises(ValueError):
+            net.agents[0].originate(
+                FlowPayload(flow_id="1->2", src=1, dst=2, seq=0, created_ns=0),
+                1460,
+            )
+
+
+class TestDrops:
+    def test_dead_end_counted_at_origin(self):
+        # Destination west of 0; the only neighbor is east: greedy has
+        # no progress to offer and the packet dies at the origin.
+        net = ChainNetwork({0: (0, 0), 1: (250, 0), 9: (-1000, 0)})
+        assert net.originate(0, 9) is False
+        assert net.agents[0].stats.dropped_dead_end == 1
+        assert net.agents[0].stats.originated == 1
+
+    def test_dead_end_counted_in_transit(self):
+        # 0 -> 9 makes one hop of progress to 1, which is then stuck:
+        # the drop is accounted at the relay, not the origin.
+        net = ChainNetwork({0: (0, 0), 1: (250, 0), 9: (2000, 0)})
+        assert net.originate(0, 9) is True
+        net.sim.run(until=seconds(1))
+        assert net.agents[1].stats.dropped_dead_end == 1
+        assert net.agents[1].stats.forwarded == 0
+
+    def test_queue_full_counted(self):
+        net = ChainNetwork(CHAIN3, max_queue=1)
+        # First originate goes straight into the MAC (queue stays empty),
+        # second fills the relay queue, the rest must drop.
+        accepted = [net.originate(0, 2, seq=i) for i in range(5)]
+        assert accepted == [True, True, False, False, False]
+        assert net.agents[0].stats.dropped_queue_full == 3
+
+    def test_ttl_drop_on_forwarding_loop(self):
+        class PingPongRouter:
+            """Pathological router: 0 and 1 bounce packets forever."""
+
+            def next_hop(self, current, dst):
+                return 1 if current == 0 else 0
+
+        net = ChainNetwork(
+            {0: (0, 0), 1: (250, 0), 2: (500, 0)},
+            router=PingPongRouter(),
+            ttl=4,
+        )
+        net.originate(0, 2)
+        net.sim.run(until=seconds(2))
+        assert net.deliveries == []
+        dropped = sum(a.stats.dropped_ttl for a in net.agents.values())
+        assert dropped == 1  # the bounced packet died at the hop budget
+
+    def test_mac_failure_counted(self):
+        # The next hop moves out of range after routing resolved: RTS
+        # retries exhaust and the MAC reports a service failure.
+        net = ChainNetwork({0: (0, 0), 1: (250, 0)})
+        net.originate(0, 1)
+        net.radios[1].position = Position(5000.0, 0.0)
+        net.sim.run(until=seconds(2))
+        assert net.agents[0].stats.dropped_mac == 1
+
+
+class TestCoexistence:
+    def test_plain_mac_traffic_ignored(self):
+        """Single-hop packets without FlowPayload don't touch the agent."""
+        net = ChainNetwork(CHAIN3)
+        net.macs[0].enqueue(Packet(dst=1, size_bytes=512, created_ns=0))
+        net.sim.run(until=seconds(1))
+        assert net.deliveries == []
+        for agent in net.agents.values():
+            assert agent.stats.dropped_total == 0
+            assert agent.stats.delivered == 0
+
+    def test_one_packet_in_mac_at_a_time(self):
+        net = ChainNetwork(CHAIN3)
+        for seq in range(5):
+            net.originate(0, 2, seq=seq)
+        assert net.macs[0].queue_length == 1
+        assert net.agents[0].queue_length == 4
+        net.sim.run(until=seconds(2))
+        assert len(net.deliveries) == 5
+
+
+class TestAgentValidation:
+    def test_rejects_bad_bounds(self):
+        net = ChainNetwork(CHAIN3)
+        with pytest.raises(ValueError):
+            ForwardingAgent(net.sim, net.macs[0], net.router, max_queue=0)
+        with pytest.raises(ValueError):
+            ForwardingAgent(net.sim, net.macs[0], net.router, ttl=0)

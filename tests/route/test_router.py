@@ -1,0 +1,113 @@
+"""Tests for the next-hop strategies."""
+
+import pytest
+
+from repro.dessim import Simulator
+from repro.mac import NeighborTable
+from repro.net import Topology, TopologyConfig
+from repro.phy import Channel, Position, Radio, UnitDiskPropagation
+from repro.route import GreedyGeographicRouter, StaticShortestPathRouter
+
+
+def make_tables(positions, range_m=300.0):
+    """Real channel + one NeighborTable per node at the given positions."""
+    sim = Simulator()
+    channel = Channel(sim, propagation=UnitDiskPropagation(range_m=range_m))
+    for node_id, (x, y) in positions.items():
+        Radio(sim, node_id, Position(x, y), channel)
+    return {node_id: NeighborTable(channel, node_id) for node_id in positions}
+
+
+def make_topology(positions, range_m=300.0):
+    """A Topology wrapping explicit positions (ring labels irrelevant)."""
+    return Topology(
+        config=TopologyConfig(n=2, range_m=range_m),
+        positions={nid: Position(x, y) for nid, (x, y) in positions.items()},
+        ring_of={nid: 0 for nid in positions},
+    )
+
+
+#: A 4-node chain: 0 - 1 - 2 - 3, each hop 250 m (range 300 m).
+CHAIN = {0: (0, 0), 1: (250, 0), 2: (500, 0), 3: (750, 0)}
+
+
+class TestGreedyGeographicRouter:
+    def test_direct_neighbor_wins(self):
+        router = GreedyGeographicRouter(make_tables(CHAIN))
+        assert router.next_hop(0, 1) == 1
+
+    def test_routes_toward_far_destination(self):
+        router = GreedyGeographicRouter(make_tables(CHAIN))
+        assert router.next_hop(0, 3) == 1
+        assert router.next_hop(1, 3) == 2
+        assert router.next_hop(2, 3) == 3
+
+    def test_dead_end_returns_none(self):
+        # Destination west of 0; 0's only neighbor sits east (farther
+        # from it): a local minimum, so greedy must refuse to forward.
+        positions = {0: (0, 0), 1: (250, 0), 9: (-1000, 0)}
+        router = GreedyGeographicRouter(make_tables(positions))
+        assert router.next_hop(0, 9) is None
+
+    def test_no_backward_progress(self):
+        # From 1, destination far west beyond 0: 0 is closer to it, but
+        # from 0 nothing is; greedy still hands 0 the packet (progress),
+        # and 0 reports the dead end.
+        positions = {0: (0, 0), 1: (250, 0), 9: (-2000, 0)}
+        router = GreedyGeographicRouter(make_tables(positions))
+        assert router.next_hop(1, 9) == 0
+        assert router.next_hop(0, 9) is None
+
+    def test_tie_breaks_to_smallest_id(self):
+        # 1 and 2 are equidistant from 3; both make equal progress.
+        positions = {0: (0, 0), 1: (200, 100), 2: (200, -100), 3: (400, 0)}
+        router = GreedyGeographicRouter(make_tables(positions))
+        assert router.next_hop(0, 3) == 1
+
+    def test_current_equals_destination_rejected(self):
+        router = GreedyGeographicRouter(make_tables(CHAIN))
+        with pytest.raises(ValueError):
+            router.next_hop(1, 1)
+
+
+class TestStaticShortestPathRouter:
+    def test_chain_next_hops(self):
+        router = StaticShortestPathRouter.from_topology(make_topology(CHAIN))
+        assert router.next_hop(0, 3) == 1
+        assert router.next_hop(1, 3) == 2
+        assert router.next_hop(2, 3) == 3
+        assert router.next_hop(3, 0) == 2
+
+    def test_hop_count(self):
+        router = StaticShortestPathRouter.from_topology(make_topology(CHAIN))
+        assert router.hop_count(0, 3) == 3
+        assert router.hop_count(0, 1) == 1
+        assert router.hop_count(2, 0) == 2
+
+    def test_unreachable_returns_none(self):
+        positions = {0: (0, 0), 1: (250, 0), 2: (5000, 0)}
+        router = StaticShortestPathRouter.from_topology(make_topology(positions))
+        assert router.next_hop(0, 2) is None
+        assert router.hop_count(0, 2) is None
+
+    def test_shortest_path_tie_breaks_to_smallest_id(self):
+        # Two equal-length paths 0-1-3 and 0-2-3: BFS explores sorted
+        # adjacency, so the next hop must be the smaller relay id.
+        positions = {0: (0, 0), 1: (200, 100), 2: (200, -100), 3: (400, 0)}
+        router = StaticShortestPathRouter.from_topology(make_topology(positions))
+        assert router.next_hop(0, 3) == 1
+
+    def test_current_equals_destination_rejected(self):
+        router = StaticShortestPathRouter.from_topology(make_topology(CHAIN))
+        with pytest.raises(ValueError):
+            router.next_hop(2, 2)
+
+    def test_agrees_with_greedy_on_chain(self):
+        tables = make_tables(CHAIN)
+        greedy = GreedyGeographicRouter(tables)
+        static = StaticShortestPathRouter.from_topology(make_topology(CHAIN))
+        for src in CHAIN:
+            for dst in CHAIN:
+                if src == dst:
+                    continue
+                assert greedy.next_hop(src, dst) == static.next_hop(src, dst)

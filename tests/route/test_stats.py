@@ -1,0 +1,33 @@
+"""Tests for the forwarding counter bundle."""
+
+from repro.obs import MetricsRegistry
+from repro.route import RouteStats
+
+
+class TestRouteStats:
+    def test_dropped_total(self):
+        stats = RouteStats(
+            dropped_queue_full=1, dropped_dead_end=2, dropped_ttl=3, dropped_mac=4
+        )
+        assert stats.dropped_total == 10
+
+    def test_reset(self):
+        stats = RouteStats(originated=5, forwarded=3, delivered=2, dropped_ttl=1)
+        stats.reset()
+        assert stats == RouteStats()
+
+    def test_merge(self):
+        total = RouteStats(originated=1, dropped_mac=1)
+        total.merge(RouteStats(originated=2, forwarded=4, dropped_mac=3))
+        assert total.originated == 3
+        assert total.forwarded == 4
+        assert total.dropped_mac == 4
+
+    def test_publish_harvests_counters(self):
+        metrics = MetricsRegistry()
+        RouteStats(originated=7, delivered=5, dropped_queue_full=2).publish(metrics)
+        RouteStats(originated=1).publish(metrics)  # accumulates
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["route.originated"] == 8
+        assert snapshot["route.delivered"] == 5
+        assert snapshot["route.dropped_queue_full"] == 2

@@ -40,6 +40,36 @@ class TestParser:
         assert args.workers == 4
         assert args.campaign_dir == "/tmp/camp"
 
+    def test_multihop_option_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "multihop",
+                "--scheme", "drts_octs,orts-octs",
+                "--beamwidth", "90,150",
+                "--router", "shortest-path",
+                "--n-values", "5",
+                "--rings", "2",
+                "--flow-interval-ms", "20",
+            ]
+        )
+        assert args.scheme == ("drts_octs", "orts-octs")
+        assert args.beamwidth == (90.0, 150.0)
+        assert args.router == "shortest-path"
+        assert args.n_values == (5,)
+        assert args.rings == 2
+        assert args.flow_interval_ms == 20.0
+        assert args.scheme is not None
+
+    def test_multihop_defaults(self):
+        args = build_parser().parse_args(["multihop"])
+        assert args.scheme is None  # None means all three schemes
+        assert args.beamwidth == (30.0, 90.0, 150.0)
+        assert args.router == "greedy"
+
+    def test_multihop_rejects_bad_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multihop", "--router", "magic"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -139,6 +169,43 @@ class TestCommands:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert main(argv) == 0  # second run resumes from artifacts
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "camp" / "campaign.json").exists()
+
+    def test_multihop_tiny(self, capsys):
+        code = main(
+            [
+                "multihop",
+                "--scheme", "drts_octs",
+                "--beamwidth", "90",
+                "--n-values", "5",
+                "--rings", "2",
+                "--topologies", "1",
+                "--sim-seconds", "0.1",
+                "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "Multi-hop study" in out
+        assert "DRTS-OCTS" in out
+        assert "Mbps" in out or "/" in out
+
+    def test_multihop_campaign_resume(self, tmp_path, capsys):
+        argv = [
+            "multihop",
+            "--scheme", "drts_octs",
+            "--beamwidth", "90",
+            "--n-values", "5",
+            "--rings", "2",
+            "--topologies", "1",
+            "--sim-seconds", "0.1",
+            "--seed", "0",
+            "--campaign-dir", str(tmp_path / "camp"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # resumes from the multihop-kind artifacts
         assert capsys.readouterr().out == first
         assert (tmp_path / "camp" / "campaign.json").exists()
 

@@ -1,0 +1,82 @@
+"""Tests for the multi-hop flow traffic source."""
+
+import pytest
+
+from repro.dessim import RngRegistry, milliseconds, seconds
+from repro.traffic import FlowTrafficSource
+
+from ..route.test_forwarding import CHAIN3, ChainNetwork
+
+
+def make_source(net, src=0, candidates=(2,), interval_ns=milliseconds(50)):
+    return FlowTrafficSource(
+        net.sim,
+        net.agents[src],
+        list(candidates),
+        rng=RngRegistry(5).stream(f"flow-{src}"),
+        interval_ns=interval_ns,
+    )
+
+
+class TestFlowTrafficSource:
+    def test_generates_at_fixed_interval(self):
+        net = ChainNetwork(CHAIN3)
+        source = make_source(net, interval_ns=milliseconds(50))
+        source.start()
+        net.sim.run(until=milliseconds(501))
+        assert source.packets_generated == 11  # t=0, 50, ..., 500
+
+    def test_destination_drawn_from_candidates(self):
+        net = ChainNetwork(CHAIN3)
+        source = make_source(net, candidates=(1, 2))
+        source.start()
+        assert source.dst in (1, 2)
+        assert source.flow_id == f"0->{source.dst}"
+
+    def test_end_to_end_packets_arrive(self):
+        net = ChainNetwork(CHAIN3)
+        source = make_source(net, candidates=(2,))
+        source.start()
+        net.sim.run(until=seconds(1))
+        delivered = [p for p, _, _ in net.deliveries if p.dst == 2]
+        assert len(delivered) > 0
+        assert all(p.src == 0 for p in delivered)
+        # Sequence numbers are the origination order.
+        assert [p.seq for p in delivered] == sorted(p.seq for p in delivered)
+
+    def test_same_stream_same_schedule(self):
+        """Identical RngRegistry streams give identical flows."""
+
+        def run_once():
+            net = ChainNetwork(CHAIN3)
+            source = make_source(net, candidates=(1, 2))
+            source.start()
+            net.sim.run(until=seconds(1))
+            return (
+                source.dst,
+                source.packets_generated,
+                [(p.flow_id, p.seq, d, h) for p, d, h in net.deliveries],
+            )
+
+        assert run_once() == run_once()
+
+    def test_double_start_rejected(self):
+        net = ChainNetwork(CHAIN3)
+        source = make_source(net)
+        source.start()
+        with pytest.raises(RuntimeError):
+            source.start()
+
+    def test_rejects_bad_arguments(self):
+        net = ChainNetwork(CHAIN3)
+        rng = RngRegistry(5).stream("flow-0")
+        with pytest.raises(ValueError):
+            FlowTrafficSource(net.sim, net.agents[0], [], rng, interval_ns=1000)
+        with pytest.raises(ValueError):
+            FlowTrafficSource(net.sim, net.agents[0], [0], rng, interval_ns=1000)
+        with pytest.raises(ValueError):
+            FlowTrafficSource(net.sim, net.agents[0], [2], rng, interval_ns=0)
+        with pytest.raises(ValueError):
+            FlowTrafficSource(
+                net.sim, net.agents[0], [2], rng, interval_ns=1000, packet_bytes=0
+            )
