@@ -377,7 +377,7 @@ class CampaignStore:
         """Keys of every cell with a stored artifact."""
         return {
             path.stem.removeprefix("cell-")
-            for path in self.directory.glob("cell-*.json")
+            for path in sorted(self.directory.glob("cell-*.json"))
         }
 
     # -- telemetry sidecar --------------------------------------------

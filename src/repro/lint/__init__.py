@@ -4,28 +4,45 @@ The reproduction's value rests on bit-exact determinism — identical
 topologies and RNG draws for every MAC scheme in an A/B comparison, an
 integer-nanosecond clock free of float drift.  ``repro.dessim.rng`` and
 ``repro.dessim.units`` provide those guarantees; this package *enforces*
-them.  It is a small AST-based lint framework with a plugin rule
-registry, inline suppressions, a committed baseline, and text/JSON
-reporters, exposed as the ``repro-lint`` console script and
+them.  It is an AST-based lint framework with a plugin rule registry,
+inline suppressions, a committed baseline, safe auto-fixes
+(``repro-lint --fix``), an incremental content-hash cache, and
+text/JSON reporters, exposed as the ``repro-lint`` console script and
 ``python -m repro.lint``.
 
-Shipped rules (see :mod:`repro.lint.rules`):
+Analysis runs in two phases: per-module rules see one file's AST at a
+time, while *project* rules (:class:`~repro.lint.rules.ProjectRule`)
+run once over a whole-program :class:`~repro.lint.project.ProjectContext`
+— module index, import resolution, call graph, dataclass fields — so
+they can follow a value across module boundaries.
 
-======  ====================  ==============================================
-id      name                  enforces
-======  ====================  ==============================================
-SL001   rng-discipline        no ad-hoc ``random`` streams outside the
-                              registry; components accept injected streams
-SL002   wall-clock-ban        no ``time.time()`` / ``datetime.now()`` /
-                              other host-clock or entropy reads
-SL003   unit-discipline       float literals must pass through the
-                              ``units`` helpers before reaching the
-                              integer-nanosecond scheduler/timer APIs
-SL004   iteration-order       no iteration over bare ``set``s in event-path
-                              packages (hash order is run-dependent)
-SL005   seed-plumbing         constructors must not default ``rng``/``seed``
-                              parameters
-======  ====================  ==============================================
+Shipped rules (see :mod:`repro.lint.rules` and ``docs/linting.md``):
+
+======  =====================  =============================================
+id      name                   enforces
+======  =====================  =============================================
+SL001   rng-discipline         no ad-hoc ``random`` streams outside the
+                               registry; components accept injected streams
+SL002   wall-clock-ban         no ``time.time()`` / ``datetime.now()`` /
+                               other host-clock or entropy reads
+SL003   unit-discipline        float literals must pass through the
+                               ``units`` helpers before reaching the
+                               integer-nanosecond scheduler/timer APIs
+SL004   iteration-order        no iteration over bare ``set``s in event-path
+                               packages (hash order is run-dependent)
+SL005   seed-plumbing          constructors must not default ``rng``/``seed``
+                               parameters
+SL006   event-time-flow        no float flowing into an int-ns time
+                               parameter anywhere in the call graph
+SL007   rng-process-boundary   no RNG stream shipped across the process-pool
+                               boundary or pickled into a work unit
+SL008   fs-scan-order          no iterating ``glob``/``iterdir``/``listdir``
+                               results unsorted (platform order)
+SL009   telemetry-purity       instruments stay write-only; telemetry on/off
+                               runs must be byte-identical
+SL010   fingerprint-coverage   every config dataclass field reaches the
+                               campaign fingerprint
+======  =====================  =============================================
 """
 
 from __future__ import annotations

@@ -50,6 +50,26 @@ def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
     return len(entries)
 
 
+def prune_baseline(path: Path, current: Iterable[Finding]) -> tuple[int, int]:
+    """Drop baseline entries whose finding no longer fires.
+
+    ``current`` is every finding the run produced (actionable *and*
+    baselined).  Returns ``(kept, pruned)``; the file is rewritten only
+    when something was pruned, so a clean tree is a no-op.  A missing
+    baseline prunes nothing.
+    """
+    if not path.exists():
+        return 0, 0
+    baseline = load_baseline(path)
+    live = {finding.fingerprint() for finding in current}
+    kept = {fp: info for fp, info in baseline.items() if fp in live}
+    pruned = len(baseline) - len(kept)
+    if pruned:
+        payload = {"version": FORMAT_VERSION, "findings": kept}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(kept), pruned
+
+
 def split_by_baseline(
     findings: list[Finding], baseline: dict[str, dict[str, object]]
 ) -> tuple[list[Finding], list[Finding]]:

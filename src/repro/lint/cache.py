@@ -1,0 +1,173 @@
+"""Incremental lint cache keyed on file content hashes.
+
+Whole-program linting re-reads every file on every run; most runs touch
+almost nothing, so the cache makes the warm path cheap: per-file
+module-phase findings are stored under the file's SHA-256, and the
+project-phase findings under a *tree* hash over every (path, sha) pair.
+A fully warm run therefore does no parsing and no rule execution at
+all — it hashes file contents and deserializes findings, which is what
+makes whole-repo CI lint fast enough to run on every push.
+
+Every entry is additionally keyed on a *config signature* (rule ids,
+rule options, disables, and the cache schema version), so changing the
+lint configuration invalidates everything at once.  The cache file is
+advisory: corrupt, missing, or version-skewed files degrade to a cold
+run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rules import Rule
+
+__all__ = ["LintCache", "config_signature"]
+
+CACHE_FORMAT = "simlint-cache-v1"
+
+
+def config_signature(rules: Sequence["Rule"]) -> str:
+    """Hash of everything that changes findings besides file content."""
+    record = {
+        "format": CACHE_FORMAT,
+        "rules": {
+            rule.id: {key: repr(value) for key, value in sorted(rule.options.items())}
+            for rule in rules
+        },
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def content_sha(source_bytes: bytes) -> str:
+    return hashlib.sha256(source_bytes).hexdigest()
+
+
+class LintCache:
+    """Load/store per-file and whole-tree lint results.
+
+    ``path=None`` disables caching entirely: every lookup misses and
+    :meth:`save` is a no-op, so the engine needs no branching.
+    """
+
+    def __init__(self, path: Path | None, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict] = {}
+        self._project: dict | None = None
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                data = {}
+            if (
+                data.get("format") == CACHE_FORMAT
+                and data.get("signature") == signature
+                and isinstance(data.get("files"), dict)
+            ):
+                self._files = data["files"]
+                project = data.get("project")
+                self._project = project if isinstance(project, dict) else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    # -- per-file module-phase entries ---------------------------------
+
+    def lookup_file(
+        self, display: str, sha: str
+    ) -> tuple[list[Finding], list[Finding]] | None:
+        """Cached (kept, suppressed) module-phase findings, or None."""
+        if not self.enabled:
+            return None
+        entry = self._files.get(display)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            kept = [Finding.from_dict(f) for f in entry["findings"]]
+            suppressed = [Finding.from_dict(f) for f in entry["suppressed"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return kept, suppressed
+
+    def store_file(
+        self,
+        display: str,
+        sha: str,
+        kept: list[Finding],
+        suppressed: list[Finding],
+    ) -> None:
+        self._files[display] = {
+            "sha": sha,
+            "findings": [f.to_dict() for f in kept],
+            "suppressed": [f.to_dict() for f in suppressed],
+        }
+
+    # -- whole-tree project-phase entry --------------------------------
+
+    @staticmethod
+    def tree_sha(file_shas: dict[str, str]) -> str:
+        blob = json.dumps(sorted(file_shas.items()), separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def lookup_project(
+        self, tree: str
+    ) -> tuple[list[Finding], list[Finding]] | None:
+        if not self.enabled:
+            return None
+        entry = self._project
+        if not isinstance(entry, dict) or entry.get("tree") != tree:
+            self.misses += 1
+            return None
+        try:
+            kept = [Finding.from_dict(f) for f in entry["findings"]]
+            suppressed = [Finding.from_dict(f) for f in entry["suppressed"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return kept, suppressed
+
+    def store_project(
+        self, tree: str, kept: list[Finding], suppressed: list[Finding]
+    ) -> None:
+        self._project = {
+            "tree": tree,
+            "findings": [f.to_dict() for f in kept],
+            "suppressed": [f.to_dict() for f in suppressed],
+        }
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, current_files: set[str] | None = None) -> None:
+        """Write the cache atomically, dropping entries for gone files."""
+        if self.path is None:
+            return
+        if current_files is not None:
+            self._files = {
+                path: entry
+                for path, entry in self._files.items()
+                if path in current_files
+            }
+        payload = {
+            "format": CACHE_FORMAT,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -5,6 +5,9 @@ Examples::
     repro-lint src/                      # lint the tree, exit 1 on findings
     repro-lint src/ --format json        # machine-readable output
     repro-lint src/ --write-baseline     # accept current findings as debt
+    repro-lint src/ --fix                # apply safe auto-fixes, re-lint
+    repro-lint src/ --cache .simlint-cache.json   # incremental runs
+    repro-lint src/ --prune-baseline     # drop stale baseline entries
     repro-lint --list-rules              # what is enforced, and why
 """
 
@@ -15,9 +18,10 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .baseline import write_baseline
+from .baseline import prune_baseline, write_baseline
 from .config import LintConfig, load_config
 from .engine import lint_paths
+from .fixes import apply_fix_findings
 from .reporters import REPORTERS
 from .rules import all_rules
 
@@ -53,6 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that no longer fire; exit 1 if any "
+        "were stale (CI guard)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply safe auto-fixes in place, then re-lint",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="PATH",
+        help="incremental-cache file (overrides [tool.simlint] cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore any configured incremental cache",
     )
     parser.add_argument(
         "--verbose", action="store_true",
@@ -106,8 +127,30 @@ def _run(argv: Sequence[str] | None) -> int:
         config.disable = sorted(known - selected)
     if args.no_baseline:
         config.use_baseline = False
+    if args.cache is not None:
+        config.cache = str(args.cache)
+    if args.no_cache:
+        config.use_cache = False
 
     result = lint_paths(args.paths, config)
+
+    if args.fix:
+        applied = apply_fix_findings(result.findings, config.root)
+        total = sum(applied.values())
+        for display, count in applied.items():
+            print(f"fixed: {display} ({count} rewrite{'s' if count != 1 else ''})")
+        print(f"applied {total} auto-fix{'es' if total != 1 else ''}")
+        if applied:
+            result = lint_paths(args.paths, config)
+
+    if args.prune_baseline:
+        kept, pruned = prune_baseline(
+            config.baseline_path, result.findings + result.baselined
+        )
+        print(
+            f"baseline: {kept} entries kept, {pruned} stale entries pruned"
+        )
+        return 1 if pruned else 0
 
     if args.write_baseline:
         count = write_baseline(

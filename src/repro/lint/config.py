@@ -25,16 +25,26 @@ from pathlib import Path
 class LintConfig:
     baseline: str = ".simlint-baseline.json"
     use_baseline: bool = True
+    #: Incremental-cache file; ``None`` (the default) disables caching.
+    #: Opt in via ``cache = ".simlint-cache.json"`` or ``--cache``.
+    cache: str | None = None
+    use_cache: bool = True
     plugins: list[str] = field(default_factory=list)
     disable: list[str] = field(default_factory=list)
     rule_options: dict[str, dict[str, object]] = field(default_factory=dict)
-    #: Directory the config was loaded from; baseline paths resolve
-    #: against it.
+    #: Directory the config was loaded from; baseline and cache paths
+    #: resolve against it.
     root: Path = field(default_factory=Path.cwd)
 
     @property
     def baseline_path(self) -> Path:
         return self.root / self.baseline
+
+    @property
+    def cache_path(self) -> Path | None:
+        if self.cache is None:
+            return None
+        return self.root / self.cache
 
     def options_for(self, rule_id: str) -> dict[str, object]:
         return self.rule_options.get(rule_id, {})
@@ -61,7 +71,7 @@ def load_config(pyproject: Path | None = None, start: Path | None = None) -> Lin
     with pyproject.open("rb") as fh:
         data = tomllib.load(fh)
     table = data.get("tool", {}).get("simlint", {})
-    known = {"baseline", "plugins", "disable", "rules"}
+    known = {"baseline", "cache", "plugins", "disable", "rules"}
     unknown = sorted(set(table) - known)
     if unknown:
         raise ValueError(
@@ -69,6 +79,7 @@ def load_config(pyproject: Path | None = None, start: Path | None = None) -> Lin
         )
     return LintConfig(
         baseline=table.get("baseline", ".simlint-baseline.json"),
+        cache=table.get("cache"),
         plugins=list(table.get("plugins", [])),
         disable=[r.upper() for r in table.get("disable", [])],
         rule_options={

@@ -1,4 +1,18 @@
-"""The lint driver: files -> AST -> rules -> suppressions -> baseline."""
+"""The lint driver: files -> AST -> rules -> suppressions -> baseline.
+
+Two phases since simlint v2:
+
+1. **Module phase** — every per-module rule runs over one file's AST at
+   a time, exactly as v1 did.  Results are cacheable per file by
+   content hash.
+2. **Project phase** — all parsed modules feed one
+   :class:`~repro.lint.project.ProjectContext` (symbol index, import
+   resolution, call graph), and every
+   :class:`~repro.lint.rules.ProjectRule` runs once over it.  Results
+   are cacheable under a whole-tree content hash.
+
+Suppressions and the baseline apply uniformly to both phases.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +21,12 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .baseline import load_baseline, split_by_baseline
+from .cache import LintCache, config_signature, content_sha
 from .config import LintConfig
 from .context import ModuleContext
 from .findings import Finding
-from .rules import Rule, all_rules, load_plugins
+from .project import ProjectContext
+from .rules import ProjectRule, Rule, all_rules, load_plugins
 from .suppressions import SuppressionIndex
 
 __all__ = ["LintResult", "lint_paths", "lint_source", "build_rules"]
@@ -27,6 +43,8 @@ class LintResult:
     suppressed: list[Finding] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)  # unparseable files
     files_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -61,14 +79,18 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
                 yield candidate
 
 
-def lint_source(
-    source: str,
-    path: str,
+def split_rules(rules: Sequence[Rule]) -> tuple[list[Rule], list[ProjectRule]]:
+    """(module-phase, project-phase) partition of a rule list."""
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return module_rules, project_rules
+
+
+def _run_module_rules(
+    module: ModuleContext,
+    suppressions: SuppressionIndex,
     rules: Sequence[Rule],
 ) -> tuple[list[Finding], list[Finding]]:
-    """Lint one in-memory module.  Returns (kept, suppressed)."""
-    module = ModuleContext.parse(path, source)
-    suppressions = SuppressionIndex.parse(source)
     kept: list[Finding] = []
     suppressed: list[Finding] = []
     for rule in rules:
@@ -76,31 +98,129 @@ def lint_source(
             (suppressed if suppressions.suppresses(finding) else kept).append(
                 finding
             )
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint one in-memory module.  Returns (kept, suppressed).
+
+    Project rules in ``rules`` run over a degenerate single-module
+    project, so cross-module rules still catch the violations that are
+    visible within one file.
+    """
+    module = ModuleContext.parse(path, source)
+    suppressions = SuppressionIndex.parse(source)
+    module_rules, project_rules = split_rules(rules)
+    kept, suppressed = _run_module_rules(module, suppressions, module_rules)
+    if project_rules:
+        project = ProjectContext.build([module])
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                (suppressed if suppressions.suppresses(finding) else kept).append(
+                    finding
+                )
     return sorted(kept), sorted(suppressed)
 
 
 def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintResult:
-    """Lint files/trees and apply the configured baseline."""
+    """Lint files/trees: module phase, project phase, baseline.
+
+    With ``config.cache`` set, per-file and whole-tree results are
+    reused from the on-disk cache when content hashes match; a fully
+    warm run parses nothing.
+    """
     rules = build_rules(config)
+    module_rules, project_rules = split_rules(rules)
+    cache = LintCache(
+        config.cache_path if config.use_cache else None, config_signature(rules)
+    )
     result = LintResult()
     raw: list[Finding] = []
+
+    #: display path -> source text for every readable file, parsed lazily.
+    sources: dict[str, str] = {}
+    file_shas: dict[str, str] = {}
+    parsed: dict[str, ModuleContext] = {}
+    suppression_index: dict[str, SuppressionIndex] = {}
+
+    def parse(display: str) -> ModuleContext | None:
+        """Parse (memoized); on SyntaxError record the error once."""
+        if display in parsed:
+            return parsed[display]
+        try:
+            module = ModuleContext.parse(display, sources[display])
+        except SyntaxError as exc:
+            result.errors.append(f"{display}: syntax error: {exc}")
+            return None
+        parsed[display] = module
+        suppression_index[display] = SuppressionIndex.parse(sources[display])
+        return module
+
+    # -- module phase --------------------------------------------------
     for file_path in iter_python_files(paths):
         try:
-            source = file_path.read_text(encoding="utf-8")
+            raw_bytes = file_path.read_bytes()
+            source = raw_bytes.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             result.errors.append(f"{file_path}: unreadable: {exc}")
             continue
         display = _display_path(file_path, config.root)
-        try:
-            kept, suppressed = lint_source(source, display, rules)
-        except SyntaxError as exc:
-            result.errors.append(f"{display}: syntax error: {exc}")
-            continue
+        sha = content_sha(raw_bytes)
+        sources[display] = source
+        file_shas[display] = sha
+        cached = cache.lookup_file(display, sha)
+        if cached is not None:
+            kept, suppressed = cached
+        else:
+            module = parse(display)
+            if module is None:
+                continue  # syntax errors are never cached
+            kept, suppressed = _run_module_rules(
+                module, suppression_index[display], module_rules
+            )
+            cache.store_file(display, sha, kept, suppressed)
         result.files_checked += 1
         raw.extend(kept)
         result.suppressed.extend(suppressed)
+
+    # -- project phase -------------------------------------------------
+    if project_rules and file_shas:
+        tree = LintCache.tree_sha(file_shas)
+        cached_project = cache.lookup_project(tree)
+        if cached_project is not None:
+            kept, suppressed = cached_project
+            raw.extend(kept)
+            result.suppressed.extend(suppressed)
+        else:
+            modules = [
+                module
+                for display in sorted(sources)
+                if (module := parse(display)) is not None
+            ]
+            project = ProjectContext.build(modules)
+            kept, suppressed = [], []
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    index = suppression_index.get(finding.path)
+                    if index is not None and index.suppresses(finding):
+                        suppressed.append(finding)
+                    else:
+                        kept.append(finding)
+            raw.extend(kept)
+            result.suppressed.extend(suppressed)
+            cache.store_project(tree, kept, suppressed)
+
+    cache.save(current_files=set(file_shas))
+    result.cache_hits = cache.hits
+    result.cache_misses = cache.misses
+
     baseline = load_baseline(config.baseline_path) if config.use_baseline else {}
     result.findings, result.baselined = split_by_baseline(sorted(raw), baseline)
+    result.suppressed.sort()
     return result
 
 

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from .fixes import Fix
 
 
 @dataclass(frozen=True, order=True)
@@ -20,6 +22,9 @@ class Finding:
     rule_id: str
     message: str
     source_line: str = ""  # stripped text of the offending line
+    #: Optional machine-applicable rewrite (``repro-lint --fix``).
+    #: Excluded from ordering and the baseline fingerprint.
+    fix: Fix | None = field(default=None, compare=False)
 
     def fingerprint(self) -> str:
         """Stable identity for baseline matching.
@@ -37,11 +42,30 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "source_line": self.source_line,
             "fingerprint": self.fingerprint(),
+            "fixable": self.fix is not None,
         }
+        if self.fix is not None:
+            payload["fix"] = self.fix.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict, source_line: str = "") -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` (cache round-trips)."""
+        fix = data.get("fix")
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=str(data["rule"]),
+            message=str(data["message"]),
+            source_line=str(data.get("source_line", source_line)),
+            fix=Fix.from_dict(fix) if isinstance(fix, dict) else None,
+        )

@@ -1,0 +1,139 @@
+"""Safe, span-based auto-fixes for the mechanical subset of findings.
+
+A :class:`Fix` is a single source-span replacement attached to a
+finding by the rule that produced it (wrap an unsorted directory scan
+in ``sorted(...)``, coerce an integral float literal feeding an int-ns
+API to an exact int).  Rules only attach a fix when the rewrite is
+behaviour-preserving by construction; everything judgement-shaped stays
+a plain finding.
+
+:func:`apply_fixes` rewrites one module's source text.  Spans are
+applied back-to-front so earlier offsets stay valid, and overlapping
+fixes are skipped (first-sorted wins) rather than risking a mangled
+file — ``repro-lint --fix`` re-lints afterwards, so a skipped fix
+simply remains a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["Fix", "fix_for_node", "apply_fixes", "apply_fix_findings"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """Replace one ``[start, end)`` source span with ``replacement``.
+
+    Lines are 1-based, columns 0-based, as in the ``ast`` module.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "start_line": self.start_line,
+            "start_col": self.start_col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fix":
+        return cls(
+            start_line=int(data["start_line"]),
+            start_col=int(data["start_col"]),
+            end_line=int(data["end_line"]),
+            end_col=int(data["end_col"]),
+            replacement=str(data["replacement"]),
+        )
+
+
+def fix_for_node(node: ast.expr, replacement: str) -> Fix | None:
+    """A fix replacing exactly ``node``'s span (None if span unknown)."""
+    if node.end_lineno is None or node.end_col_offset is None:
+        return None  # pragma: no cover - py3.8+ always fills these
+    return Fix(
+        start_line=node.lineno,
+        start_col=node.col_offset,
+        end_line=node.end_lineno,
+        end_col=node.end_col_offset,
+        replacement=replacement,
+    )
+
+
+def apply_fixes(source: str, fixes: list[Fix]) -> tuple[str, int]:
+    """Apply non-overlapping fixes to ``source``; (new text, applied count).
+
+    Fixes are applied last-span-first.  A fix whose span overlaps an
+    already-applied one is skipped, as is any span that does not fall
+    inside the text (stale cache entries after an external edit).
+    """
+    starts = _line_offsets(source)
+
+    def offset(line: int, col: int) -> int | None:
+        if not 1 <= line <= len(starts):
+            return None
+        position = starts[line - 1] + col
+        return position if position <= len(source) else None
+
+    spans: list[tuple[int, int, str]] = []
+    for fix in fixes:
+        begin = offset(fix.start_line, fix.start_col)
+        end = offset(fix.end_line, fix.end_col)
+        if begin is None or end is None or begin > end:
+            continue
+        spans.append((begin, end, fix.replacement))
+
+    applied = 0
+    text = source
+    floor = len(source) + 1  # lowest begin already rewritten
+    for begin, end, replacement in sorted(spans, reverse=True):
+        if end > floor:
+            continue  # overlaps a fix already applied
+        text = text[:begin] + replacement + text[end:]
+        floor = begin
+        applied += 1
+    return text, applied
+
+
+def apply_fix_findings(findings, root) -> dict[str, int]:
+    """Rewrite files on disk from fixable findings; path -> fixes applied.
+
+    Findings carry repository-relative display paths; ``root`` anchors
+    them back onto the filesystem.  Files that vanished since the lint
+    run are skipped silently — the caller re-lints afterwards anyway.
+    """
+    from pathlib import Path
+
+    by_path: dict[str, list[Fix]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding.fix)
+    applied: dict[str, int] = {}
+    for display, fixes in sorted(by_path.items()):
+        target = Path(display)
+        if not target.is_absolute():
+            target = Path(root) / display
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        text, count = apply_fixes(source, fixes)
+        if count:
+            target.write_text(text, encoding="utf-8")
+            applied[display] = count
+    return applied
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets[:-1] if source else offsets

@@ -1,0 +1,339 @@
+"""The whole-program pass: module index, imports, call graph.
+
+Per-module rules see one AST at a time; the contract violations that
+actually bite now cross module boundaries — a config field that never
+reaches the fingerprint function two modules away, an RNG stream
+captured by a function submitted to a process pool.  This module builds
+the shared :class:`ProjectContext` those rules query: a dotted-name
+module index over every linted file, per-module import resolution
+(relative imports included), a symbol table of top-level functions,
+classes, and methods, a conservative call graph, and a dataclass field
+index with in-project base-class resolution.
+
+Everything here is *conservative*: unresolvable names resolve to
+``None`` and never produce findings, so dynamic dispatch degrades the
+analysis to per-module precision rather than to false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .context import ModuleContext
+
+__all__ = ["ProjectContext", "module_name_for_path", "DataclassInfo"]
+
+#: Directory names treated as source roots: the dotted module name of a
+#: file starts *after* the last occurrence of one of these.
+_SOURCE_ROOTS = frozenset({"src", "lib"})
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a posix source path.
+
+    ``src/repro/mac/dcf.py`` → ``repro.mac.dcf``;
+    ``src/repro/phy/__init__.py`` → ``repro.phy``.  Without a ``src``/
+    ``lib`` component the whole relative path becomes the dotted name,
+    which keeps fixture trees in tests addressable.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p not in ("", ".")]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] in _SOURCE_ROOTS:
+            parts = parts[index + 1:]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class DataclassInfo:
+    """One ``@dataclass``-decorated class as the project pass sees it."""
+
+    qualname: str  # module-qualified, e.g. repro.experiments.config.SimStudyConfig
+    module: str
+    node: ast.ClassDef
+    #: Annotated field names in declaration order (ClassVar excluded).
+    fields: tuple[str, ...]
+    #: Resolved in-project base qualnames (unresolvable bases dropped).
+    bases: tuple[str, ...]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # repro.mod.func or repro.mod.Class.method
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Enclosing class basename for methods, else None.
+    owner: str | None = None
+
+
+@dataclass
+class ProjectContext:
+    """Cross-module facts shared by every project-phase rule.
+
+    Built once per lint run from all parsed modules; rules iterate
+    :attr:`modules` for syntax and use :meth:`resolve` /
+    :meth:`callees_of` / :meth:`dataclass_fields` for the cross-module
+    questions a single AST cannot answer.
+    """
+
+    #: Dotted module name -> parsed module.
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    #: Module-qualified symbol -> defining AST node (functions, classes,
+    #: methods as ``module.Class.method``).
+    symbols: dict[str, ast.AST] = field(default_factory=dict)
+    #: Function qualname -> FunctionInfo for every def in the project.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Dataclass qualname -> info.
+    dataclasses: dict[str, DataclassInfo] = field(default_factory=dict)
+    #: Caller qualname -> resolved callee qualnames (conservative).
+    calls: dict[str, set[str]] = field(default_factory=dict)
+    #: Per-module alias map including *relative* imports, resolved to
+    #: absolute dotted origins (supersets ModuleContext.aliases).
+    import_maps: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: list[ModuleContext]) -> "ProjectContext":
+        project = cls()
+        for module in modules:
+            name = module_name_for_path(module.path)
+            project.modules[name] = module
+            project.import_maps[name] = _absolute_aliases(name, module.tree)
+            project._index_symbols(name, module)
+        for name, module in project.modules.items():
+            project._index_calls(name, module)
+        return project
+
+    def _index_symbols(self, mod_name: str, module: ModuleContext) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{mod_name}.{node.name}"
+                self.symbols[qualname] = node
+                self.functions[qualname] = FunctionInfo(qualname, mod_name, node)
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{mod_name}.{node.name}"
+                self.symbols[cls_qual] = node
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        meth_qual = f"{cls_qual}.{item.name}"
+                        self.symbols[meth_qual] = item
+                        self.functions[meth_qual] = FunctionInfo(
+                            meth_qual, mod_name, item, owner=node.name
+                        )
+                if _is_dataclass(node, module):
+                    self.dataclasses[cls_qual] = DataclassInfo(
+                        qualname=cls_qual,
+                        module=mod_name,
+                        node=node,
+                        fields=_annotated_fields(node),
+                        bases=tuple(
+                            base_qual
+                            for base in node.bases
+                            if (base_qual := self._resolve_base(mod_name, base))
+                        ),
+                    )
+
+    def _resolve_base(self, mod_name: str, base: ast.expr) -> str | None:
+        from .context import dotted_name
+
+        name = dotted_name(base)
+        if name is None:
+            return None
+        return self.resolve(mod_name, name)
+
+    def _index_calls(self, mod_name: str, module: ModuleContext) -> None:
+        for info in self.functions.values():
+            if info.module != mod_name:
+                continue
+            callees = self.calls.setdefault(info.qualname, set())
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self.resolve_call(mod_name, node, owner=info.owner)
+                if target is not None:
+                    callees.add(target)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def resolve(self, mod_name: str, dotted: str) -> str | None:
+        """Project qualname a dotted local name refers to, if any.
+
+        Expands the module's import aliases (absolute and relative) and
+        accepts names defined in the module itself.  Returns ``None``
+        for anything that does not land on a project symbol.
+        """
+        aliases = self.import_maps.get(mod_name, {})
+        head, _, rest = dotted.partition(".")
+        origin = aliases.get(head)
+        expanded = f"{origin}.{rest}" if origin and rest else (origin or dotted)
+        for candidate in (expanded, f"{mod_name}.{dotted}"):
+            if candidate in self.symbols or candidate in self.modules:
+                return candidate
+        # ``pkg.attr`` where ``pkg`` re-exports a submodule symbol: try
+        # resolving the tail against the imported module's own imports.
+        if origin and rest and origin in self.modules:
+            return self.resolve(origin, rest)
+        return None
+
+    def resolve_call(
+        self, mod_name: str, call: ast.Call, owner: str | None = None
+    ) -> str | None:
+        """Project qualname of a call's target, if statically known.
+
+        Handles plain names, imported names, dotted module access, and
+        ``self.method(...)`` when ``owner`` (the enclosing class) is
+        given.  Constructor calls resolve to the class qualname.
+        """
+        from .context import dotted_name
+
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        if owner is not None and name.startswith(("self.", "cls.")):
+            method = name.split(".", 1)[1]
+            if "." not in method:
+                candidate = f"{mod_name}.{owner}.{method}"
+                if candidate in self.symbols:
+                    return candidate
+                # Inherited method: search resolved bases.
+                cls_qual = f"{mod_name}.{owner}"
+                info = self.dataclasses.get(cls_qual)
+                for base in info.bases if info else ():
+                    candidate = f"{base}.{method}"
+                    if candidate in self.symbols:
+                        return candidate
+            return None
+        return self.resolve(mod_name, name)
+
+    def callees_of(self, qualname: str) -> frozenset[str]:
+        return frozenset(self.calls.get(qualname, ()))
+
+    def callers_of(self, qualname: str) -> frozenset[str]:
+        return frozenset(
+            caller for caller, callees in self.calls.items() if qualname in callees
+        )
+
+    def dataclass_fields(self, qualname: str) -> tuple[str, ...]:
+        """Own + inherited annotated fields, base-first like ``asdict``.
+
+        Follows in-project bases transitively; fields redeclared in a
+        subclass keep their first (base) position, matching dataclass
+        semantics closely enough for coverage checks.
+        """
+        info = self.dataclasses.get(qualname)
+        if info is None:
+            return ()
+        ordered: list[str] = []
+        for base in info.bases:
+            for name in self.dataclass_fields(base):
+                if name not in ordered:
+                    ordered.append(name)
+        for name in info.fields:
+            if name not in ordered:
+                ordered.append(name)
+        return tuple(ordered)
+
+    def module_of(self, qualname: str) -> ModuleContext | None:
+        """The ModuleContext a project symbol was defined in."""
+        mod_name, _, _ = qualname.rpartition(".")
+        while mod_name:
+            module = self.modules.get(mod_name)
+            if module is not None:
+                return module
+            mod_name, _, _ = mod_name.rpartition(".")
+        return self.modules.get(qualname)
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+
+
+def _absolute_aliases(mod_name: str, tree: ast.Module) -> dict[str, str]:
+    """Local name -> absolute dotted origin, relative imports included.
+
+    The per-module :func:`~repro.lint.context.resolve_import_aliases`
+    deliberately skips relative imports (it has no idea where the module
+    lives); here the dotted module name anchors them:
+    ``from ..dessim.rng import RngRegistry`` inside
+    ``repro.experiments.campaign`` maps ``RngRegistry`` to
+    ``repro.dessim.rng.RngRegistry``.
+    """
+    aliases: dict[str, str] = {}
+    package_parts = mod_name.split(".")[:-1] if mod_name else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname if item.asname else item.name.split(".")[0]
+                origin = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # level=1 is the containing package, each extra level
+                # one package higher.
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(anchor + (node.module.split(".") if node.module else []))
+            elif node.module is not None:
+                base = node.module
+            else:  # pragma: no cover - "from import" without module
+                continue
+            if not base:
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname if item.asname else item.name
+                aliases[local] = f"{base}.{item.name}"
+    return aliases
+
+
+def _is_dataclass(node: ast.ClassDef, module: ModuleContext) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        from .context import dotted_name
+
+        name = dotted_name(target)
+        if name is None:
+            continue
+        resolved = module.aliases.get(name.split(".")[0])
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+        if resolved == "dataclasses.dataclass" or (
+            resolved == "dataclasses" and name.endswith(".dataclass")
+        ):
+            return True
+    return False
+
+
+def _annotated_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    fields: list[str] = []
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(
+            item.target, ast.Name
+        ):
+            continue
+        if _is_classvar(item.annotation):
+            continue
+        fields.append(item.target.id)
+    return tuple(fields)
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return isinstance(node, ast.Name) and node.id == "ClassVar"

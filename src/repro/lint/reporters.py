@@ -31,6 +31,11 @@ def text_report(result: LintResult, verbose: bool = False) -> str:
         summary += f", {len(result.baselined)} baselined"
     if result.suppressed:
         summary += f", {len(result.suppressed)} suppressed inline"
+    if result.cache_hits or result.cache_misses:
+        summary += (
+            f" [cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses]"
+        )
     lines.append(summary)
     if verbose:
         for finding in result.suppressed:
@@ -51,6 +56,7 @@ def json_report(result: LintResult, verbose: bool = False) -> str:
             "suppressed": len(result.suppressed),
         },
         "ok": result.ok,
+        "cache": {"hits": result.cache_hits, "misses": result.cache_misses},
     }
     if verbose:
         payload["baselined"] = [f.to_dict() for f in result.baselined]

@@ -12,12 +12,23 @@ its ``@register`` decorators.
 from __future__ import annotations
 
 import importlib
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
 from ..context import ModuleContext
 from ..findings import Finding
 
-__all__ = ["Rule", "register", "all_rules", "get_rule", "load_plugins"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fixes import Fix
+    from ..project import ProjectContext
+
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "load_plugins",
+]
 
 
 class Rule:
@@ -39,7 +50,12 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, module: ModuleContext, line: int, col: int, message: str
+        self,
+        module: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        fix: "Fix | None" = None,
     ) -> Finding:
         return Finding(
             path=module.path,
@@ -48,7 +64,25 @@ class Rule:
             rule_id=self.id,
             message=message,
             source_line=module.source_line(line),
+            fix=fix,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole program, not per module.
+
+    The engine's second phase hands every ``ProjectRule`` the
+    :class:`~repro.lint.project.ProjectContext` built from all parsed
+    files; findings are routed through each target module's suppression
+    index exactly like module-phase findings.  ``check`` (the
+    per-module hook) is intentionally inert.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Type[Rule]] = {}
@@ -101,5 +135,10 @@ def _load_builtin_rules() -> None:
         "unit_discipline",
         "iteration_order",
         "seed_plumbing",
+        "event_time",
+        "process_boundary",
+        "fs_order",
+        "telemetry_purity",
+        "fingerprint",
     ):
         importlib.import_module(f"{__name__}.{module_name}")

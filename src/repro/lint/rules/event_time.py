@@ -1,0 +1,272 @@
+"""SL006: float values must not flow into integer-ns time parameters.
+
+SL003 guards the scheduler APIs themselves (``schedule(1.5, ...)``);
+this rule follows the event clock *through the call graph*.  A
+parameter is an **int-ns sink** when its name ends in ``_ns``, when the
+function passes it straight into ``schedule()``/``schedule_at()``/a
+timer ``start()``, or — transitively — when it is forwarded into
+another function's sink parameter.  Any call site (or parameter
+default) feeding a float-valued expression into a sink is flagged, in
+whatever module it lives.
+
+Fix: an integral float literal (``1e6``, ``2.0``) feeding a sink is
+mechanically rewritten to the exact int literal; non-integral floats
+need a human to choose the rounding, so they stay findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from ..fixes import Fix, fix_for_node
+from ..project import FunctionInfo, ProjectContext
+from . import ProjectRule, register
+from .unit_discipline import _float_taint
+
+#: Attribute names that take an int-ns time as their first argument.
+_SCHEDULE_ATTRS = frozenset({"schedule", "schedule_at"})
+
+
+def _param_positions(info: FunctionInfo) -> dict[str, int]:
+    """Parameter name -> call-site position (kw-only params get -1).
+
+    Positions skip ``self``/``cls`` on methods so they line up with
+    call-site argument lists.
+    """
+    node = info.node
+    params = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if info.owner is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    positions = {name: pos for pos, name in enumerate(params)}
+    positions.update({a.arg: -1 for a in node.args.kwonlyargs})
+    return positions
+
+
+def _direct_sinks(info: FunctionInfo) -> dict[str, int]:
+    """Parameters that are int-ns sinks by name or by direct use."""
+    positions = _param_positions(info)
+    sinks = {
+        name: pos for name, pos in positions.items() if name.endswith("_ns")
+    }
+    for call in (n for n in ast.walk(info.node) if isinstance(n, ast.Call)):
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        fed: list[ast.expr] = []
+        if attr in _SCHEDULE_ATTRS and call.args:
+            fed.append(call.args[0])
+        if (
+            attr == "start"
+            and call.args
+            and isinstance(func, ast.Attribute)
+            and _is_timerish(func)
+        ):
+            fed.append(call.args[0])
+        for kw in call.keywords:
+            if kw.arg and kw.arg.endswith("_ns"):
+                fed.append(kw.value)
+        for expr in fed:
+            if isinstance(expr, ast.Name) and expr.id in positions:
+                sinks[expr.id] = positions[expr.id]
+    return sinks
+
+
+def _is_timerish(func: ast.Attribute) -> bool:
+    recv = func.value
+    name = None
+    if isinstance(recv, ast.Name):
+        name = recv.id
+    elif isinstance(recv, ast.Attribute):
+        name = recv.attr
+    return name is not None and "timer" in name.lower()
+
+
+def _match_call_args(
+    call: ast.Call, target_sinks: dict[str, int]
+) -> list[tuple[str, ast.expr]]:
+    """(sink-param name, argument expr) pairs a call feeds into sinks.
+
+    ``*_ns=`` keyword arguments are skipped — SL003 already flags float
+    values there, and double findings help nobody.
+    """
+    pairs: list[tuple[str, ast.expr]] = []
+    positions = {pos: name for name, pos in target_sinks.items() if pos >= 0}
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break  # positions unknowable past *args
+        if index in positions:
+            pairs.append((positions[index], arg))
+    for kw in call.keywords:
+        if kw.arg and kw.arg in target_sinks and not kw.arg.endswith("_ns"):
+            pairs.append((kw.arg, kw.value))
+    return pairs
+
+
+def _calls_with_owner(
+    project: ProjectContext, mod_name: str
+) -> Iterable[tuple[ast.Call, str | None]]:
+    """Every call in a module with its enclosing class name (methods).
+
+    Top-level functions and methods are walked via the function index
+    (owner known); module- and class-level statements outside any def
+    are walked separately with descent into defs cut off.
+    """
+    module = project.modules[mod_name]
+    for info in project.functions.values():
+        if info.module != mod_name:
+            continue
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                yield node, info.owner
+
+    def outside(node: ast.AST) -> Iterable[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from outside(child)
+
+    for call in outside(module.tree):
+        yield call, None
+
+
+@register
+class EventTimeRule(ProjectRule):
+    id = "SL006"
+    name = "event-time-flow"
+    description = (
+        "float expression flowing into an int-nanosecond time parameter "
+        "through the call graph; convert at the boundary"
+    )
+    default_options: dict[str, object] = {"allow": []}
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        sinks = self._propagate_sinks(project)
+        for mod_name in sorted(project.modules):
+            module = project.modules[mod_name]
+            if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+                continue
+            yield from self._check_defaults(project, mod_name)
+            for call, owner in _calls_with_owner(project, mod_name):
+                yield from self._check_call(project, mod_name, call, owner, sinks)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_callable(
+        project: ProjectContext, mod_name: str, call: ast.Call, owner: str | None
+    ) -> str | None:
+        """Call target as a *function* qualname (constructors -> __init__)."""
+        target = project.resolve_call(mod_name, call, owner=owner)
+        if target is None:
+            return None
+        if isinstance(project.symbols.get(target), ast.ClassDef):
+            target = f"{target}.__init__"
+        return target if target in project.functions else None
+
+    def _propagate_sinks(self, project: ProjectContext) -> dict[str, dict[str, int]]:
+        """Fixpoint: qualname -> sink params, following arg forwarding."""
+        sinks = {
+            qual: direct
+            for qual, info in project.functions.items()
+            if (direct := _direct_sinks(info))
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in project.functions.items():
+                own_params = _param_positions(info)
+                own_sinks = sinks.get(qual, {})
+                for call in (
+                    n for n in ast.walk(info.node) if isinstance(n, ast.Call)
+                ):
+                    target = self._resolve_callable(
+                        project, info.module, call, info.owner
+                    )
+                    if target is None or target == qual:
+                        continue
+                    target_sinks = sinks.get(target)
+                    if not target_sinks:
+                        continue
+                    for _param, expr in _match_call_args(call, target_sinks):
+                        if (
+                            isinstance(expr, ast.Name)
+                            and expr.id in own_params
+                            and expr.id not in own_sinks
+                        ):
+                            own_sinks = dict(own_sinks)
+                            own_sinks[expr.id] = own_params[expr.id]
+                            sinks[qual] = own_sinks
+                            changed = True
+        return sinks
+
+    def _check_call(
+        self,
+        project: ProjectContext,
+        mod_name: str,
+        call: ast.Call,
+        owner: str | None,
+        sinks: dict[str, dict[str, int]],
+    ) -> Iterator[Finding]:
+        target = self._resolve_callable(project, mod_name, call, owner)
+        if target is None:
+            return
+        target_sinks = sinks.get(target)
+        if not target_sinks:
+            return
+        module = project.modules[mod_name]
+        for param, expr in _match_call_args(call, target_sinks):
+            taint = _float_taint(expr)
+            if taint is None:
+                continue
+            yield self.finding(
+                module,
+                expr.lineno,
+                expr.col_offset,
+                f"float-valued argument for int-ns parameter {param!r} of "
+                f"{target}(); convert via repro.dessim.units or round()",
+                fix=_integral_literal_fix(taint),
+            )
+
+    def _check_defaults(
+        self, project: ProjectContext, mod_name: str
+    ) -> Iterator[Finding]:
+        module = project.modules[mod_name]
+        for qual, info in project.functions.items():
+            if info.module != mod_name:
+                continue
+            node = info.node
+            positional = list(node.args.posonlyargs) + list(node.args.args)
+            defaulted = positional[len(positional) - len(node.args.defaults):]
+            pairs = list(zip(defaulted, node.args.defaults))
+            pairs += [
+                (arg, default)
+                for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+                if default is not None
+            ]
+            for arg, default in pairs:
+                if not arg.arg.endswith("_ns"):
+                    continue
+                taint = _float_taint(default)
+                if taint is None:
+                    continue
+                yield self.finding(
+                    module,
+                    default.lineno,
+                    default.col_offset,
+                    f"float default on int-ns parameter {arg.arg!r} of "
+                    f"{qual}(); use an exact int (the units helpers "
+                    "evaluate to ints)",
+                    fix=_integral_literal_fix(taint),
+                )
+
+
+def _integral_literal_fix(taint: ast.expr) -> Fix | None:
+    """Exact int-literal rewrite for an integral float constant."""
+    if not isinstance(taint, ast.Constant) or not isinstance(taint.value, float):
+        return None
+    if not taint.value.is_integer():
+        return None
+    return fix_for_node(taint, str(int(taint.value)))

@@ -1,0 +1,203 @@
+"""SL010: every config field must enter the campaign fingerprint.
+
+The campaign store refuses to resume a directory whose manifest
+fingerprint doesn't match the current config — but that guard only
+works if :func:`config_fingerprint` actually *sees* every field.  A
+field added to ``SimStudyConfig`` (or a subclass) that never reaches
+the fingerprint lets two different configurations silently share one
+campaign directory, mixing results that were computed under different
+parameters.
+
+The rule resolves the configured root dataclasses through the project
+graph (inherited fields included, base-first like ``asdict``), then
+checks the configured fingerprint functions for coverage:
+
+* ``dataclasses.asdict(cfg)`` covers everything — minus fields removed
+  afterwards via ``record.pop("field")`` / ``del record["field"]``;
+* otherwise, only fields read as ``cfg.field`` count.
+
+Uncovered fields are reported at their declaration line.  Projects with
+no fingerprint function get no findings — there is nothing to keep
+complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import DataclassInfo, FunctionInfo, ProjectContext
+from . import ProjectRule, register
+
+
+def _first_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    params = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return params[0] if params else None
+
+
+def _uses_asdict(node: ast.AST, param: str) -> bool:
+    for call in (n for n in ast.walk(node) if isinstance(n, ast.Call)):
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "asdict" and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Name) and arg.id == param:
+                return True
+    return False
+
+
+def _removed_keys(node: ast.AST) -> set[str]:
+    """String keys dropped via ``.pop("k")`` or ``del d["k"]``."""
+    removed: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "pop"
+            and sub.args
+            and isinstance(sub.args[0], ast.Constant)
+            and isinstance(sub.args[0].value, str)
+        ):
+            removed.add(sub.args[0].value)
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    removed.add(target.slice.value)
+    return removed
+
+
+def _attribute_reads(node: ast.AST, param: str) -> set[str]:
+    return {
+        sub.attr
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Attribute)
+        and isinstance(sub.value, ast.Name)
+        and sub.value.id == param
+    }
+
+
+def _coverage(printers: list[FunctionInfo]) -> tuple[set[str], set[str] | None]:
+    """(fields read explicitly, fields excluded from full coverage).
+
+    The second element is ``None`` when no printer uses ``asdict`` —
+    only the explicit-read set counts then.  Otherwise it holds the
+    keys popped by *every* asdict-based printer; everything else is
+    covered wholesale.
+    """
+    explicit: set[str] = set()
+    popped_everywhere: set[str] | None = None
+    saw_asdict = False
+    for info in printers:
+        param = _first_param(info.node)
+        if param is None:
+            continue
+        explicit |= _attribute_reads(info.node, param)
+        if _uses_asdict(info.node, param):
+            saw_asdict = True
+            removed = _removed_keys(info.node)
+            popped_everywhere = (
+                removed if popped_everywhere is None else popped_everywhere & removed
+            )
+    if not saw_asdict:
+        return explicit, None
+    return explicit, popped_everywhere or set()
+
+
+@register
+class FingerprintRule(ProjectRule):
+    id = "SL010"
+    name = "fingerprint-coverage"
+    description = (
+        "config dataclass field never enters the campaign fingerprint; "
+        "resumed directories could silently mix configurations"
+    )
+    default_options: dict[str, object] = {
+        "allow": [],
+        #: Basenames of the config dataclasses whose fields must all be
+        #: fingerprinted.
+        "roots": ["SimStudyConfig", "MultihopStudyConfig"],
+        #: Basenames of functions that compute the fingerprint.
+        "fingerprints": ["config_fingerprint"],
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        fingerprint_names = set(self.options["fingerprints"])  # type: ignore[arg-type]
+        printers = [
+            info
+            for qual, info in project.functions.items()
+            if qual.rsplit(".", 1)[-1] in fingerprint_names
+        ]
+        if not printers:
+            return
+        explicit, popped = _coverage(printers)
+        root_names = set(self.options["roots"])  # type: ignore[arg-type]
+        seen: set[tuple[str, str]] = set()
+        for qual in sorted(project.dataclasses):
+            info = project.dataclasses[qual]
+            if qual.rsplit(".", 1)[-1] not in root_names:
+                continue
+            if project.modules[info.module].in_any(
+                self.options["allow"]  # type: ignore[arg-type]
+            ):
+                continue
+            for name in project.dataclass_fields(qual):
+                if self._is_covered(name, explicit, popped):
+                    continue
+                declarer = self._declaring_class(project, qual, name)
+                if declarer is None or (declarer.qualname, name) in seen:
+                    continue
+                seen.add((declarer.qualname, name))
+                line, col = self._field_site(declarer, name)
+                yield self.finding(
+                    project.modules[declarer.module],
+                    line,
+                    col,
+                    f"field {name!r} of {qual.rsplit('.', 1)[-1]} never "
+                    "enters the campaign fingerprint "
+                    f"({', '.join(sorted(fingerprint_names))}); two configs "
+                    "differing only here would share a campaign directory",
+                )
+
+    @staticmethod
+    def _is_covered(
+        name: str, explicit: set[str], popped: set[str] | None
+    ) -> bool:
+        if name in explicit:
+            return True
+        # asdict covers every field except those popped back out.
+        return popped is not None and name not in popped
+
+    def _declaring_class(
+        self, project: ProjectContext, qual: str, name: str
+    ) -> DataclassInfo | None:
+        """The dataclass (root or base) whose body declares ``name``."""
+        info = project.dataclasses.get(qual)
+        if info is None:
+            return None
+        for base in info.bases:
+            found = self._declaring_class(project, base, name)
+            if found is not None:
+                return found
+        return info if name in info.fields else None
+
+    @staticmethod
+    def _field_site(info: DataclassInfo, name: str) -> tuple[int, int]:
+        for item in info.node.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id == name
+            ):
+                return item.lineno, item.col_offset
+        return info.node.lineno, info.node.col_offset

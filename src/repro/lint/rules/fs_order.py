@@ -1,0 +1,141 @@
+"""SL008: directory-scan results are iterated in platform order.
+
+``Path.glob``/``iterdir``, ``os.listdir``/``scandir``/``walk``, and
+``glob.glob`` all yield entries in whatever order the filesystem
+returns them — which differs between ext4, APFS, and tmpfs, and even
+between runs after a resume.  Iterating such a scan unsorted makes
+artifact processing order (and therefore anything accumulated in float
+arithmetic, progress output, or first-match logic) platform-dependent;
+the campaign store's ``cell-*.json`` scan is the motivating case.
+Wrap the producer in ``sorted(...)``.
+
+Fix: direct iteration over a sortable producer (``glob``/``rglob``/
+``iterdir``/``os.listdir``) is mechanically wrapped in ``sorted(...)``.
+``scandir``/``walk`` entries don't define ``<``, so those stay
+findings for a human.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..fixes import fix_for_node
+from . import Rule, register
+
+#: Method names (final attribute) that scan a directory unsorted and
+#: whose results sort cheaply (str or PurePath elements).
+_SORTABLE_METHODS = frozenset({"glob", "rglob", "iterdir"})
+#: Resolved dotted callables that scan unsorted.
+_SORTABLE_CALLS = frozenset({"os.listdir", "glob.glob", "glob.iglob"})
+_UNSORTABLE_METHODS = frozenset({"scandir"})
+_UNSORTABLE_CALLS = frozenset({"os.scandir", "os.walk"})
+
+#: Wrappers that preserve (lack of) order.
+_TRANSPARENT_WRAPPERS = frozenset({"list", "tuple", "iter", "reversed"})
+
+
+def _producer(node: ast.expr, module: ModuleContext) -> tuple[ast.Call, bool] | None:
+    """(producer call, sortable) when ``node`` is an unsorted scan."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _TRANSPARENT_WRAPPERS and node.args:
+        return _producer(node.args[0], module)
+    name = module.resolved_call_name(node)
+    if name is not None:
+        if name in _SORTABLE_CALLS:
+            return node, True
+        if name in _UNSORTABLE_CALLS:
+            return node, False
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SORTABLE_METHODS:
+            return node, True
+        if func.attr in _UNSORTABLE_METHODS:
+            return node, False
+    return None
+
+
+class _ScanNames(ast.NodeVisitor):
+    """Local names assigned an unsorted directory scan."""
+
+    def __init__(self, module: ModuleContext) -> None:
+        self.module = module
+        self.names: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _producer(node.value, self.module) is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _producer(node.value, self.module) is not None:
+            if isinstance(node.target, ast.Name):
+                self.names.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register
+class FsOrderRule(Rule):
+    id = "SL008"
+    name = "fs-scan-order"
+    description = (
+        "directory scan (glob/iterdir/listdir/scandir/walk) iterated "
+        "without sorted(); result order is platform-dependent"
+    )
+    default_options: dict[str, object] = {"allow": []}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+            return
+        # Direct iteration over a producer, anywhere in the module.
+        for node in ast.walk(module.tree):
+            for it in _iteration_exprs(node):
+                found = _producer(it, module)
+                if found is None:
+                    continue
+                call, sortable = found
+                fix = None
+                if sortable:
+                    segment = ast.get_source_segment(module.source, it)
+                    if segment is not None:
+                        fix = fix_for_node(it, f"sorted({segment})")
+                yield self.finding(
+                    module,
+                    it.lineno,
+                    it.col_offset,
+                    "iterating a directory scan in platform order; wrap "
+                    "it in sorted(...)"
+                    + ("" if sortable else " (after keying entries)"),
+                    fix=fix,
+                )
+        # Names assigned a scan, iterated later in the same function.
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            collector = _ScanNames(module)
+            collector.visit(scope)
+            if not collector.names:
+                continue
+            for node in ast.walk(scope):
+                for it in _iteration_exprs(node):
+                    if isinstance(it, ast.Name) and it.id in collector.names:
+                        yield self.finding(
+                            module,
+                            it.lineno,
+                            it.col_offset,
+                            f"iterating {it.id!r}, an unsorted directory "
+                            "scan; wrap the scan in sorted(...)",
+                        )
+
+
+def _iteration_exprs(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter]
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        return [gen.iter for gen in node.generators]
+    return []

@@ -1,0 +1,237 @@
+"""SL007: RNG streams must not cross the process-pool boundary.
+
+The campaign layer's determinism rests on every worker re-deriving its
+streams from ``(config, n, replicate)`` inside the worker process.
+Shipping a live stream object across the ``ProcessPoolExecutor``
+boundary — as a ``submit()``/``map()`` argument, captured module
+state in the submitted function, or a field of a pickled work unit
+like ``CellSpec`` — pickles the generator *state*, so the parent's
+position in the stream at submit time silently becomes part of the
+result.  Serial and parallel runs then diverge, which is exactly the
+contract ``tests/experiments`` pins.
+
+The rule tracks names bound to registry objects (``RngRegistry(...)``,
+``.spawn(...)``, ``.stream(...)``, ``random.Random(...)``) per scope,
+and flags them appearing in pool submissions or in the constructors of
+configured picklable work-unit types.  The submitted callable is also
+resolved through the project graph: a function reaching a module-level
+RNG global is flagged at the submission site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import dotted_name
+from ..findings import Finding
+from ..project import ProjectContext
+from . import ProjectRule, register
+
+#: Final attribute names whose call mints a stream object.
+_STREAM_METHODS = frozenset({"spawn", "stream"})
+#: Resolved callables (by suffix) that construct RNG state.
+_RNG_CONSTRUCTORS = ("random.Random", "RngRegistry", "default_rng")
+#: Executor methods that ship arguments to worker processes.
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+def _is_rng_expr(node: ast.expr, module, rng_names: set[str]) -> bool:
+    """Whether an expression is (or contains) live RNG state."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in rng_names:
+            return True
+        if isinstance(sub, ast.Call):
+            if (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _STREAM_METHODS
+            ):
+                return True
+            name = module.resolved_call_name(sub)
+            if name is not None and any(
+                name == c or name.endswith(f".{c}") for c in _RNG_CONSTRUCTORS
+            ):
+                return True
+    return False
+
+
+def _rng_names_in(scope: ast.AST, module) -> set[str]:
+    """Names assigned RNG state within one scope (no descent into defs)."""
+    names: set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child is not scope:
+                    continue
+            if isinstance(child, ast.Assign) and _is_rng_expr(
+                child.value, module, names
+            ):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                if _is_rng_expr(child.value, module, names) and isinstance(
+                    child.target, ast.Name
+                ):
+                    names.add(child.target.id)
+            visit(child)
+
+    visit(scope)
+    return names
+
+
+def _executor_names(scope: ast.AST, module) -> set[str]:
+    """Names bound to a ProcessPoolExecutor in this scope."""
+    names: set[str] = set()
+
+    def is_executor(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = module.resolved_call_name(node)
+        return name is not None and name.endswith("ProcessPoolExecutor")
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and is_executor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if is_executor(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+@register
+class ProcessBoundaryRule(ProjectRule):
+    id = "SL007"
+    name = "rng-process-boundary"
+    description = (
+        "RNG registry/stream state shipped across the process-pool "
+        "boundary or pickled into a work unit; re-derive streams in "
+        "the worker from (config, indices) instead"
+    )
+    default_options: dict[str, object] = {
+        "allow": [],
+        #: Basenames of picklable work-unit types whose constructor
+        #: arguments cross the process boundary.
+        "pickled-types": ["CellSpec"],
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        rng_globals = {
+            mod_name: _rng_names_in(module.tree, module)
+            for mod_name, module in project.modules.items()
+        }
+        for mod_name in sorted(project.modules):
+            module = project.modules[mod_name]
+            if module.in_any(self.options["allow"]):  # type: ignore[arg-type]
+                continue
+            yield from self._check_module(project, mod_name, rng_globals)
+
+    def _check_module(
+        self,
+        project: ProjectContext,
+        mod_name: str,
+        rng_globals: dict[str, set[str]],
+    ) -> Iterator[Finding]:
+        module = project.modules[mod_name]
+        pickled = tuple(self.options["pickled-types"])  # type: ignore[arg-type]
+        scopes: list[ast.AST] = [module.tree] + [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            rng_names = set(rng_globals.get(mod_name, ()))
+            if scope is not module.tree:
+                rng_names |= _rng_names_in(scope, module)
+            executors = _executor_names(scope, module)
+            for node in _calls_in_scope(scope):
+                yield from self._check_call(
+                    project, mod_name, node, rng_names, executors,
+                    rng_globals, pickled,
+                )
+
+    def _check_call(
+        self,
+        project: ProjectContext,
+        mod_name: str,
+        call: ast.Call,
+        rng_names: set[str],
+        executors: set[str],
+        rng_globals: dict[str, set[str]],
+        pickled: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        module = project.modules[mod_name]
+        func = call.func
+        # -- pool.submit(fn, ...) / pool.map(fn, ...) ------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SUBMIT_METHODS
+            and isinstance(func.value, ast.Name)
+            and (
+                func.value.id in executors
+                or "pool" in func.value.id.lower()
+                or "executor" in func.value.id.lower()
+            )
+            and call.args
+        ):
+            for arg in call.args[1:]:
+                if _is_rng_expr(arg, module, rng_names):
+                    yield self.finding(
+                        module,
+                        arg.lineno,
+                        arg.col_offset,
+                        "RNG stream passed to a process-pool worker; the "
+                        "generator state gets pickled — derive the stream "
+                        "inside the worker from plain indices",
+                    )
+            fn_arg = call.args[0]
+            fn_name = dotted_name(fn_arg)
+            target = (
+                project.resolve(mod_name, fn_name) if fn_name is not None else None
+            )
+            info = project.functions.get(target) if target else None
+            if info is not None:
+                captured = {
+                    node.id
+                    for node in ast.walk(info.node)
+                    if isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                } & rng_globals.get(info.module, set())
+                if captured:
+                    yield self.finding(
+                        module,
+                        fn_arg.lineno,
+                        fn_arg.col_offset,
+                        f"submitted worker {target}() reads module-level "
+                        f"RNG state ({', '.join(sorted(captured))}); worker "
+                        "processes must re-derive streams locally",
+                    )
+        # -- pickled work-unit constructors ----------------------------
+        callee = dotted_name(func)
+        basename = callee.rsplit(".", 1)[-1] if callee else None
+        if basename in pickled:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                if _is_rng_expr(arg, module, rng_names):
+                    yield self.finding(
+                        module,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"RNG stream pickled into {basename}; work units "
+                        "must carry seeds/indices, not live generator state",
+                    )
+
+
+def _calls_in_scope(scope: ast.AST) -> Iterator[ast.Call]:
+    """Calls lexically in ``scope``, not descending into nested defs."""
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(child, ast.Call):
+            yield child
+        yield from _calls_in_scope(child)

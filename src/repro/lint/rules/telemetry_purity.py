@@ -1,0 +1,139 @@
+"""SL009: telemetry observes the simulation; it never steers it.
+
+The ``obs`` contract (pinned by ``tests/obs/test_determinism_guard``)
+is that running with telemetry on or off produces byte-identical
+results: instruments are write-only and gating on telemetry enablement
+may select *observation*, never simulation behaviour.  Two violation
+shapes are mechanically detectable in event-path code:
+
+1. An instrument mutator's return value feeding anything
+   (``x = counter.inc()``, ``if gauge.set(v):``) — instruments return
+   ``None`` by design, so consuming the result means simulation state
+   was built on a telemetry call.
+2. A telemetry-gated branch (``if metrics.enabled:``,
+   ``if self.metrics is not None:``) that mutates simulation state or
+   alters control flow (attribute assignment, ``return``/``raise``/
+   ``break``/``continue``) — that code runs only when someone is
+   watching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext, dotted_name
+from ..findings import Finding
+from . import Rule, register
+
+#: Instrument mutators (write-only by contract).
+_MUTATORS = frozenset({"inc", "observe"})
+#: ``.set`` is only a mutator when the receiver looks like a gauge.
+_SET_RECEIVER_HINTS = ("gauge",)
+#: Test-expression words that mark a telemetry gate.
+_GATE_WORDS = ("metrics", "telemetry", "instrument")
+
+
+def _is_mutator_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in _MUTATORS:
+        return True
+    if func.attr == "set":
+        recv = dotted_name(func.value)
+        return recv is not None and any(
+            hint in recv.lower() for hint in _SET_RECEIVER_HINTS
+        )
+    return False
+
+
+def _is_telemetry_gate(test: ast.expr) -> bool:
+    """Whether an ``if`` test switches on telemetry enablement."""
+    for node in ast.walk(test):
+        name = None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted_name(node)
+        if name is None:
+            continue
+        lowered = name.lower()
+        if any(word in lowered for word in _GATE_WORDS):
+            return True
+    return False
+
+
+@register
+class TelemetryPurityRule(Rule):
+    id = "SL009"
+    name = "telemetry-purity"
+    description = (
+        "telemetry feeding back into the simulation: instrument return "
+        "value consumed, or sim state/control flow gated on telemetry "
+        "enablement (on/off runs must be identical)"
+    )
+    default_options: dict[str, object] = {
+        # Packages whose code runs inside the event loop; orchestration
+        # layers (experiments, cli) legitimately branch on telemetry to
+        # pick worker variants with identical results.
+        "paths": [
+            "dessim/",
+            "mac/",
+            "phy/",
+            "net/",
+            "route/",
+            "traffic/",
+            "slotsim/",
+        ],
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_any(self.options["paths"]):  # type: ignore[arg-type]
+            return
+        bare = {
+            node.value
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+        }
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_mutator_call(node)
+                and node not in bare
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "instrument mutator result is consumed; instruments "
+                    "return None and must stay write-only",
+                )
+            elif isinstance(node, ast.If) and _is_telemetry_gate(node.test):
+                yield from self._check_gated_body(module, node.body)
+
+    def _check_gated_body(
+        self, module: ModuleContext, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            offenders: list[tuple[ast.stmt, str]] = []
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+                offenders.append(
+                    (stmt, "control flow diverges when telemetry is enabled")
+                )
+            elif isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                if any(isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets):
+                    offenders.append(
+                        (stmt, "state mutated only when telemetry is enabled")
+                    )
+            elif isinstance(stmt, ast.If):
+                yield from self._check_gated_body(module, stmt.body + stmt.orelse)
+            for offender, why in offenders:
+                yield self.finding(
+                    module,
+                    offender.lineno,
+                    offender.col_offset,
+                    f"telemetry-gated block: {why}; telemetry on/off runs "
+                    "must be byte-identical",
+                )

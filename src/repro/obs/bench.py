@@ -265,6 +265,33 @@ def _case_mobility_churn(sim_seconds: float) -> int:
     return sim.events_processed
 
 
+def _case_lint_full_tree() -> int:
+    """Cold + warm whole-repo lint: the incremental-cache bench.
+
+    Lints the package's own source tree twice against a throwaway cache
+    — a cold run (parse everything, run every rule, both phases) and a
+    warm run (content hashes only).  The case moves when the project
+    pass, a rule, or the cache path regresses; the warm-run assertion
+    keeps the cache honest (zero misses means zero parsing).
+    """
+    import tempfile
+
+    from ..lint.config import load_config
+    from ..lint.engine import lint_paths
+
+    src_root = pathlib.Path(__file__).resolve().parents[2]
+    config = load_config(start=src_root)
+    config.use_baseline = False
+    with tempfile.TemporaryDirectory() as tmp:
+        config.cache = str(pathlib.Path(tmp) / "bench-cache.json")
+        cold = lint_paths([src_root / "repro"], config)
+        warm = lint_paths([src_root / "repro"], config)
+    assert cold.files_checked == warm.files_checked > 0
+    assert cold.errors == [] and warm.errors == []
+    assert warm.cache_misses == 0
+    return cold.files_checked + warm.files_checked
+
+
 def _timed(fn: Callable[[], int], repeats: int) -> dict:
     """Best paired (calibration, case) measurement over ``repeats`` runs.
 
@@ -313,6 +340,7 @@ def run_suite(
         ("network_large", lambda: _case_network_large(network_sim_seconds)),
         ("mobility_churn", lambda: _case_mobility_churn(network_sim_seconds)),
         ("multihop_medium", lambda: _case_multihop_medium(network_sim_seconds)),
+        ("lint_full_tree", _case_lint_full_tree),
     )
     for name, fn in suite:
         cases[name] = _timed(fn, repeats)

@@ -1,0 +1,118 @@
+"""The incremental cache: hits, invalidation, and graceful corruption."""
+
+import json
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.context import ModuleContext
+from repro.lint.engine import lint_paths
+
+CLEAN = """
+    def add(a, b):
+        return a + b
+    """
+
+VIOLATION = """
+    import random
+
+    def build():
+        return random.Random(0)
+    """
+
+
+def make_tree(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+
+
+def config_for(tmp_path):
+    return LintConfig(
+        root=tmp_path, use_baseline=False, cache=".simlint-cache.json"
+    )
+
+
+class TestCacheLifecycle:
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"src/pkg/a.py": VIOLATION, "src/pkg/b.py": CLEAN},
+        )
+        cold = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert cold.cache_hits == 0
+        assert (tmp_path / ".simlint-cache.json").exists()
+
+        warm = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == 3  # two files + the project entry
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+
+    def test_warm_run_parses_nothing(self, tmp_path, monkeypatch):
+        make_tree(tmp_path, {"src/pkg/a.py": VIOLATION})
+        lint_paths([tmp_path / "src"], config_for(tmp_path))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm run must not parse")
+
+        monkeypatch.setattr(ModuleContext, "parse", boom)
+        warm = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert warm.cache_misses == 0
+        assert len(warm.findings) == 1
+
+    def test_edited_file_invalidates_its_entry(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"src/pkg/a.py": VIOLATION, "src/pkg/b.py": CLEAN},
+        )
+        lint_paths([tmp_path / "src"], config_for(tmp_path))
+        (tmp_path / "src/pkg/b.py").write_text(textwrap.dedent(VIOLATION))
+        result = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        # a.py stays cached; b.py and the project entry re-run.
+        assert result.cache_hits == 1
+        assert result.cache_misses == 2
+        assert len(result.findings) == 2
+
+    def test_option_change_invalidates_everything(self, tmp_path):
+        make_tree(tmp_path, {"src/pkg/a.py": VIOLATION})
+        lint_paths([tmp_path / "src"], config_for(tmp_path))
+        config = config_for(tmp_path)
+        config.rule_options = {"SL001": {"allow": ["pkg/a.py"]}}
+        result = lint_paths([tmp_path / "src"], config)
+        assert result.cache_hits == 0
+        assert result.findings == []
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        make_tree(tmp_path, {"src/pkg/a.py": VIOLATION})
+        (tmp_path / ".simlint-cache.json").write_text("{not json")
+        result = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert len(result.findings) == 1
+        # and the broken file was rewritten into a valid cache
+        data = json.loads((tmp_path / ".simlint-cache.json").read_text())
+        assert data["format"] == "simlint-cache-v1"
+
+    def test_deleted_file_entry_pruned(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"src/pkg/a.py": VIOLATION, "src/pkg/b.py": CLEAN},
+        )
+        lint_paths([tmp_path / "src"], config_for(tmp_path))
+        (tmp_path / "src/pkg/b.py").unlink()
+        lint_paths([tmp_path / "src"], config_for(tmp_path))
+        data = json.loads((tmp_path / ".simlint-cache.json").read_text())
+        assert set(data["files"]) == {"src/pkg/a.py"}
+
+    def test_no_cache_configured_writes_nothing(self, tmp_path):
+        make_tree(tmp_path, {"src/pkg/a.py": CLEAN})
+        config = LintConfig(root=tmp_path, use_baseline=False)
+        result = lint_paths([tmp_path / "src"], config)
+        assert result.cache_hits == 0 and result.cache_misses == 0
+        assert not (tmp_path / ".simlint-cache.json").exists()
+
+    def test_syntax_error_never_cached(self, tmp_path):
+        make_tree(tmp_path, {"src/pkg/a.py": "def broken(:\n"})
+        first = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert first.errors
+        second = lint_paths([tmp_path / "src"], config_for(tmp_path))
+        assert second.errors  # still reported on the warm run

@@ -50,6 +50,20 @@ class TestConfig:
         with pytest.raises(ValueError, match="basline"):
             load_config(pyproject=tmp_path / "pyproject.toml")
 
+    def test_cache_key_parsed(self, tmp_path):
+        make_project(
+            tmp_path, "[tool.simlint]\ncache = '.simlint-cache.json'\n"
+        )
+        config = load_config(pyproject=tmp_path / "pyproject.toml")
+        assert config.cache == ".simlint-cache.json"
+        assert config.cache_path == tmp_path / ".simlint-cache.json"
+
+    def test_cache_defaults_off(self, tmp_path):
+        make_project(tmp_path)
+        config = load_config(pyproject=tmp_path / "pyproject.toml")
+        assert config.cache is None
+        assert config.cache_path is None
+
     def test_missing_pyproject_gives_defaults(self, tmp_path):
         config = load_config(start=tmp_path)
         # May find an ancestor pyproject when run from a checkout; the
@@ -113,6 +127,42 @@ class TestCli:
 
     def test_no_paths_is_usage_error(self, capsys):
         assert main([]) == 2
+
+    def test_cache_flag_creates_and_reuses_cache(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        args = [
+            "--config", str(root / "pyproject.toml"),
+            "--cache", ".simlint-cache.json",
+            str(root / "src"),
+        ]
+        assert main(args) == 1
+        assert (root / ".simlint-cache.json").exists()
+        capsys.readouterr()
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "0 misses" in out
+        # --no-cache ignores the configured cache entirely
+        assert main(args + ["--no-cache"]) == 1
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_prune_baseline_exit_codes(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args + ["--write-baseline"]) == 0
+        # nothing stale yet: exit 0, file untouched
+        assert main(args + ["--prune-baseline"]) == 0
+        # fix the violation -> the baselined finding goes stale
+        (root / "src" / "repro" / "mac" / "x.py").write_text(
+            "def build():\n    return 4\n"
+        )
+        assert main(args + ["--prune-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "1 stale entries pruned" in out
+        baseline = json.loads((root / ".simlint-baseline.json").read_text())
+        assert baseline["findings"] == {}
+        # and a second prune is clean
+        assert main(args + ["--prune-baseline"]) == 0
+        capsys.readouterr()
 
     def test_module_entry_point(self, tmp_path):
         import subprocess

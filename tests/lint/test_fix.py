@@ -1,0 +1,118 @@
+"""Span-based auto-fixes: the applier and the --fix round-trip."""
+
+import textwrap
+
+from repro.lint.cli import main
+from repro.lint.fixes import Fix, apply_fixes
+
+
+def fix(sl, sc, el, ec, replacement):
+    return Fix(sl, sc, el, ec, replacement)
+
+
+class TestApplyFixes:
+    def test_single_replacement(self):
+        text, applied = apply_fixes("a = 1.0\n", [fix(1, 4, 1, 7, "1")])
+        assert text == "a = 1\n"
+        assert applied == 1
+
+    def test_multiple_on_one_line_back_to_front(self):
+        source = "f(1.0, 2.0)\n"
+        fixes = [fix(1, 2, 1, 5, "1"), fix(1, 7, 1, 10, "2")]
+        text, applied = apply_fixes(source, fixes)
+        assert text == "f(1, 2)\n"
+        assert applied == 2
+
+    def test_multiline_span(self):
+        source = "x = (1.0 +\n     2.0)\n"
+        text, applied = apply_fixes(source, [fix(1, 4, 2, 9, "3")])
+        assert text == "x = 3\n"
+        assert applied == 1
+
+    def test_overlapping_fix_skipped(self):
+        source = "value = compute()\n"
+        fixes = [
+            fix(1, 8, 1, 17, "sorted(compute())"),
+            fix(1, 8, 1, 17, "other()"),
+        ]
+        text, applied = apply_fixes(source, fixes)
+        assert applied == 1
+        assert text in (
+            "value = sorted(compute())\n",
+            "value = other()\n",
+        )
+
+    def test_out_of_range_span_skipped(self):
+        text, applied = apply_fixes("a = 1\n", [fix(9, 0, 9, 3, "zzz")])
+        assert text == "a = 1\n"
+        assert applied == 0
+
+    def test_empty_fix_list(self):
+        text, applied = apply_fixes("a = 1\n", [])
+        assert text == "a = 1\n"
+        assert applied == 0
+
+    def test_round_trips_through_dict(self):
+        original = fix(3, 4, 3, 9, "sorted(x)")
+        assert Fix.from_dict(original.to_dict()) == original
+
+
+class TestFixCli:
+    def make_project(self, tmp_path, source):
+        (tmp_path / "pyproject.toml").write_text(
+            "[project]\nname = 'x'\nversion = '0'\n"
+        )
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "scan.py").write_text(textwrap.dedent(source))
+        return tmp_path
+
+    def test_fix_rewrites_and_relints_clean(self, tmp_path, capsys):
+        root = self.make_project(
+            tmp_path,
+            """
+            def keys(directory):
+                return [p.stem for p in directory.glob("*.json")]
+            """,
+        )
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args) == 1  # SL008 fires
+        capsys.readouterr()
+        assert main(args + ["--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 auto-fix" in out
+        rewritten = (root / "src" / "pkg" / "scan.py").read_text()
+        assert 'sorted(directory.glob("*.json"))' in rewritten
+        assert main(args) == 0  # clean after the rewrite
+
+    def test_fix_leaves_unfixable_findings(self, tmp_path, capsys):
+        root = self.make_project(
+            tmp_path,
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "t")
+
+            def go(sim):
+                wait(sim, 1.5)
+            """,
+        )
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args + ["--fix"]) == 1  # non-integral float: no fix
+        out = capsys.readouterr().out
+        assert "applied 0 auto-fixes" in out
+        assert "SL006" in out
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        root = self.make_project(
+            tmp_path,
+            """
+            def keys(directory):
+                return [p.stem for p in directory.glob("*.json")]
+            """,
+        )
+        args = ["--config", str(root / "pyproject.toml"), str(root / "src")]
+        assert main(args + ["--fix"]) == 0
+        first = (root / "src" / "pkg" / "scan.py").read_text()
+        assert main(args + ["--fix"]) == 0
+        assert (root / "src" / "pkg" / "scan.py").read_text() == first
+        capsys.readouterr()

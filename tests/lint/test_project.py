@@ -1,0 +1,171 @@
+"""The whole-program pass: module naming, resolution, call graph."""
+
+import textwrap
+
+from repro.lint.context import ModuleContext
+from repro.lint.project import ProjectContext, module_name_for_path
+
+
+def parse(path, source):
+    return ModuleContext.parse(path, textwrap.dedent(source))
+
+
+class TestModuleNames:
+    def test_src_root_stripped(self):
+        assert module_name_for_path("src/repro/mac/dcf.py") == "repro.mac.dcf"
+
+    def test_init_becomes_package(self):
+        assert module_name_for_path("src/repro/phy/__init__.py") == "repro.phy"
+
+    def test_no_source_root_uses_whole_path(self):
+        assert module_name_for_path("pkg/mod.py") == "pkg.mod"
+
+    def test_last_source_root_wins(self):
+        assert module_name_for_path("src/vendor/src/pkg/m.py") == "pkg.m"
+
+    def test_backslashes_normalised(self):
+        assert module_name_for_path("src\\repro\\cli.py") == "repro.cli"
+
+
+FIXTURE = {
+    "src/pkg/units.py": """
+        def seconds(value):
+            return int(value * 1_000_000_000)
+
+        class Timer:
+            def start(self, delay_ns):
+                return delay_ns
+        """,
+    "src/pkg/config.py": """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Base:
+            alpha: int
+            beta: str = "x"
+
+        @dataclass(frozen=True)
+        class Derived(Base):
+            gamma: float = 0.0
+            alpha: int = 3
+        """,
+    "src/pkg/app.py": """
+        from .units import seconds, Timer
+        from pkg.config import Derived
+
+        def run(cfg):
+            t = Timer()
+            t.start(seconds(1))
+            return Derived(alpha=cfg)
+
+        class Driver:
+            def step(self):
+                return self.helper()
+
+            def helper(self):
+                return seconds(2)
+        """,
+}
+
+
+def build_fixture():
+    return ProjectContext.build(
+        [parse(path, source) for path, source in FIXTURE.items()]
+    )
+
+
+class TestResolution:
+    def test_modules_indexed_by_dotted_name(self):
+        project = build_fixture()
+        assert set(project.modules) == {"pkg.units", "pkg.config", "pkg.app"}
+
+    def test_relative_import_resolves(self):
+        project = build_fixture()
+        assert project.resolve("pkg.app", "seconds") == "pkg.units.seconds"
+        assert project.resolve("pkg.app", "Timer") == "pkg.units.Timer"
+
+    def test_absolute_import_resolves(self):
+        project = build_fixture()
+        assert project.resolve("pkg.app", "Derived") == "pkg.config.Derived"
+
+    def test_module_local_name_resolves(self):
+        project = build_fixture()
+        assert project.resolve("pkg.units", "seconds") == "pkg.units.seconds"
+
+    def test_unknown_name_is_none(self):
+        project = build_fixture()
+        assert project.resolve("pkg.app", "json.dumps") is None
+        assert project.resolve("pkg.app", "nonexistent") is None
+
+    def test_methods_in_symbol_table(self):
+        project = build_fixture()
+        assert "pkg.units.Timer.start" in project.functions
+        assert project.functions["pkg.units.Timer.start"].owner == "Timer"
+
+
+class TestCallGraph:
+    def test_cross_module_call_edge(self):
+        project = build_fixture()
+        assert "pkg.units.seconds" in project.callees_of("pkg.app.run")
+        assert "pkg.config.Derived" in project.callees_of("pkg.app.run")
+
+    def test_self_method_call_edge(self):
+        project = build_fixture()
+        assert "pkg.app.Driver.helper" in project.callees_of(
+            "pkg.app.Driver.step"
+        )
+
+    def test_callers_inverse(self):
+        project = build_fixture()
+        assert "pkg.app.run" in project.callers_of("pkg.units.seconds")
+        assert "pkg.app.Driver.helper" in project.callers_of("pkg.units.seconds")
+
+    def test_resolve_call_on_self_attribute(self):
+        import ast
+
+        project = build_fixture()
+        call = ast.parse("self.helper()", mode="eval").body
+        assert (
+            project.resolve_call("pkg.app", call, owner="Driver")
+            == "pkg.app.Driver.helper"
+        )
+
+
+class TestDataclassIndex:
+    def test_fields_in_declaration_order(self):
+        project = build_fixture()
+        info = project.dataclasses["pkg.config.Base"]
+        assert info.fields == ("alpha", "beta")
+
+    def test_inherited_fields_base_first(self):
+        project = build_fixture()
+        assert project.dataclass_fields("pkg.config.Derived") == (
+            "alpha",
+            "beta",
+            "gamma",
+        )
+
+    def test_redeclared_field_keeps_base_position(self):
+        project = build_fixture()
+        fields = project.dataclass_fields("pkg.config.Derived")
+        assert fields.count("alpha") == 1
+        assert fields.index("alpha") == 0
+
+    def test_non_dataclass_not_indexed(self):
+        project = build_fixture()
+        assert "pkg.units.Timer" not in project.dataclasses
+
+    def test_unknown_class_has_no_fields(self):
+        project = build_fixture()
+        assert project.dataclass_fields("pkg.config.Missing") == ()
+
+
+class TestModuleOf:
+    def test_symbol_maps_to_module(self):
+        project = build_fixture()
+        module = project.module_of("pkg.units.Timer.start")
+        assert module is project.modules["pkg.units"]
+
+    def test_unknown_symbol_is_none(self):
+        project = build_fixture()
+        assert project.module_of("other.pkg.fn") is None

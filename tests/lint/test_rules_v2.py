@@ -1,0 +1,534 @@
+"""Interprocedural rules (SL006-SL010): single-file and cross-module."""
+
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+
+
+def lint_tree(tmp_path, files, **config_kwargs):
+    """Write a src/ tree and lint it; returns the LintResult."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    config = LintConfig(root=tmp_path, use_baseline=False, **config_kwargs)
+    return lint_paths([tmp_path / "src"], config)
+
+
+class TestEventTime:  # SL006
+    def test_flags_float_into_ns_param(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, 1.5)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL006"]
+        assert "delay_ns" in findings[0].message
+
+    def test_flags_transitive_forwarding(self, check):
+        findings = check(
+            "SL006",
+            """
+            def inner(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def outer(sim, pause):
+                inner(sim, pause)
+
+            def caller(sim):
+                outer(sim, 0.25)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 9
+
+    def test_flags_float_default(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns=2.0):
+                sim.schedule(delay_ns, "tick")
+            """,
+        )
+        assert len(findings) == 1
+        assert "default" in findings[0].message
+
+    def test_integral_literal_gets_fix(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, 1e6)
+            """,
+        )
+        assert findings[0].fix is not None
+        assert findings[0].fix.replacement == "1000000"
+
+    def test_non_integral_has_no_fix(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, 1.5)
+            """,
+        )
+        assert findings[0].fix is None
+
+    def test_int_argument_is_clean(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, 1_000_000)
+            """,
+        )
+        assert findings == []
+
+    def test_ns_keyword_left_to_sl003(self, check):
+        # schedule(delay_ns=1.5) is SL003's finding; SL006 must not
+        # double-report it.
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, delay_ns=1.5)
+            """,
+        )
+        assert findings == []
+
+    def test_method_sink_via_self(self, check):
+        findings = check(
+            "SL006",
+            """
+            class Node:
+                def arm(self, timeout_ns):
+                    self.sim.schedule(timeout_ns, "t")
+
+                def fire(self):
+                    self.arm(3.5)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_suppression_comment(self, check):
+        findings = check(
+            "SL006",
+            """
+            def wait(sim, delay_ns):
+                sim.schedule(delay_ns, "tick")
+
+            def caller(sim):
+                wait(sim, 1.5)  # simlint: disable=SL006
+            """,
+        )
+        assert findings == []
+
+    def test_cross_module_flow(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "src/pkg/sched.py": """
+                    def wait(sim, delay_ns):
+                        sim.schedule(delay_ns, "tick")
+                    """,
+                "src/pkg/caller.py": """
+                    from pkg.sched import wait
+
+                    def go(sim):
+                        wait(sim, 2.5)
+                    """,
+            },
+        )
+        sl006 = [f for f in result.findings if f.rule_id == "SL006"]
+        assert len(sl006) == 1
+        assert sl006[0].path == "src/pkg/caller.py"
+
+
+class TestProcessBoundary:  # SL007
+    def test_flags_stream_into_submit(self, check):
+        findings = check(
+            "SL007",
+            """
+            def run(pool, registry):
+                return pool.submit(work, registry.stream("placement"))
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL007"]
+        assert "pickled" in findings[0].message
+
+    def test_flags_rng_name_into_submit(self, check):
+        findings = check(
+            "SL007",
+            """
+            import random
+
+            def run(pool):
+                rng = random.Random(7)
+                return pool.submit(work, rng)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_stream_into_pickled_type(self, check):
+        findings = check(
+            "SL007",
+            """
+            def build(registry):
+                return CellSpec(8, "dcf", registry.spawn(3))
+            """,
+        )
+        assert len(findings) == 1
+        assert "CellSpec" in findings[0].message
+
+    def test_seed_arguments_are_clean(self, check):
+        findings = check(
+            "SL007",
+            """
+            def run(pool, seed):
+                return pool.submit(work, seed, 42)
+            """,
+        )
+        assert findings == []
+
+    def test_worker_reading_module_rng_global(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "src/pkg/worker.py": """
+                    import random
+
+                    _rng = random.Random(0)
+
+                    def work(n):
+                        return _rng.random() * n
+                    """,
+                "src/pkg/driver.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from pkg.worker import work
+
+                    def run(specs):
+                        with ProcessPoolExecutor() as pool:
+                            return [pool.submit(work, s) for s in specs]
+                    """,
+            },
+        )
+        sl007 = [f for f in result.findings if f.rule_id == "SL007"]
+        assert len(sl007) >= 1
+        assert any("module-level" in f.message for f in sl007)
+
+    def test_pure_worker_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "src/pkg/worker.py": """
+                    def work(seed, n):
+                        return seed * n
+                    """,
+                "src/pkg/driver.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from pkg.worker import work
+
+                    def run(specs):
+                        with ProcessPoolExecutor() as pool:
+                            return [pool.submit(work, s, 2) for s in specs]
+                    """,
+            },
+        )
+        assert [f for f in result.findings if f.rule_id == "SL007"] == []
+
+
+class TestFsOrder:  # SL008
+    def test_flags_glob_in_for(self, check):
+        findings = check(
+            "SL008",
+            """
+            def scan(directory):
+                for path in directory.glob("*.json"):
+                    print(path)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL008"]
+
+    def test_flags_listdir_comprehension(self, check):
+        findings = check(
+            "SL008",
+            """
+            import os
+
+            def names(d):
+                return [n for n in os.listdir(d)]
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_fix_wraps_in_sorted(self, check):
+        findings = check(
+            "SL008",
+            """
+            def scan(directory):
+                for path in directory.glob("*.json"):
+                    print(path)
+            """,
+        )
+        assert findings[0].fix is not None
+        assert findings[0].fix.replacement == 'sorted(directory.glob("*.json"))'
+
+    def test_scandir_flagged_without_fix(self, check):
+        findings = check(
+            "SL008",
+            """
+            import os
+
+            def scan(d):
+                for entry in os.scandir(d):
+                    print(entry.name)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].fix is None
+
+    def test_sorted_scan_is_clean(self, check):
+        findings = check(
+            "SL008",
+            """
+            def scan(directory):
+                for path in sorted(directory.glob("*.json")):
+                    print(path)
+            """,
+        )
+        assert findings == []
+
+    def test_assigned_scan_iterated_later(self, check):
+        findings = check(
+            "SL008",
+            """
+            def scan(directory):
+                paths = directory.glob("*.json")
+                for path in paths:
+                    print(path)
+            """,
+        )
+        assert len(findings) == 1
+        assert "'paths'" in findings[0].message
+
+    def test_list_wrapper_still_flagged(self, check):
+        findings = check(
+            "SL008",
+            """
+            def scan(directory):
+                for path in list(directory.glob("*.json")):
+                    print(path)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestTelemetryPurity:  # SL009
+    def test_flags_consumed_mutator_result(self, check):
+        findings = check(
+            "SL009",
+            """
+            def record(counter):
+                total = counter.inc()
+                return total
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL009"]
+
+    def test_bare_mutator_statement_is_clean(self, check):
+        findings = check(
+            "SL009",
+            """
+            def record(counter, histogram):
+                counter.inc()
+                histogram.observe(3)
+            """,
+        )
+        assert findings == []
+
+    def test_flags_gated_state_mutation(self, check):
+        findings = check(
+            "SL009",
+            """
+            class Node:
+                def step(self):
+                    if self.metrics is not None:
+                        self.backoff += 1
+            """,
+        )
+        assert len(findings) == 1
+        assert "state mutated" in findings[0].message
+
+    def test_flags_gated_return(self, check):
+        findings = check(
+            "SL009",
+            """
+            def step(node):
+                if node.telemetry:
+                    return None
+                node.advance()
+            """,
+        )
+        assert len(findings) == 1
+        assert "control flow" in findings[0].message
+
+    def test_gated_observation_is_clean(self, check):
+        findings = check(
+            "SL009",
+            """
+            class Node:
+                def step(self):
+                    if self.metrics is not None:
+                        self.metrics.tx_attempts.inc()
+            """,
+        )
+        assert findings == []
+
+    def test_outside_event_path_is_clean(self, check):
+        findings = check(
+            "SL009",
+            """
+            def step(node):
+                if node.telemetry:
+                    return None
+                node.advance()
+            """,
+            path="src/repro/experiments/run.py",
+        )
+        assert findings == []
+
+
+class TestFingerprint:  # SL010
+    CONFIG_AND_PRINTER = """
+        import dataclasses
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class SimStudyConfig:
+            n_values: tuple
+            base_seed: int
+            retry_limit: int
+
+        def config_fingerprint(config):
+            record = {{
+                "n_values": config.n_values,
+                {extra}
+            }}
+            return record
+        """
+
+    def test_flags_uncovered_field(self, check):
+        findings = check(
+            "SL010",
+            self.CONFIG_AND_PRINTER.format(extra='"base_seed": config.base_seed,'),
+        )
+        assert [f.rule_id for f in findings] == ["SL010"]
+        assert "'retry_limit'" in findings[0].message
+
+    def test_all_fields_read_is_clean(self, check):
+        findings = check(
+            "SL010",
+            self.CONFIG_AND_PRINTER.format(
+                extra='"base_seed": config.base_seed,'
+                '"retry_limit": config.retry_limit,'
+            ),
+        )
+        assert findings == []
+
+    def test_asdict_covers_everything(self, check):
+        findings = check(
+            "SL010",
+            """
+            import dataclasses
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimStudyConfig:
+                n_values: tuple
+                base_seed: int
+
+            def config_fingerprint(config):
+                return dataclasses.asdict(config)
+            """,
+        )
+        assert findings == []
+
+    def test_popped_field_is_flagged(self, check):
+        findings = check(
+            "SL010",
+            """
+            import dataclasses
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimStudyConfig:
+                n_values: tuple
+                base_seed: int
+
+            def config_fingerprint(config):
+                record = dataclasses.asdict(config)
+                record.pop("base_seed")
+                return record
+            """,
+        )
+        assert len(findings) == 1
+        assert "'base_seed'" in findings[0].message
+
+    def test_no_fingerprint_function_no_findings(self, check):
+        findings = check(
+            "SL010",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SimStudyConfig:
+                n_values: tuple
+            """,
+        )
+        assert findings == []
+
+    def test_cross_module_subclass_fields(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "src/pkg/config.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass(frozen=True)
+                    class SimStudyConfig:
+                        base_seed: int
+
+                    @dataclass(frozen=True)
+                    class MultihopStudyConfig(SimStudyConfig):
+                        ttl: int = 8
+                    """,
+                "src/pkg/store.py": """
+                    from pkg.config import SimStudyConfig
+
+                    def config_fingerprint(config):
+                        return {"base_seed": config.base_seed}
+                    """,
+            },
+        )
+        sl010 = [f for f in result.findings if f.rule_id == "SL010"]
+        assert len(sl010) == 1
+        assert "'ttl'" in sl010[0].message
+        assert sl010[0].path == "src/pkg/config.py"

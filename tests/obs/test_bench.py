@@ -33,6 +33,7 @@ class TestRunSuite:
             "network_large",
             "mobility_churn",
             "multihop_medium",
+            "lint_full_tree",
         }
         for case in payload["cases"].values():
             assert case["count"] > 0
