@@ -136,6 +136,28 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument(
         "--chart", action="store_true", help="render an ASCII line chart too"
     )
+    fig5.add_argument(
+        "--measure", action="store_true",
+        help="also re-measure each optimum with the slot-model engine",
+    )
+    fig5.add_argument(
+        "--measure-beamwidths", type=_float_tuple, default=(30.0, 90.0, 150.0),
+        metavar="LIST",
+        help="beamwidths (degrees) measured with --measure (default 30,90,150)",
+    )
+    fig5.add_argument(
+        "--engine", choices=("scalar", "batch"), default="batch",
+        help="slot-model engine used with --measure (default batch)",
+    )
+    fig5.add_argument(
+        "--slots", type=int, default=3_000,
+        help="slots per measured replicate (--measure)",
+    )
+    fig5.add_argument(
+        "--replicates", type=int, default=3,
+        help="topology replicates per measured point (--measure)",
+    )
+    fig5.add_argument("--seed", type=int, default=2003, help="base seed (--measure)")
 
     for name, help_text in (
         ("fig6", "simulated throughput grid"),
@@ -202,7 +224,61 @@ def build_parser() -> argparse.ArgumentParser:
         "rerunning with the same configuration skips finished cells",
     )
 
-    sub.add_parser("ablation", help="analytical design-choice ablations")
+    ablation = sub.add_parser(
+        "ablation",
+        help="design-choice ablations (analytical) + slot-engine cross-check",
+    )
+    ablation.add_argument(
+        "--skip-engine-check", action="store_true",
+        help="omit the scalar-vs-batch slot-engine cross-check (simulation)",
+    )
+
+    slotsim = sub.add_parser(
+        "slotsim",
+        help="slot-model Monte-Carlo study over the (N, scheme, beamwidth) "
+        "grid; --engine selects the scalar oracle or the batch engine",
+    )
+    slotsim.add_argument(
+        "--n-values", type=_int_tuple, default=(3, 8),
+        help="comma-separated densities N (default 3,8)",
+    )
+    slotsim.add_argument(
+        "--beamwidths", type=_float_tuple, default=(30.0, 150.0),
+        help="comma-separated beamwidths in degrees (default 30,150)",
+    )
+    slotsim.add_argument(
+        "--scheme", type=_str_tuple, default=None, metavar="LIST",
+        help="comma-separated schemes (default: the paper's three)",
+    )
+    slotsim.add_argument(
+        "--topologies", type=int, default=3,
+        help="random topologies per configuration",
+    )
+    slotsim.add_argument(
+        "--p", type=float, default=0.05,
+        help="per-slot handshake-initiation probability",
+    )
+    slotsim.add_argument(
+        "--slots", type=int, default=5_000, help="slots per replicate"
+    )
+    slotsim.add_argument(
+        "--torus-factor", type=float, default=6.0,
+        help="torus side length in range units (>= 3)",
+    )
+    slotsim.add_argument(
+        "--engine", choices=("scalar", "batch"), default="batch",
+        help="slot-model engine (default batch; scalar is the oracle)",
+    )
+    slotsim.add_argument("--seed", type=int, default=2003, help="base seed")
+    slotsim.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign worker processes (default: REPRO_WORKERS or 1)",
+    )
+    slotsim.add_argument(
+        "--campaign-dir", default=None, metavar="DIR",
+        help="persist one JSON artifact per completed cell under DIR; "
+        "rerunning with the same configuration skips finished cells",
+    )
 
     baselines = sub.add_parser(
         "baselines",
@@ -287,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--p", type=float, default=0.05,
         help="per-slot transmission probability (slotsim kernel)",
     )
+    profile.add_argument(
+        "--engine", choices=("scalar", "batch"), default="scalar",
+        help="slot-model engine (slotsim kernel; default scalar)",
+    )
+    profile.add_argument(
+        "--batch", type=int, default=1,
+        help="replicates advanced in lockstep (slotsim kernel, batch engine)",
+    )
+    profile.add_argument(
+        "--torus-factor", type=float, default=6.0,
+        help="torus side length in range units (slotsim kernel)",
+    )
     profile.add_argument("--seed", type=int, default=2003)
     profile.add_argument(
         "--json", default=None, metavar="PATH",
@@ -343,31 +431,44 @@ def _run_profile(args: argparse.Namespace) -> int:
             f"{args.sim_seconds:g}s simulated ({events:,} events)"
         )
     else:
-        from .slotsim import SlotModelConfig, SlotModelEngine
+        from .slotsim import BatchSlotModelEngine, SlotModelConfig, SlotModelEngine
 
         params = PAPER_PARAMETERS.with_neighbors(float(args.n)).with_beamwidth(
             math.radians(args.beamwidth)
         )
+        config = SlotModelConfig(
+            params=params,
+            scheme=args.scheme,
+            p=args.p,
+            torus_factor=args.torus_factor,
+            seed=args.seed,
+        )
         with profiler.phase("build"):
-            engine = SlotModelEngine(
-                SlotModelConfig(
-                    params=params, scheme=args.scheme, p=args.p, seed=args.seed
-                ),
-                metrics=metrics,
-            )
+            if args.engine == "batch":
+                engine = BatchSlotModelEngine(
+                    config, batch=args.batch, metrics=metrics
+                )
+            else:
+                if args.batch != 1:
+                    raise SystemExit("--batch requires --engine batch")
+                engine = SlotModelEngine(config, metrics=metrics)
         with profiler.phase("event loop"):
             engine.run(args.slots)
+        # The batch engine harvests slots * batch (one count per
+        # replicate-slot), so the rate is comparable across engines.
         slots = int(metrics.counter("slotsim.slots").value)
         rates.append(("slots/sec", slots, "event loop"))
         print(
-            f"profile: slotsim kernel, N={args.n}, {args.scheme}, "
-            f"{args.beamwidth:g}dg, p={args.p:g}, {args.slots:,} slots"
+            f"profile: slotsim kernel ({args.engine}), N={args.n}, "
+            f"{args.scheme}, {args.beamwidth:g}dg, p={args.p:g}, "
+            f"{args.slots:,} slots x {args.batch} replicate(s)"
         )
     print(format_profile(profiler, rates))
     if args.json:
         payload = {
             "format": "repro-profile-v1",
             "kernel": args.kernel,
+            **({"engine": args.engine} if args.kernel == "slotsim" else {}),
             "phases": profiler.as_dict(),
             "rates": {
                 name: profiler.rate(count, label) for name, count, label in rates
@@ -403,6 +504,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                     title=f"Fig. 5 (N = {args.n:g})",
                     x_label="beamwidth (deg)",
                     y_label="max throughput",
+                )
+            )
+        if args.measure:
+            from .experiments import format_fig5_measured_table, run_fig5_measured
+
+            print()
+            print(
+                f"Slot-model measurement at each optimum "
+                f"({args.engine} engine, {args.replicates} topologies x "
+                f"{args.slots:,} slots):"
+            )
+            print(
+                format_fig5_measured_table(
+                    run_fig5_measured(
+                        n_neighbors=args.n,
+                        beamwidths=tuple(
+                            math.radians(b) for b in args.measure_beamwidths
+                        ),
+                        slots=args.slots,
+                        replicates=args.replicates,
+                        engine=args.engine,
+                        base_seed=args.seed,
+                    )
                 )
             )
     elif args.command == "fig6":
@@ -460,6 +584,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         print("DRTS-OCTS T_fail lower bound:")
         print(format_tfail_table(run_tfail_ablation()))
+        if not args.skip_engine_check:
+            from .experiments import format_engine_check_table, run_engine_ablation
+
+            print()
+            print("Slot-engine cross-check (scalar oracle vs vectorized batch):")
+            print(format_engine_check_table(run_engine_ablation()))
+    elif args.command == "slotsim":
+        from .experiments import (
+            SlotStudyConfig,
+            format_slotsim_table,
+            run_slot_study,
+        )
+        from .experiments.multihop import normalize_scheme
+
+        schemes = (
+            tuple(normalize_scheme(s) for s in args.scheme)
+            if args.scheme
+            else ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
+        )
+        config = SlotStudyConfig(
+            n_values=args.n_values,
+            beamwidths_deg=args.beamwidths,
+            schemes=schemes,
+            topologies=args.topologies,
+            base_seed=args.seed,
+            p=args.p,
+            slots=args.slots,
+            torus_factor=args.torus_factor,
+            engine=args.engine,
+        )
+        print(
+            f"Slot-model study ({args.engine} engine): p={args.p:g}, "
+            f"{config.topologies} topologies x {args.slots:,} slots"
+        )
+        print(format_slotsim_table(run_slot_study(config, **_campaign_options(args))))
     elif args.command == "baselines":
         from .experiments import format_baseline_table, run_baseline_ladder
 

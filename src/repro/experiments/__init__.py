@@ -10,7 +10,10 @@
 * :mod:`~repro.experiments.campaign` — parallel, resumable grid
   execution (worker fan-out, per-cell result store, progress/ETA),
 * :mod:`~repro.experiments.multihop` — end-to-end multi-hop study over
-  the routing subsystem (same campaign machinery, ``"multihop"`` cells).
+  the routing subsystem (same campaign machinery, ``"multihop"`` cells),
+* :mod:`~repro.experiments.slotsim_study` — slot-model Monte-Carlo
+  study with engine selection (same campaign machinery, ``"slotsim"``
+  cells).
 """
 
 from .campaign import (
@@ -28,12 +31,15 @@ from .campaign import (
 )
 from .ablation import (
     Area3SpanRow,
+    EngineCheckRow,
     FixedPRow,
     TFailRow,
     format_area3_span_table,
+    format_engine_check_table,
     format_fixed_p_table,
     format_tfail_table,
     run_area3_span_ablation,
+    run_engine_ablation,
     run_fixed_p_ablation,
     run_tfail_ablation,
 )
@@ -46,7 +52,14 @@ from .extension_schemes import (
     format_scheme_comparison,
     run_scheme_comparison,
 )
-from .fig5 import Fig5Row, format_fig5_table, run_fig5
+from .fig5 import (
+    Fig5MeasuredRow,
+    Fig5Row,
+    format_fig5_measured_table,
+    format_fig5_table,
+    run_fig5,
+    run_fig5_measured,
+)
 from .load_sweep import LoadPoint, format_load_sweep_table, run_load_sweep
 from .mobility_study import (
     MobilityPoint,
@@ -68,6 +81,16 @@ from .multihop import (
     summarize_multihop,
 )
 from .runner import CellResult, SimStudyRunner
+from .slotsim_study import (
+    SlotCell,
+    SlotReplicateMetrics,
+    SlotStudyConfig,
+    format_slotsim_table,
+    run_slot_cell_spec,
+    run_slot_cell_spec_telemetry,
+    run_slot_study,
+    summarize_slotsim,
+)
 from .table1 import Table1Entry, format_table1, table1_entries
 
 __all__ = [
@@ -90,6 +113,17 @@ __all__ = [
     "Fig5Row",
     "run_fig5",
     "format_fig5_table",
+    "Fig5MeasuredRow",
+    "run_fig5_measured",
+    "format_fig5_measured_table",
+    "SlotCell",
+    "SlotReplicateMetrics",
+    "SlotStudyConfig",
+    "run_slot_study",
+    "run_slot_cell_spec",
+    "run_slot_cell_spec_telemetry",
+    "summarize_slotsim",
+    "format_slotsim_table",
     "Fig6Cell",
     "run_fig6",
     "format_fig6_table",
@@ -130,6 +164,9 @@ __all__ = [
     "run_tfail_ablation",
     "Area3SpanRow",
     "run_area3_span_ablation",
+    "EngineCheckRow",
+    "run_engine_ablation",
+    "format_engine_check_table",
     "BaselineRow",
     "run_baseline_ladder",
     "format_baseline_table",

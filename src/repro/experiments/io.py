@@ -110,6 +110,10 @@ def _replicate_decoder(kind: str):
         from .multihop import MultihopReplicateMetrics
 
         return MultihopReplicateMetrics.from_record
+    if kind == "slotsim":
+        from .slotsim_study import SlotReplicateMetrics
+
+        return SlotReplicateMetrics.from_record
     raise ValueError(f"unknown replicate kind {kind!r}")
 
 

@@ -1,0 +1,335 @@
+"""Slot-model Monte-Carlo study: the paper grid on the slotsim engines.
+
+Runs the ``(N, scheme, beamwidth)`` grid of the analytical model's
+*simulated world* (:mod:`repro.slotsim`) as a campaign: each cell is
+``topologies`` independent torus draws, each replicate a pure function
+of ``(config, n, replicate)`` exactly like the 802.11 studies, with
+cell artifacts persisted under ``"kind": "slotsim"``.
+
+The engine is part of the configuration — ``engine="scalar"`` runs the
+oracle :class:`~repro.slotsim.engine.SlotModelEngine`, ``engine="batch"``
+the vectorized :class:`~repro.slotsim.batch.BatchSlotModelEngine` — and
+therefore part of the campaign fingerprint: artifacts produced by the
+two engines can never be silently mixed in one campaign directory, even
+though the batch engine is validated as statistically identical (see
+``tests/slotsim/test_batch.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Sequence
+
+from ..core.params import PAPER_PARAMETERS
+from ..metrics.summary import ReplicateSummary, summarize
+from ..net.topology import Topology
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
+from ..slotsim import (
+    BatchSlotModelEngine,
+    SlotModelConfig,
+    SlotModelEngine,
+    SlotModelResults,
+)
+from .campaign import (
+    CampaignProgress,
+    CellResult,
+    CellSpec,
+    cell_telemetry,
+    replicate_seed,
+    run_campaign,
+)
+from .config import SimStudyConfig
+
+__all__ = [
+    "SLOT_ENGINES",
+    "SlotStudyConfig",
+    "SlotReplicateMetrics",
+    "SlotCell",
+    "run_slot_cell_spec",
+    "run_slot_cell_spec_telemetry",
+    "run_slot_study",
+    "summarize_slotsim",
+    "format_slotsim_table",
+]
+
+#: Selectable slot-model engines.
+SLOT_ENGINES = ("scalar", "batch")
+
+
+@dataclass(frozen=True)
+class SlotStudyConfig(SimStudyConfig):
+    """The slot-model sweep: the grid axes plus slotsim knobs.
+
+    Inherits ``n_values`` × ``schemes`` × ``beamwidths_deg``,
+    ``topologies`` and ``base_seed`` from
+    :class:`~repro.experiments.config.SimStudyConfig` (the 802.11-only
+    fields ``sim_time_ns``/``retry_limit``/``capture_threshold`` ride
+    along unused), so the campaign fingerprint covers every field —
+    including ``engine``, which makes artifacts from the scalar and
+    batch engines distinguishable by construction.
+    """
+
+    #: Per-slot handshake-initiation probability of a waiting node.
+    p: float = 0.05
+    #: Slots simulated per replicate.
+    slots: int = 5_000
+    #: Torus side length as a multiple of the range ``R``.
+    torus_factor: float = 6.0
+    #: Which engine advances the world: ``"scalar"`` (the oracle) or
+    #: ``"batch"`` (vectorized; statistically identical outcomes).
+    engine: str = "batch"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {self.p!r}")
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.torus_factor < 3.0:
+            raise ValueError(
+                f"torus_factor must be >= 3, got {self.torus_factor!r}"
+            )
+        if self.engine not in SLOT_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {SLOT_ENGINES}"
+            )
+
+
+@dataclass(frozen=True)
+class SlotReplicateMetrics:
+    """Outcome ledger of one slot-model replicate (JSON-exact).
+
+    Counts are integers (the engines keep the payload ledger
+    integer-exact precisely so these survive JSON round-trips with
+    ``==`` semantics); the derived ratios are stored too so summaries
+    never need the engine.
+    """
+
+    kind: ClassVar[str] = "slotsim"
+
+    replicate: int
+    seed: int
+    engine: str
+    slots: int
+    node_count: int
+    mean_degree: float
+    initiations: int
+    successes: int
+    failures: int
+    payload_slots: int
+    success_ratio: float
+    throughput_per_node: float
+    mean_fail_duration: float
+    fail_durations: dict[int, int]
+
+    @classmethod
+    def from_results(
+        cls, replicate: int, seed: int, engine: str, results: SlotModelResults
+    ) -> "SlotReplicateMetrics":
+        return cls(
+            replicate=replicate,
+            seed=seed,
+            engine=engine,
+            slots=results.slots,
+            node_count=results.node_count,
+            mean_degree=results.mean_degree,
+            initiations=results.initiations,
+            successes=results.successes,
+            failures=results.failures,
+            payload_slots=results.payload_slots,
+            success_ratio=results.success_ratio,
+            throughput_per_node=results.throughput_per_node,
+            mean_fail_duration=results.mean_fail_duration,
+            fail_durations=dict(sorted(results.fail_durations.items())),
+        )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SlotReplicateMetrics":
+        """Rebuild from the ``dataclasses.asdict`` JSON form (JSON
+        stringifies the integer duration keys)."""
+        data = dict(record)
+        data["fail_durations"] = {
+            int(duration): count
+            for duration, count in data["fail_durations"].items()
+        }
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Worker functions — the campaign plugs, pure in (spec).
+# ----------------------------------------------------------------------
+
+
+def run_slot_cell_spec(
+    spec: CellSpec,
+    topology: Callable[[int, int], Topology] | None = None,
+    metrics: MetricsRegistry | None = None,
+    profiler: PhaseProfiler | None = None,
+) -> CellResult:
+    """Run all replicates of one slot-model grid cell.
+
+    Same purity contract as
+    :func:`~repro.experiments.campaign.run_cell_spec`: a pure function
+    of ``spec`` regardless of process or order, with ``metrics`` and
+    ``profiler`` strictly observational.  ``topology`` is accepted for
+    campaign-runner compatibility but ignored — the slot model draws
+    its own torus placement from the replicate seed (``config.seed``
+    roots both placement and traffic), so topologies are per-replicate
+    by construction.  ``spec.config`` must be a
+    :class:`SlotStudyConfig`.
+    """
+    cfg = spec.config
+    if not isinstance(cfg, SlotStudyConfig):
+        raise TypeError(
+            f"slot-model cells need a SlotStudyConfig, got {type(cfg).__name__}"
+        )
+    params = PAPER_PARAMETERS.with_neighbors(float(spec.n)).with_beamwidth(
+        math.radians(spec.beamwidth_deg)
+    )
+    results = []
+    for replicate in range(cfg.topologies):
+        seed = replicate_seed(cfg.base_seed, spec.n, replicate)
+        model = SlotModelConfig(
+            params=params,
+            scheme=spec.scheme,
+            p=cfg.p,
+            torus_factor=cfg.torus_factor,
+            seed=seed,
+        )
+        with profiler.phase("build") if profiler else nullcontext():
+            if cfg.engine == "batch":
+                engine = BatchSlotModelEngine(model, metrics=metrics)
+            else:
+                engine = SlotModelEngine(model, metrics=metrics)
+        with profiler.phase("event loop") if profiler else nullcontext():
+            run = engine.run(cfg.slots)
+        outcome = run[0] if cfg.engine == "batch" else run
+        results.append(
+            SlotReplicateMetrics.from_results(replicate, seed, cfg.engine, outcome)
+        )
+    return CellResult(
+        n=spec.n,
+        scheme=spec.scheme,
+        beamwidth_deg=spec.beamwidth_deg,
+        results=tuple(results),
+    )
+
+
+def run_slot_cell_spec_telemetry(
+    spec: CellSpec,
+    topology: Callable[[int, int], Topology] | None = None,
+) -> tuple[CellResult, dict]:
+    """Measuring variant: (cell result, ``repro-telemetry-v1`` record)."""
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    cell = run_slot_cell_spec(
+        spec, topology=topology, metrics=metrics, profiler=profiler
+    )
+    return cell, cell_telemetry(spec, metrics, profiler)
+
+
+# ----------------------------------------------------------------------
+# The study driver and its presentation.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlotCell:
+    """Cross-replicate summary for one (N, scheme, beamwidth) cell."""
+
+    n: int
+    scheme: str
+    beamwidth_deg: float
+    engine: str
+    success_ratio: ReplicateSummary
+    throughput_per_node: ReplicateSummary
+    mean_fail_duration: ReplicateSummary
+
+
+def summarize_slotsim(cells: Sequence[CellResult]) -> list[SlotCell]:
+    """Summarize raw slot-model campaign cells for presentation."""
+    summary = []
+    for cell in cells:
+        summary.append(
+            SlotCell(
+                n=cell.n,
+                scheme=cell.scheme,
+                beamwidth_deg=cell.beamwidth_deg,
+                engine=cell.results[0].engine,
+                success_ratio=summarize(cell.metric("success_ratio")),
+                throughput_per_node=summarize(
+                    cell.metric("throughput_per_node")
+                ),
+                mean_fail_duration=summarize(
+                    cell.metric("mean_fail_duration")
+                ),
+            )
+        )
+    return summary
+
+
+def run_slot_study(
+    config: SlotStudyConfig,
+    *,
+    workers: int | None = 1,
+    directory: str | pathlib.Path | None = None,
+    progress: CampaignProgress | None = None,
+    telemetry: bool = True,
+) -> list[SlotCell]:
+    """Run the slot-model grid as a (resumable, parallelizable) campaign.
+
+    Same execution semantics as the other campaigns: with a
+    ``directory`` the run persists/resumes per-cell artifacts
+    (``"kind": "slotsim"``); serial and parallel runs are
+    byte-identical because every replicate is a pure function of
+    ``(config, n, replicate)``.
+    """
+    cells = run_campaign(
+        config,
+        workers=workers,
+        directory=directory,
+        progress=progress,
+        telemetry=telemetry,
+        worker=run_slot_cell_spec,
+        worker_telemetry=run_slot_cell_spec_telemetry,
+    )
+    return summarize_slotsim(cells)
+
+
+def format_slotsim_table(cells: Sequence[SlotCell]) -> str:
+    """Aligned text table grouped by N, one row per beamwidth."""
+    lines = []
+    schemes = sorted({c.scheme for c in cells}, key=str)
+    engines = sorted({c.engine for c in cells})
+    for n in sorted({c.n for c in cells}):
+        lines.append(
+            f"N = {n}  (throughput per node per slot / success ratio, "
+            f"engine: {', '.join(engines)})"
+        )
+        header = "  beamwidth  " + "  ".join(f"{s:>18}" for s in schemes)
+        lines.append(header)
+        for beamwidth in sorted({c.beamwidth_deg for c in cells if c.n == n}):
+            row = [f"  {beamwidth:7.0f}dg "]
+            for scheme in schemes:
+                match = [
+                    c
+                    for c in cells
+                    if c.n == n
+                    and c.scheme == scheme
+                    and c.beamwidth_deg == beamwidth
+                ]
+                if match:
+                    cell = match[0]
+                    row.append(
+                        f"{cell.throughput_per_node.mean:8.4f} / "
+                        f"{cell.success_ratio.mean:7.4f}"
+                    )
+                else:
+                    row.append(" " * 18)
+            lines.append("  ".join(row))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,7 +1,8 @@
 """The telemetry benchmark harness behind the CI perf gate.
 
 Runs a small fixed suite over the simulation substrates — the dessim
-event kernel, the slotsim Monte-Carlo loop, a saturated network cell,
+event kernel, the slotsim Monte-Carlo loop (scalar and the vectorized
+batch engine at ~10^4 nodes), a saturated network cell,
 a ~200-node directional cell (the link-cache transmit scan), a
 mobility-churn case (link-cache invalidation), and a routed multi-hop
 cell (the relay plane) — and writes a
@@ -126,6 +127,33 @@ def _case_slotsim(slots: int) -> int:
     results = SlotModelEngine(config).run(slots)
     assert results.initiations > 0
     return slots
+
+
+def _case_slotsim_batch(slots: int, batch: int = 2) -> int:
+    """Vectorized slot engine at the 10^4-node scale.
+
+    Same protocol world as ``slotsim_loop`` (N=3, p=0.02) on a torus
+    large enough for ~10^4 nodes, advanced ``batch`` replicates at a
+    time by :class:`~repro.slotsim.batch.BatchSlotModelEngine`.  The
+    work unit is **node-slots** (``slots * batch * node_count``), not
+    slots: one slot here simulates ~300x the nodes of the scalar case,
+    and counting node-slots makes the two scores express the same
+    per-node cost.  The case moves when the array program (interference
+    bincount, checkpoint masks) regresses.
+    """
+    from ..core import PAPER_PARAMETERS
+    from ..slotsim import BatchSlotModelEngine, SlotModelConfig
+
+    config = SlotModelConfig(
+        params=PAPER_PARAMETERS.with_neighbors(3.0),
+        p=0.02,
+        torus_factor=102.0,  # ~10^4 nodes at N=3
+        seed=3,
+    )
+    engine = BatchSlotModelEngine(config, batch=batch)
+    results = engine.run(slots)
+    assert all(r.initiations > 0 for r in results)
+    return slots * batch * engine.geometry.count
 
 
 def _case_network_cell(sim_seconds: float) -> int:
@@ -325,6 +353,7 @@ def run_suite(
     *,
     kernel_events: int = 20_000,
     slotsim_slots: int = 10_000,
+    slotsim_batch_slots: int = 300,
     network_sim_seconds: float = 0.2,
 ) -> dict:
     """Run every case; return the ``repro-bench-v1`` payload."""
@@ -336,6 +365,7 @@ def run_suite(
     suite: Sequence[tuple[str, Callable[[], int]]] = (
         ("dessim_event_kernel", lambda: _case_event_kernel(chains, depth)),
         ("slotsim_loop", lambda: _case_slotsim(slotsim_slots)),
+        ("slotsim_batch", lambda: _case_slotsim_batch(slotsim_batch_slots)),
         ("network_cell", lambda: _case_network_cell(network_sim_seconds)),
         ("network_large", lambda: _case_network_large(network_sim_seconds)),
         ("mobility_churn", lambda: _case_mobility_churn(network_sim_seconds)),
@@ -435,6 +465,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--kernel-events", type=int, default=20_000)
     parser.add_argument("--slotsim-slots", type=int, default=10_000)
+    parser.add_argument("--slotsim-batch-slots", type=int, default=300)
     parser.add_argument("--network-sim-seconds", type=float, default=0.2)
     args = parser.parse_args(argv)
 
@@ -442,6 +473,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.repeats,
         kernel_events=args.kernel_events,
         slotsim_slots=args.slotsim_slots,
+        slotsim_batch_slots=args.slotsim_batch_slots,
         network_sim_seconds=args.network_sim_seconds,
     )
     pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

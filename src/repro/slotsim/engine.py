@@ -15,6 +15,7 @@ Section 2's assumptions).
 
 from __future__ import annotations
 
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass, field
@@ -54,7 +55,10 @@ class SlotModelResults:
     initiations: int = 0
     successes: int = 0
     failures: int = 0
-    payload_slots: float = 0.0
+    #: Delivered payload, in whole slots.  Kept integer-exact (packet
+    #: lengths are integral slot counts) so equivalence checks between
+    #: engines can compare ledgers with ``==`` instead of a tolerance.
+    payload_slots: int = 0
     fail_durations: Counter = field(default_factory=Counter)
 
     @property
@@ -119,18 +123,31 @@ class SlotModelEngine:
         self.t_succeed = self.ack_end + 1
         self.t_fail_early = self.cts_end + 1  # l_rts + l_cts + 2
 
+        # Effective beamwidth per frame type, resolved once: the policy
+        # dispatch ran per interfering frame per listener per slot, on
+        # the hottest line of the kernel.  The slot model never retries
+        # a handshake, so the retries=0 resolution is total.
+        policy = config.policy
+        self._beamwidths: dict[FrameType, float] = {
+            ftype: (
+                config.params.beamwidth
+                if policy.is_directional(ftype)
+                else 2 * math.pi
+            )
+            for ftype in self._l
+        }
+
         self._engaged: dict[int, _Handshake] = {}
         self._active: list[_Handshake] = []
+        # Post-construction RNG state: run() rewinds to here so every
+        # run is a pure function of the configuration (see run()).
+        self._rng_run_state = self.rng.getstate()
 
     # ------------------------------------------------------------------
 
     def _beamwidth_for(self, ftype: FrameType, retries: int = 0) -> float:
         """Effective beamwidth of one frame under the configured policy."""
-        import math
-
-        if self.config.policy.is_directional(ftype, retries):
-            return self.config.params.beamwidth
-        return 2 * math.pi
+        return self._beamwidths[ftype]
 
     def _frame_on_air(
         self, hs: _Handshake, offset: int
@@ -156,9 +173,22 @@ class SlotModelEngine:
     # ------------------------------------------------------------------
 
     def run(self, slots: int) -> SlotModelResults:
-        """Advance the world ``slots`` slots and return the measurements."""
+        """Advance the world ``slots`` slots and return the measurements.
+
+        Every call is a pure function of the configuration: per-run
+        state (engaged nodes, in-flight handshakes) is cleared and the
+        RNG rewound to its post-construction state, so ``run()`` called
+        twice returns identical results, equal to a fresh engine's.
+        Without the reset, handshakes surviving a previous run kept
+        their old ``start`` slots while ``now`` restarted at 0 — stale
+        negative offsets that radiated RTS forever and corrupted every
+        statistic of the second run.
+        """
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+        self._engaged = {}
+        self._active = []
+        self.rng.setstate(self._rng_run_state)
         geo = self.geometry
         cfg = self.config
         results = SlotModelResults(
@@ -247,11 +277,11 @@ class SlotModelEngine:
         if listener in transmitting:
             return False  # deaf while transmitting
         geo = self.geometry
+        beamwidths = self._beamwidths
         for transmitter, aimed, ftype in on_air:
             if transmitter in (peer, listener):
                 continue
-            beamwidth = self._beamwidth_for(ftype)
-            if geo.covers(transmitter, aimed, listener, beamwidth):
+            if geo.covers(transmitter, aimed, listener, beamwidths[ftype]):
                 return False
         return True
 
@@ -287,7 +317,7 @@ class SlotModelEngine:
             )
             if success:
                 results.successes += 1
-                results.payload_slots += self.config.params.l_data
+                results.payload_slots += self._l[FrameType.DATA]
             else:
                 results.failures += 1
                 results.fail_durations[duration] += 1

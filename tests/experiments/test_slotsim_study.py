@@ -1,0 +1,147 @@
+"""Tests for the slot-model campaign study and its engine selection."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import (
+    SlotReplicateMetrics,
+    SlotStudyConfig,
+    format_slotsim_table,
+    run_slot_cell_spec,
+    run_slot_study,
+)
+from repro.experiments.campaign import CellSpec, config_fingerprint
+from repro.experiments.io import cell_from_payload, cell_to_payload
+
+
+def tiny_config(**overrides):
+    options = dict(
+        n_values=(3,),
+        beamwidths_deg=(60.0,),
+        schemes=("ORTS-OCTS",),
+        topologies=2,
+        p=0.05,
+        slots=200,
+        engine="batch",
+    )
+    options.update(overrides)
+    return SlotStudyConfig(**options)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = tiny_config()
+        assert config.engine == "batch"
+
+    @pytest.mark.parametrize("overrides", [
+        {"p": 0.0},
+        {"p": 1.0},
+        {"slots": 0},
+        {"torus_factor": 2.0},
+        {"engine": "gpu"},
+    ])
+    def test_rejects_bad_values(self, overrides):
+        with pytest.raises(ValueError):
+            tiny_config(**overrides)
+
+    def test_engine_changes_fingerprint(self):
+        """The acceptance property: campaign artifacts distinguish
+        engines because the engine is part of the config fingerprint."""
+        batch = config_fingerprint(tiny_config(engine="batch"))
+        scalar = config_fingerprint(tiny_config(engine="scalar"))
+        assert batch != scalar
+
+    def test_slot_knobs_change_fingerprint(self):
+        base = config_fingerprint(tiny_config())
+        assert config_fingerprint(tiny_config(p=0.06)) != base
+        assert config_fingerprint(tiny_config(slots=300)) != base
+
+
+class TestWorker:
+    def test_requires_slot_config(self):
+        from repro.experiments import SimStudyConfig
+
+        spec = CellSpec(3, "ORTS-OCTS", 60.0, SimStudyConfig(n_values=(3,)))
+        with pytest.raises(TypeError):
+            run_slot_cell_spec(spec)
+
+    def test_replicates_are_independent_topologies(self):
+        cell = run_slot_cell_spec(CellSpec(3, "ORTS-OCTS", 60.0, tiny_config()))
+        assert len(cell.results) == 2
+        a, b = cell.results
+        assert a.seed != b.seed
+        assert (a.node_count, a.mean_degree) != (b.node_count, b.mean_degree) or (
+            a.initiations != b.initiations
+        )
+
+    def test_worker_is_pure(self):
+        spec = CellSpec(3, "ORTS-OCTS", 60.0, tiny_config())
+        assert run_slot_cell_spec(spec) == run_slot_cell_spec(spec)
+
+    def test_engines_share_seeds_not_outcomes(self):
+        batch = run_slot_cell_spec(
+            CellSpec(3, "ORTS-OCTS", 60.0, tiny_config(engine="batch"))
+        )
+        scalar = run_slot_cell_spec(
+            CellSpec(3, "ORTS-OCTS", 60.0, tiny_config(engine="scalar"))
+        )
+        for br, sr in zip(batch.results, scalar.results):
+            assert br.seed == sr.seed
+            assert br.engine == "batch" and sr.engine == "scalar"
+
+    def test_ignores_topology_provider(self):
+        spec = CellSpec(3, "ORTS-OCTS", 60.0, tiny_config())
+        sentinel = object()
+        cell = run_slot_cell_spec(spec, topology=sentinel)
+        assert cell == run_slot_cell_spec(spec)
+
+
+class TestArtifacts:
+    def test_payload_round_trip(self):
+        cell = run_slot_cell_spec(CellSpec(3, "ORTS-OCTS", 60.0, tiny_config()))
+        payload = json.loads(json.dumps(cell_to_payload(cell)))
+        assert payload["kind"] == "slotsim"
+        assert cell_from_payload(payload) == cell
+
+    def test_from_record_restores_integer_duration_keys(self):
+        cell = run_slot_cell_spec(
+            CellSpec(3, "ORTS-OCTS", 60.0, tiny_config(p=0.2, slots=400))
+        )
+        record = json.loads(json.dumps(dataclasses.asdict(cell.results[0])))
+        restored = SlotReplicateMetrics.from_record(record)
+        assert restored == cell.results[0]
+        assert all(isinstance(k, int) for k in restored.fail_durations)
+
+
+class TestStudy:
+    def test_serial_run_and_table(self):
+        cells = run_slot_study(tiny_config(), telemetry=False)
+        assert len(cells) == 1
+        assert cells[0].engine == "batch"
+        table = format_slotsim_table(cells)
+        assert "N = 3" in table and "ORTS-OCTS" in table
+
+    def test_campaign_store_resume(self, tmp_path):
+        config = tiny_config()
+        first = run_slot_study(config, directory=tmp_path, telemetry=False)
+        again = run_slot_study(config, directory=tmp_path, telemetry=False)
+        assert first == again
+
+    def test_store_refuses_to_mix_engines(self, tmp_path):
+        """Fingerprinted artifacts: a directory started with one engine
+        rejects the other outright instead of silently mixing cells."""
+        run_slot_study(
+            tiny_config(engine="batch"), directory=tmp_path, telemetry=False
+        )
+        with pytest.raises(ValueError, match="different"):
+            run_slot_study(
+                tiny_config(engine="scalar"), directory=tmp_path, telemetry=False
+            )
+
+    def test_parallel_equals_serial(self):
+        config = tiny_config(n_values=(3,), schemes=("ORTS-OCTS", "DRTS-DCTS"))
+        serial = run_slot_study(config, workers=1, telemetry=False)
+        parallel = run_slot_study(config, workers=2, telemetry=False)
+        assert serial == parallel

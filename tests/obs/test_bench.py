@@ -14,7 +14,12 @@ from repro.obs.bench import (
 )
 
 # Tiny workloads: these tests exercise plumbing, not performance.
-TINY = dict(kernel_events=200, slotsim_slots=200, network_sim_seconds=0.01)
+TINY = dict(
+    kernel_events=200,
+    slotsim_slots=200,
+    slotsim_batch_slots=10,
+    network_sim_seconds=0.01,
+)
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +34,7 @@ class TestRunSuite:
         assert set(payload["cases"]) == {
             "dessim_event_kernel",
             "slotsim_loop",
+            "slotsim_batch",
             "network_cell",
             "network_large",
             "mobility_churn",
@@ -99,6 +105,7 @@ class TestMain:
         "--repeats", "1",
         "--kernel-events", "200",
         "--slotsim-slots", "200",
+        "--slotsim-batch-slots", "10",
         "--network-sim-seconds", "0.01",
     ]
     # The pass-then-check test needs workloads big enough that timer
@@ -108,6 +115,7 @@ class TestMain:
         "--repeats", "3",
         "--kernel-events", "5000",
         "--slotsim-slots", "1000",
+        "--slotsim-batch-slots", "40",
         "--network-sim-seconds", "0.02",
         "--tolerance", "0.9",
     ]

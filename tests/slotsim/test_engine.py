@@ -157,6 +157,45 @@ class TestIsolatedPair:
         assert set(results.fail_durations) == {12}
 
 
+class TestRunReuse:
+    """Regression: run() once silently corrupted a second call —
+    ``_engaged``/``_active`` survived while ``now`` restarted at 0, so
+    stale handshakes got negative offsets and radiated RTS forever."""
+
+    def test_two_sequential_runs_equal_two_fresh_engines(self):
+        config = SlotModelConfig(
+            params=PAPER_PARAMETERS.with_neighbors(3.0), p=0.05, seed=13
+        )
+        engine = SlotModelEngine(config)
+        # 500 slots: far more than T_succeed, so handshakes are
+        # guaranteed in flight at the cut.
+        first = engine.run(500)
+        second = engine.run(500)
+        fresh = SlotModelEngine(config).run(500)
+        for reused in (first, second):
+            assert reused.initiations == fresh.initiations
+            assert reused.successes == fresh.successes
+            assert reused.failures == fresh.failures
+            assert reused.payload_slots == fresh.payload_slots
+            assert dict(reused.fail_durations) == dict(fresh.fail_durations)
+
+    def test_reuse_clears_in_flight_state(self):
+        config = SlotModelConfig(
+            params=PAPER_PARAMETERS.with_neighbors(3.0), p=0.2, seed=3
+        )
+        engine = SlotModelEngine(config)
+        engine.run(50)  # shorter than T_succeed: everything in flight
+        assert engine._active  # the cut left live handshakes behind
+        engine.run(500)
+        # No handshake in the second run may predate it.
+        assert all(hs.start >= 0 for hs in engine._active)
+
+    def test_payload_slots_integer_exact(self):
+        results = run(p=0.05, slots=5_000)
+        assert isinstance(results.payload_slots, int)
+        assert results.payload_slots == results.successes * 100
+
+
 class TestActiveListHygiene:
     def test_active_holds_only_live_handshakes(self):
         """Regression guard for the filtered-sweep completion rebuild:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -281,3 +283,85 @@ class TestCommands:
         assert payload["kernel"] == "slotsim"
         assert "event loop" in payload["phases"]
         assert payload["counters"]["slotsim.slots"] == 500
+
+    def test_profile_slotsim_batch_engine(self, tmp_path, capsys):
+        report = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--kernel", "slotsim",
+                "--engine", "batch",
+                "--batch", "3",
+                "--slots", "400",
+                "--json", str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slotsim kernel (batch)" in out
+        payload = json.loads(report.read_text())
+        assert payload["engine"] == "batch"
+        # One slot count per replicate-slot: slots * batch.
+        assert payload["counters"]["slotsim.slots"] == 1200
+
+    def test_profile_batch_flag_requires_batch_engine(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--kernel", "slotsim", "--batch", "2"])
+
+    def test_slotsim_study_tiny(self, capsys):
+        code = main(
+            [
+                "slotsim",
+                "--n-values", "3",
+                "--beamwidths", "60",
+                "--scheme", "orts_octs",
+                "--topologies", "1",
+                "--slots", "200",
+                "--engine", "batch",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch engine" in out
+        assert "ORTS-OCTS" in out
+
+    def test_slotsim_study_scalar_engine(self, capsys):
+        code = main(
+            [
+                "slotsim",
+                "--n-values", "3",
+                "--beamwidths", "60",
+                "--scheme", "orts-octs",
+                "--topologies", "1",
+                "--slots", "150",
+                "--engine", "scalar",
+            ]
+        )
+        assert code == 0
+        assert "scalar engine" in capsys.readouterr().out
+
+    def test_fig5_measured(self, capsys):
+        code = main(
+            [
+                "fig5",
+                "--measure",
+                "--measure-beamwidths", "60",
+                "--slots", "300",
+                "--replicates", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p_opt" in out
+        assert "batch" in out
+
+    def test_ablation_includes_engine_check(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-check" in out
+        assert "exact" in out
+        assert "MISMATCH" not in out
+
+    def test_ablation_skip_engine_check(self, capsys):
+        assert main(["ablation", "--skip-engine-check"]) == 0
+        assert "cross-check" not in capsys.readouterr().out
