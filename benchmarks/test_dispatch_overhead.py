@@ -1,0 +1,82 @@
+"""Benches: scheduling overhead of the dispatch layer.
+
+The dispatch subsystem wraps every cell compute in lease acquisition,
+an event append, and a release — all filesystem operations.  These
+benches measure that wrapper against a stub worker whose compute cost
+is ~zero, so the numbers are pure scheduler overhead per cell.  The
+acceptance intuition: a real cell costs hundreds of milliseconds to
+minutes, so per-cell scheduling in the hundreds of microseconds is
+noise.  (Functional benches only — the perf gate's committed baseline
+covers the simulation hot paths, not this layer.)
+"""
+
+from repro.dessim import seconds
+from repro.experiments import CampaignStore, SimStudyConfig, run_cell_spec
+from repro.experiments.dispatch import EventLog, ShardRunner, WorkQueue
+from repro.experiments.dispatch.shard import grid_specs
+
+
+def bench_config():
+    return SimStudyConfig(
+        n_values=(3,),
+        beamwidths_deg=(30.0, 90.0),
+        schemes=("ORTS-OCTS", "DRTS-DCTS"),
+        topologies=1,
+        sim_time_ns=seconds(0.05),
+    )
+
+
+def test_lease_acquire_release_cycle(benchmark, tmp_path):
+    """One full claim/release round trip on a pending cell."""
+    store = CampaignStore(tmp_path / "camp", bench_config())
+    queue = WorkQueue(store, shard="bench")
+
+    def cycle():
+        lease = queue.try_acquire("bench-key")
+        queue.release("bench-key")
+        return lease
+
+    assert benchmark(cycle) is not None
+
+
+def test_event_append(benchmark, tmp_path):
+    """One cell-completed line: a single O_APPEND write."""
+    log = EventLog(tmp_path / "events.jsonl", shard="bench")
+    result = benchmark(
+        log.emit, "cell-completed", key="n3-ORTS-OCTS-bw30", attempt=0
+    )
+    assert result["shard"] == "bench"
+
+
+def test_shard_loop_overhead_per_grid(benchmark, tmp_path):
+    """A full ShardRunner pass over a 4-cell grid with a stub worker.
+
+    Covers the whole per-cell wrapper — completed-scan, lease, event,
+    first-writer-wins save, release — plus the final completion sweep.
+    Artifacts are removed between rounds so every round does the full
+    amount of scheduling work.
+    """
+    config = bench_config()
+    specs = grid_specs(config)
+    cells = {spec.key: run_cell_spec(spec) for spec in specs}
+
+    def stub_worker(spec):
+        return cells[spec.key]
+
+    directory = tmp_path / "camp"
+    CampaignStore(directory, config)
+
+    def sweep():
+        for path in directory.glob("cell-*.json"):
+            path.unlink()
+        report = ShardRunner(
+            directory,
+            config,
+            shard_id="bench",
+            worker=stub_worker,
+            telemetry=False,
+        ).run()
+        return report
+
+    report = benchmark(sweep)
+    assert report.computed == len(specs)

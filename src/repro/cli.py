@@ -381,6 +381,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a repro-profile-v1 JSON snapshot",
     )
 
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="join a campaign store as one worker shard; any number of "
+        "these (across processes or hosts sharing the store) cooperate "
+        "on the grid and survive each other's crashes",
+    )
+    worker.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="campaign directory with a repro-campaign-v1 manifest; the "
+        "worker rebuilds the study from it (no grid flags needed)",
+    )
+    worker.add_argument(
+        "--shard-id", required=True, metavar="ID",
+        help="this worker's identity in leases and the event stream",
+    )
+    worker.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECS",
+        help="lease expiry before other shards may steal a cell "
+        "(default 300)",
+    )
+    worker.add_argument(
+        "--poll-seconds", type=float, default=0.2, metavar="SECS",
+        help="idle rescan interval while waiting on other shards' cells",
+    )
+    worker.add_argument(
+        "--attach", action="append", default=[], metavar="DIR",
+        help="read-only sibling store with the same fingerprint; its "
+        "finished cells are imported byte-for-byte instead of recomputed "
+        "(repeatable)",
+    )
+    worker.add_argument(
+        "--no-telemetry", action="store_true",
+        help="skip per-cell telemetry lines (cell artifacts are "
+        "identical either way)",
+    )
+
+    watch = sub.add_parser(
+        "campaign-watch",
+        help="tail a campaign's event stream: per-cell completion lines, "
+        "progress fraction, and ETA while shards work the grid",
+    )
+    watch.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="campaign directory whose events.jsonl to follow",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print events seen so far and exit instead of following",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.2, metavar="SECS",
+        help="poll interval while following (default 0.2)",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECS",
+        help="stop following after this many seconds even if unfinished",
+    )
+
     validate = sub.add_parser(
         "validate",
         help="Monte-Carlo check of the closed-form P_ws and throughput",
@@ -479,6 +537,18 @@ def _run_profile(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
     return 0
+
+
+def watch_campaign_cli(args: argparse.Namespace):
+    """The ``repro campaign-watch`` subcommand body."""
+    from .experiments.dispatch import watch_campaign
+
+    return watch_campaign(
+        args.store,
+        follow=not args.once,
+        poll_seconds=args.interval,
+        timeout=args.timeout,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -707,6 +777,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{analytical.t_fail(args.p):14.2f}  "
                 f"{measured.mean_fail_duration:15.2f}"
             )
+    elif args.command == "campaign-worker":
+        from .experiments.dispatch import ShardRunner
+        from .experiments.dispatch.queue import DEFAULT_LEASE_SECONDS
+
+        runner = ShardRunner(
+            args.store,
+            shard_id=args.shard_id,
+            telemetry=not args.no_telemetry,
+            lease_seconds=(
+                DEFAULT_LEASE_SECONDS
+                if args.lease_seconds is None
+                else args.lease_seconds
+            ),
+            poll_seconds=args.poll_seconds,
+            attached=args.attach,
+        )
+        report = runner.run()
+        print(
+            f"shard {report.shard}: {report.computed} computed, "
+            f"{report.imported} imported, {report.skipped} skipped, "
+            f"{report.steals} steals, {report.retries} retries "
+            f"({report.cells_total} cells in grid)"
+        )
+    elif args.command == "campaign-watch":
+        summary = watch_campaign_cli(args)
+        if not summary.finished:
+            return 1
     elif args.command == "profile":
         return _run_profile(args)
     elif args.command == "validate":

@@ -4,10 +4,17 @@ A *campaign* is the full ``(N, scheme, beamwidth)`` grid of a
 :class:`~repro.experiments.config.SimStudyConfig`, decomposed into
 self-contained :class:`CellSpec` work units.  Cells are embarrassingly
 parallel — the paper's Section-4 study ran 50 topologies per cell on a
-cluster — so the :class:`CampaignRunner` fans them out over a
-``ProcessPoolExecutor``, persists one JSON artifact per completed cell
-(so interrupted campaigns resume by skipping finished cells), and
-reports progress with a crude ETA.
+cluster — so the :class:`CampaignRunner` fans them out, persists one
+JSON artifact per completed cell (so interrupted campaigns resume by
+skipping finished cells), and reports progress with a crude ETA.
+
+Execution itself lives in :mod:`repro.experiments.dispatch`: with more
+than one worker the runner is a single-host facade that launches shard
+processes against the shared store's crash-tolerant work queue, and the
+same store can simultaneously be worked by ``repro campaign-worker``
+shards on other hosts.  This module keeps the substrate those layers
+stand on: seed/topology derivation, the pure cell workers, the atomic
+:class:`CampaignStore`, and progress reporting.
 
 Seed discipline
 ===============
@@ -38,7 +45,6 @@ import math
 import os
 import pathlib
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, ClassVar
@@ -66,6 +72,7 @@ __all__ = [
     "run_cell_spec_telemetry",
     "cell_telemetry",
     "config_fingerprint",
+    "study_tag",
     "CampaignStore",
     "CampaignProgress",
     "CampaignRunner",
@@ -305,6 +312,24 @@ def config_fingerprint(config: SimStudyConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: Config class name -> the manifest ``study`` tag a store records, so
+#: CLI worker shards can resolve the right worker functions from the
+#: manifest alone (see :mod:`repro.experiments.dispatch.registry`).
+#: Unknown subclasses record their class name, which the registry
+#: rejects with a pointer at the Python API.
+_STUDY_TAGS = {
+    "SimStudyConfig": "sim",
+    "MultihopStudyConfig": "multihop",
+    "SlotStudyConfig": "slotsim",
+}
+
+
+def study_tag(config: SimStudyConfig) -> str:
+    """The manifest ``study`` tag for a config instance."""
+    name = type(config).__name__
+    return _STUDY_TAGS.get(name, name)
+
+
 class CampaignStore:
     """One JSON artifact per completed cell under a campaign directory.
 
@@ -349,13 +374,21 @@ class CampaignStore:
         else:
             payload = {
                 "format": self.MANIFEST_FORMAT,
+                "study": study_tag(config),
                 "fingerprint": self.fingerprint,
                 "config": dataclasses.asdict(config),
             }
             _atomic_write_text(manifest_path, json.dumps(payload, indent=2))
 
+    def path_for_key(self, key: str) -> pathlib.Path:
+        return self.directory / f"cell-{key}.json"
+
     def path_for(self, spec: CellSpec) -> pathlib.Path:
-        return self.directory / f"cell-{spec.key}.json"
+        return self.path_for_key(spec.key)
+
+    def has(self, key: str) -> bool:
+        """Whether the cell with this key already has an artifact."""
+        return self.path_for_key(key).exists()
 
     def load(self, spec: CellSpec) -> CellResult | None:
         """The stored result for ``spec``, or ``None`` if not completed."""
@@ -372,6 +405,21 @@ class CampaignStore:
         _atomic_write_text(
             self.path_for(spec), json.dumps(cell_to_payload(cell), indent=2)
         )
+
+    def save_if_absent(self, spec: CellSpec, cell: CellResult) -> bool:
+        """Persist ``cell`` unless an artifact already exists.
+
+        First-writer-wins completion for competing shards: the loser of
+        a double computation leaves the winner's artifact (and its
+        mtime, which the resume tests pin) untouched.  Safe because
+        cells are pure — both writers hold byte-identical payloads, so
+        even the unlocked check-then-write race cannot corrupt the
+        store.  Returns whether this call wrote the artifact.
+        """
+        if self.has(spec.key):
+            return False
+        self.save(spec, cell)
+        return True
 
     def completed_keys(self) -> set[str]:
         """Keys of every cell with a stored artifact."""
@@ -429,6 +477,13 @@ def _atomic_write_text(path: pathlib.Path, text: str) -> None:
 class CampaignProgress:
     """Per-cell completion lines with elapsed wall time and a crude ETA.
 
+    Lease-aware: sharded campaigns may report the same cell more than
+    once (a lease expired, the retry and the original both finished)
+    and may report retries that are pure re-queued work.  The rate
+    estimate divides elapsed time by *unique* completed cells — a
+    duplicate completion neither advances the count nor skews the ETA,
+    and :meth:`cell_retried` lines are informational only.
+
     The clock is injectable for tests; the default is the sanctioned
     host clock from :mod:`repro.obs.profile`, which is operator-facing
     reporting only — simulated time never flows through this class.
@@ -444,30 +499,42 @@ class CampaignProgress:
         self._echo = _echo_stderr if echo is None else echo
         self._total = 0
         self._done = 0
-        self._computed = 0
+        self._computed_keys: set[str] = set()
         self._start = 0.0
 
     def start(self, total: int) -> None:
         self._total = total
         self._done = 0
-        self._computed = 0
+        self._computed_keys = set()
         self._start = self._clock()
         self._echo(f"campaign: {total} cells")
 
     def cell_done(self, spec: CellSpec, *, skipped: bool) -> None:
-        self._done += 1
         label = f"n={spec.n} {spec.scheme} {spec.beamwidth_deg:g}dg"
         if skipped:
+            self._done += 1
             self._echo(f"[{self._done}/{self._total}] {label}  cached, skipped")
             return
-        self._computed += 1
+        if spec.key in self._computed_keys:
+            # The losing half of a double completion: the cell is
+            # already counted, so neither the progress fraction nor
+            # the rate estimate may move.
+            self._echo(f"{label}  duplicate completion (lease retry), ignored")
+            return
+        self._done += 1
+        self._computed_keys.add(spec.key)
         elapsed = self._clock() - self._start
         remaining = self._total - self._done
-        eta = (elapsed / self._computed) * remaining
+        eta = (elapsed / len(self._computed_keys)) * remaining
         self._echo(
             f"[{self._done}/{self._total}] {label}  "
             f"elapsed {elapsed:.1f}s  eta {eta:.1f}s"
         )
+
+    def cell_retried(self, spec: CellSpec, *, attempt: int) -> None:
+        """Note a cell re-queued after its worker's lease expired."""
+        label = f"n={spec.n} {spec.scheme} {spec.beamwidth_deg:g}dg"
+        self._echo(f"{label}  re-queued (attempt {attempt}, lease expired)")
 
 
 def _echo_stderr(message: str) -> None:
@@ -484,9 +551,12 @@ class CampaignRunner:
 
     With ``workers == 1`` cells run in-process (sharing one topology
     cache across schemes, as the serial runner always has); with more,
-    pending cells are shipped to a ``ProcessPoolExecutor``.  Either
-    way, results are identical — every cell is a pure function of its
-    :class:`CellSpec`.
+    this is a thin single-host facade over the dispatch subsystem:
+    worker processes each run a :class:`~repro.experiments.dispatch.
+    ShardRunner` against the shared store (a temporary directory when
+    none was given), leasing cells, streaming events, and surviving
+    each other's crashes.  Either way, results are identical — every
+    cell is a pure function of its :class:`CellSpec`.
     """
 
     def __init__(
@@ -500,6 +570,8 @@ class CampaignRunner:
         worker: Callable[..., CellResult] | None = None,
         worker_telemetry: Callable[..., tuple[CellResult, dict]] | None = None,
         topology_fn: Callable[[int, int, int], Topology] | None = None,
+        lease_seconds: float | None = None,
+        poll_seconds: float = 0.2,
     ) -> None:
         """Build the runner.
 
@@ -517,13 +589,25 @@ class CampaignRunner:
                 defaults to :func:`replicate_topology`.  Must match the
                 derivation the worker uses internally, or serial and
                 parallel runs would diverge.
+            lease_seconds: lease expiry for the sharded (``workers >
+                1``) path; default is the dispatch layer's.  Workers on
+                one healthy host rarely need tuning — the knob exists
+                so crash tests can shrink the takeover window.
+            poll_seconds: shard idle-rescan interval on the sharded
+                path.
         """
         if workers is None:
             workers = workers_from_environment()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if lease_seconds is None:
+            from .dispatch.queue import DEFAULT_LEASE_SECONDS
+
+            lease_seconds = DEFAULT_LEASE_SECONDS
         self.config = config
         self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
         self.store = None if directory is None else CampaignStore(directory, config)
         self.progress = progress
         self.telemetry = telemetry
@@ -578,21 +662,101 @@ class CampaignRunner:
                     cell, record = self.worker(spec, topology=provider), None
                 self._finish(spec, cell, results, record)
         else:
-            worker = self.worker_telemetry if self.telemetry else self.worker
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))
-            ) as pool:
-                futures = {pool.submit(worker, spec): spec for spec in pending}
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    if self.telemetry:
-                        cell, record = outcome
-                    else:
-                        cell, record = outcome, None
-                    self._finish(futures[future], cell, results, record)
+            self._run_sharded(pending, results)
         if self.store is not None and self.telemetry:
             self.store.merge_telemetry_summary()
         return [results[spec] for spec in specs]
+
+    def _run_sharded(
+        self, pending: list[CellSpec], results: dict[CellSpec, CellResult]
+    ) -> None:
+        """Fan pending cells out to shard processes over a shared store.
+
+        Each pool worker is a full :class:`~repro.experiments.dispatch.
+        ShardRunner` leasing cells from the (given or temporary) store;
+        the parent tails the store's event stream to drive per-cell
+        progress lines while the sweep runs, then loads the results
+        back.  The study's ``topology_fn`` closure never crosses the
+        process boundary — shards use their worker-side topology memos,
+        exactly as the pool path always has.
+        """
+        import tempfile
+        import time
+        from concurrent.futures import ProcessPoolExecutor
+        from contextlib import ExitStack
+
+        from .dispatch.events import EVENTS_FILENAME, read_events
+        from .dispatch.shard import run_shard
+
+        with ExitStack() as stack:
+            if self.store is None:
+                store = CampaignStore(
+                    stack.enter_context(
+                        tempfile.TemporaryDirectory(prefix="repro-campaign-")
+                    ),
+                    self.config,
+                )
+            else:
+                store = self.store
+            events_path = store.directory / EVENTS_FILENAME
+            cursor = len(read_events(events_path))  # resumed stores keep old logs
+            by_key = {spec.key: spec for spec in pending}
+            shards = min(self.workers, len(pending))
+            pool = stack.enter_context(ProcessPoolExecutor(max_workers=shards))
+            futures = [
+                pool.submit(
+                    run_shard,
+                    str(store.directory),
+                    self.config,
+                    str(index),
+                    self.worker,
+                    self.worker_telemetry,
+                    self.telemetry,
+                    self.lease_seconds,
+                    self.poll_seconds,
+                )
+                for index in range(shards)
+            ]
+            while True:
+                finished = all(future.done() for future in futures)
+                events = read_events(events_path)
+                for record in events[cursor:]:
+                    self._observe_event(record, by_key)
+                cursor = len(events)
+                if finished:
+                    break
+                time.sleep(0.05)
+            for future in futures:
+                future.result()  # surface shard exceptions
+            for spec in pending:
+                cell = store.load(spec)
+                if cell is None:  # pragma: no cover - shards cannot exit early
+                    raise RuntimeError(f"shards finished but {spec.key} is missing")
+                results[spec] = cell
+            if self.telemetry:
+                seen: set[str] = set()
+                for record in store.load_telemetry():
+                    key = record.get("key")
+                    if (
+                        record.get("kind") == "cell"
+                        and key in by_key
+                        and key not in seen
+                    ):
+                        seen.add(key)
+                        self.telemetry_records.append(record)
+
+    def _observe_event(self, record: dict, by_key: dict[str, CellSpec]) -> None:
+        """Relay one shard event to the progress reporter, if any."""
+        if self.progress is None:
+            return
+        spec = by_key.get(record.get("key"))
+        if spec is None:
+            return
+        event = record.get("event")
+        if event in ("cell-completed", "cell-imported"):
+            self.progress.cell_done(spec, skipped=False)
+        elif event == "cell-retry":
+            self.progress.cell_retried(spec, attempt=record.get("attempt", 1))
 
     def _finish(
         self,
@@ -622,6 +786,8 @@ def run_campaign(
     worker: Callable[..., CellResult] | None = None,
     worker_telemetry: Callable[..., tuple[CellResult, dict]] | None = None,
     topology_fn: Callable[[int, int, int], Topology] | None = None,
+    lease_seconds: float | None = None,
+    poll_seconds: float = 0.2,
 ) -> list[CellResult]:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it.
 
@@ -630,8 +796,9 @@ def run_campaign(
     cell artifacts and its totals are merged into the manifest;
     ``telemetry=False`` switches all observation off (results are
     identical either way).  ``worker``/``worker_telemetry``/
-    ``topology_fn`` plug an alternate study in (see
-    :class:`CampaignRunner`).
+    ``topology_fn`` plug an alternate study in, and
+    ``lease_seconds``/``poll_seconds`` tune the sharded path's crash
+    takeover (see :class:`CampaignRunner`).
     """
     return CampaignRunner(
         config,
@@ -642,4 +809,6 @@ def run_campaign(
         worker=worker,
         worker_telemetry=worker_telemetry,
         topology_fn=topology_fn,
+        lease_seconds=lease_seconds,
+        poll_seconds=poll_seconds,
     ).run()

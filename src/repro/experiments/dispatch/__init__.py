@@ -1,0 +1,56 @@
+"""Service-shaped campaign execution: shards, leases, event streams.
+
+The campaign layer (PR 2) made study grids parallel and resumable on
+one host; this package makes them *distributable*.  The pieces:
+
+* :mod:`~repro.experiments.dispatch.queue` — the crash-tolerant
+  :class:`WorkQueue`: per-cell lease files with expiry, atomic steal of
+  leases whose workers died, deterministic retry backoff, and
+  fingerprint dedup against attached sibling stores;
+* :mod:`~repro.experiments.dispatch.shard` — :class:`ShardRunner`, one
+  worker's run loop (``repro campaign-worker`` is a thin wrapper), and
+  the pool entrypoint the single-host facade fans out to;
+* :mod:`~repro.experiments.dispatch.events` — the append-only
+  ``events.jsonl`` result stream and :func:`watch_campaign`
+  (``repro campaign-watch``) for rendering progress mid-sweep;
+* :mod:`~repro.experiments.dispatch.registry` — manifest ``study`` tag
+  to config-class/worker resolution, so CLI workers join a store
+  without re-stating its grid.
+
+Determinism contract, unchanged from the serial runner: same config and
+seed produce byte-identical cell artifacts and manifest no matter how
+many shards ran, crashed, or raced.
+"""
+
+from .events import (
+    EVENTS_FILENAME,
+    EventLog,
+    WatchSummary,
+    follow_events,
+    read_events,
+    watch_campaign,
+)
+from .queue import DEFAULT_LEASE_SECONDS, Lease, WorkQueue, backoff_seconds
+from .registry import StudyKind, config_from_manifest, resolve_study, study_tag
+from .shard import ShardReport, ShardRunner, grid_specs, run_shard
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "EVENTS_FILENAME",
+    "EventLog",
+    "Lease",
+    "ShardReport",
+    "ShardRunner",
+    "StudyKind",
+    "WatchSummary",
+    "WorkQueue",
+    "backoff_seconds",
+    "config_from_manifest",
+    "follow_events",
+    "grid_specs",
+    "read_events",
+    "resolve_study",
+    "study_tag",
+    "run_shard",
+    "watch_campaign",
+]

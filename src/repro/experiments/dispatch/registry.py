@@ -1,0 +1,118 @@
+"""Resolving a campaign manifest back into runnable study code.
+
+A CLI-launched worker shard (``repro campaign-worker --store DIR``)
+joins a campaign knowing only the store directory.  Everything else is
+in the manifest: the config dict rebuilds the study configuration, and
+the ``study`` tag (written by :class:`~repro.experiments.campaign.
+CampaignStore` from the config's class) selects the worker functions —
+the same plug points :func:`~repro.experiments.campaign.run_campaign`
+takes as keyword arguments.  Manifests written before the tag existed
+are single-hop sims (``"sim"``), matching how their artifacts load.
+
+Imports of the study modules are deferred inside :func:`resolve_study`
+so this module can sit below :mod:`repro.experiments.multihop` and
+:mod:`repro.experiments.slotsim_study` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["StudyKind", "resolve_study", "study_tag", "config_from_manifest"]
+
+#: Config class name -> manifest study tag.  Unknown subclasses fall
+#: back to their class name, which :func:`resolve_study` rejects with a
+#: pointer at the Python API (plugged-in studies are joined via
+#: :class:`~repro.experiments.dispatch.ShardRunner`, not the CLI).
+_TAGS = {
+    "SimStudyConfig": "sim",
+    "MultihopStudyConfig": "multihop",
+    "SlotStudyConfig": "slotsim",
+}
+
+
+@dataclass(frozen=True)
+class StudyKind:
+    """The runnable pieces of one registered study family."""
+
+    tag: str
+    config_cls: type
+    worker: Callable
+    worker_telemetry: Callable
+
+
+def study_tag(config) -> str:
+    """The manifest ``study`` tag for a config instance."""
+    name = type(config).__name__
+    return _TAGS.get(name, name)
+
+
+def resolve_study(tag: str) -> StudyKind:
+    """The registered :class:`StudyKind` for a manifest ``study`` tag."""
+    if tag == "sim":
+        from ..campaign import run_cell_spec, run_cell_spec_telemetry
+        from ..config import SimStudyConfig
+
+        return StudyKind("sim", SimStudyConfig, run_cell_spec, run_cell_spec_telemetry)
+    if tag == "multihop":
+        from ..multihop import (
+            MultihopStudyConfig,
+            run_multihop_cell_spec,
+            run_multihop_cell_spec_telemetry,
+        )
+
+        return StudyKind(
+            "multihop",
+            MultihopStudyConfig,
+            run_multihop_cell_spec,
+            run_multihop_cell_spec_telemetry,
+        )
+    if tag == "slotsim":
+        from ..slotsim_study import (
+            SlotStudyConfig,
+            run_slot_cell_spec,
+            run_slot_cell_spec_telemetry,
+        )
+
+        return StudyKind(
+            "slotsim",
+            SlotStudyConfig,
+            run_slot_cell_spec,
+            run_slot_cell_spec_telemetry,
+        )
+    raise ValueError(
+        f"unknown study {tag!r}: this store was built by a study plugged "
+        "in through the Python API; join it with ShardRunner(config=..., "
+        "worker=...) instead of the CLI"
+    )
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def config_from_manifest(manifest: dict) -> tuple[object, StudyKind]:
+    """Rebuild ``(config, study)`` from a campaign manifest payload.
+
+    JSON demotes the config's tuples to lists; rebuilding converts them
+    back recursively, then cross-checks the rebuilt config's
+    fingerprint against the manifest's — a mismatch means the manifest
+    was edited or the config schema drifted, either of which must stop
+    a worker before it computes a single wrong cell.
+    """
+    from ..campaign import config_fingerprint
+
+    study = resolve_study(manifest.get("study", "sim"))
+    raw = manifest.get("config")
+    if not isinstance(raw, dict):
+        raise ValueError("manifest has no config record to rebuild")
+    config = study.config_cls(**{k: _tuplify(v) for k, v in raw.items()})
+    if config_fingerprint(config) != manifest.get("fingerprint"):
+        raise ValueError(
+            "rebuilt config does not match the manifest fingerprint; "
+            "refusing to join (was the manifest edited?)"
+        )
+    return config, study

@@ -17,15 +17,35 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, time
 from typing import Callable, Iterator, Sequence
 
-__all__ = ["wall_clock", "PhaseRecord", "PhaseProfiler", "format_profile"]
+__all__ = [
+    "wall_clock",
+    "epoch_seconds",
+    "PhaseRecord",
+    "PhaseProfiler",
+    "format_profile",
+]
 
 
 def wall_clock() -> float:
     """Monotonic host seconds (the sanctioned wall-clock read)."""
     return perf_counter()
+
+
+def epoch_seconds() -> float:
+    """Unix-epoch host seconds (the sanctioned cross-process clock).
+
+    :func:`wall_clock` is monotonic but its origin is arbitrary *per
+    process*, so it cannot order events between processes or hosts.
+    The dispatch layer's lease expiries and event timestamps must be
+    comparable across workers that share only a filesystem, which is
+    exactly what the epoch clock provides.  Like everything in this
+    module it is operator-facing observation and scheduling only —
+    simulated time never flows through it.
+    """
+    return time()
 
 
 @dataclass(frozen=True)

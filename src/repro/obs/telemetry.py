@@ -23,6 +23,7 @@ Record shape::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Iterable
 
@@ -48,9 +49,10 @@ def telemetry_record(kind: str, **fields) -> dict:
 def append_telemetry(path: str | pathlib.Path, record: dict) -> None:
     """Append one record as a single JSON line.
 
-    Single-writer by design: the campaign runner appends from the
-    parent process only, so lines are never interleaved even when the
-    cells themselves ran in a worker pool.
+    Multi-writer safe: each record is flushed as one ``O_APPEND``
+    ``write`` system call, so concurrent appenders (the sharded
+    campaign's workers all write to the same sidecar) interleave whole
+    lines, never fragments of them.
     """
     if record.get("format") != TELEMETRY_FORMAT:
         raise ValueError(
@@ -58,8 +60,12 @@ def append_telemetry(path: str | pathlib.Path, record: dict) -> None:
             "build it with telemetry_record()"
         )
     line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-    with open(path, "a") as handle:
-        handle.write(line + "\n")
+    data = (line + "\n").encode()
+    fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 def read_telemetry(path: str | pathlib.Path) -> list[dict]:
@@ -89,14 +95,26 @@ def summarize_cells(records: Iterable[dict]) -> dict:
     host seconds, events processed, and the pooled events/sec.  The
     summary is what ``campaign.json`` embeds so a finished campaign's
     cost is readable without re-parsing the JSONL.
+
+    ``cells`` counts *unique* cell keys: a sharded campaign may
+    legitimately compute a cell twice (a lease expired and the retry
+    raced the original worker to completion), which appends two
+    records for one grid cell.  The wall-seconds and event totals keep
+    every record — they measure host cost actually paid, retries
+    included.
     """
     cells = 0
+    seen_keys: set[str] = set()
     wall_seconds = 0.0
     events = 0
     for record in records:
         if record.get("kind") != "cell":
             continue
-        cells += 1
+        key = record.get("key")
+        if key is None or key not in seen_keys:
+            cells += 1
+            if key is not None:
+                seen_keys.add(key)
         wall_seconds += record.get("wall_seconds", 0.0)
         events += record.get("events_processed", 0)
     return {

@@ -289,3 +289,37 @@ class TestCampaignProgress:
         run_campaign(tiny_config(), progress=progress)
         assert lines[0] == "campaign: 2 cells"
         assert len(lines) == 3
+
+    def test_duplicate_completion_does_not_skew_eta(self):
+        """Regression: a lease-race double completion used to advance
+        the rate estimate, halving the apparent per-cell cost.  The
+        duplicate must neither advance the fraction nor touch the ETA."""
+        # The duplicate branch returns before reading the clock, so the
+        # tick sequence covers start() and the two real completions.
+        clock = iter([0.0, 10.0, 20.0]).__next__
+        lines = []
+        progress = CampaignProgress(clock=clock, echo=lines.append)
+        spec_a, spec_b = CampaignRunner(
+            tiny_config(beamwidths_deg=(30.0, 90.0), schemes=("ORTS-OCTS",))
+        ).specs()
+        progress.start(4)
+        progress.cell_done(spec_a, skipped=False)  # t=10: 10s/cell, 3 left
+        assert "[1/4]" in lines[1] and "eta 30.0s" in lines[1]
+        progress.cell_done(spec_a, skipped=False)  # the losing retry
+        assert "duplicate completion" in lines[2]
+        assert "[" not in lines[2]  # fraction did not advance
+        progress.cell_done(spec_b, skipped=False)  # t=20: still 10s/cell
+        assert "[2/4]" in lines[3] and "eta 20.0s" in lines[3]
+
+    def test_retry_lines_are_informational_only(self):
+        clock = iter([0.0, 5.0, 10.0]).__next__
+        lines = []
+        progress = CampaignProgress(clock=clock, echo=lines.append)
+        (spec,) = CampaignRunner(
+            tiny_config(schemes=("ORTS-OCTS",))
+        ).specs()
+        progress.start(1)
+        progress.cell_retried(spec, attempt=2)
+        assert "re-queued (attempt 2, lease expired)" in lines[1]
+        progress.cell_done(spec, skipped=False)
+        assert "[1/1]" in lines[2]  # the retry did not consume a slot

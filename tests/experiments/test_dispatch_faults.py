@@ -1,0 +1,210 @@
+"""Fault injection: real worker processes, real SIGKILL, byte identity.
+
+The acceptance contract for the dispatch subsystem: a 3-shard CLI run
+with one worker SIGKILLed mid-sweep finishes (survivors steal the dead
+worker's leases) and leaves a store — manifest and every cell artifact —
+byte-identical to a serial run of the same config.  And ``repro
+campaign-watch`` streams cell-completed events while the sweep is still
+running.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.dessim import seconds
+from repro.experiments import CampaignStore, SimStudyConfig, run_campaign
+from repro.experiments.dispatch import ShardRunner, watch_campaign
+
+
+def fault_config():
+    """Big enough that a kill lands mid-sweep, small enough for CI."""
+    return SimStudyConfig(
+        n_values=(3,),
+        beamwidths_deg=(30.0, 90.0, 150.0),
+        schemes=("ORTS-OCTS", "DRTS-DCTS"),
+        topologies=1,
+        sim_time_ns=seconds(0.4),
+    )
+
+
+def worker_env():
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def spawn_worker(directory, shard_id, lease_seconds=2.0):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign-worker",
+            "--store",
+            str(directory),
+            "--shard-id",
+            str(shard_id),
+            "--no-telemetry",
+            "--lease-seconds",
+            str(lease_seconds),
+            "--poll-seconds",
+            "0.05",
+        ],
+        env=worker_env(),
+    )
+
+
+def store_bytes(directory):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.glob("*.json"))
+    }
+
+
+class TestSigkilledShard:
+    def test_survivors_finish_byte_identical_to_serial(self, tmp_path):
+        """SIGKILL one of three CLI worker shards mid-sweep; the two
+        survivors complete the grid, and the store matches a serial
+        telemetry-off run byte for byte."""
+        config = fault_config()
+        serial_dir = tmp_path / "serial"
+        run_campaign(config, workers=1, directory=serial_dir, telemetry=False)
+
+        sharded_dir = tmp_path / "sharded"
+        CampaignStore(sharded_dir, config)
+        workers = [spawn_worker(sharded_dir, i) for i in range(3)]
+        victim = workers[0]
+        try:
+            # Kill the victim once the sweep is demonstrably mid-flight:
+            # at least one artifact exists and the grid is unfinished.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                done = len(list(sharded_dir.glob("cell-*.json")))
+                if 0 < done < 6 or victim.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=60)
+            for worker in workers[1:]:
+                assert worker.wait(timeout=240) == 0
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+                    worker.wait(timeout=60)
+
+        assert len(list(sharded_dir.glob("cell-*.json"))) == 6
+        serial = store_bytes(serial_dir)
+        sharded = {
+            name: data
+            for name, data in store_bytes(sharded_dir).items()
+            if not name.startswith("events")
+        }
+        assert sharded == serial
+
+    def test_leases_do_not_outlive_the_sweep(self, tmp_path):
+        """After a crash-riddled sweep completes, no stale lease files
+        remain claiming cells that are already on disk."""
+        config = fault_config()
+        directory = tmp_path / "camp"
+        CampaignStore(directory, config)
+        workers = [spawn_worker(directory, i) for i in range(2)]
+        try:
+            for worker in workers:
+                assert worker.wait(timeout=240) == 0
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+                    worker.wait(timeout=60)
+        assert list((directory / "leases").glob("*.json")) == []
+
+
+class TestWatchDuringSweep:
+    def test_watch_streams_completions_while_running(self, tmp_path):
+        """Acceptance: campaign-watch, started before the sweep, streams
+        cell-completed lines while the grid is still being worked and
+        reports a finished summary once it is done."""
+        config = fault_config()
+        directory = tmp_path / "camp"
+        CampaignStore(directory, config)
+
+        lines = []
+        summary_box = {}
+
+        def watcher():
+            summary_box["summary"] = watch_campaign(
+                directory,
+                follow=True,
+                poll_seconds=0.05,
+                timeout=240.0,
+                echo=lines.append,
+            )
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        try:
+            ShardRunner(
+                directory, shard_id="w0", telemetry=False, poll_seconds=0.05
+            ).run()
+        finally:
+            thread.join(timeout=300)
+        assert not thread.is_alive()
+        summary = summary_box["summary"]
+        assert summary.finished
+        assert summary.completed == 6
+        cell_lines = [line for line in lines if line.startswith("[")]
+        assert len(cell_lines) == 6
+        assert cell_lines[0].startswith("[1/6]")
+        assert cell_lines[-1].startswith("[6/6]")
+
+    def test_watch_cli_exits_nonzero_on_unfinished_sweep(self, tmp_path):
+        """--once on a half-finished store reports and exits 1, so CI
+        scripts can assert on completion."""
+        config = fault_config()
+        directory = tmp_path / "camp"
+        CampaignStore(directory, config)  # no cells computed at all
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "campaign-watch",
+                "--store",
+                str(directory),
+                "--once",
+            ],
+            env=worker_env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 1
+        assert "0/6 cells" in result.stdout
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+def test_facade_shard_count_invariance(tmp_path, shards):
+    """run_campaign results are invariant to the worker count even when
+    the sharded path (workers > 1) executes them."""
+    config = SimStudyConfig(
+        n_values=(3,),
+        beamwidths_deg=(30.0, 150.0),
+        schemes=("ORTS-OCTS",),
+        topologies=1,
+        sim_time_ns=seconds(0.1),
+    )
+    baseline = run_campaign(config, workers=1, telemetry=False)
+    assert run_campaign(config, workers=shards, telemetry=False) == baseline

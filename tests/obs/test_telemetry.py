@@ -148,4 +148,17 @@ class TestCampaignIntegration:
         config = tiny_config(schemes=("ORTS-OCTS", "DRTS-DCTS"))
         run_campaign(config, workers=2, directory=tmp_path)
         store = CampaignStore(tmp_path, config)
-        assert len(store.load_telemetry()) == 2
+        records = store.load_telemetry()
+        cell_records = [r for r in records if r["kind"] == "cell"]
+        assert {r["key"] for r in cell_records} == {
+            "n3-ORTS-OCTS-bw90",
+            "n3-DRTS-DCTS-bw90",
+        }
+        # The sharded path also writes one scheduler-summary record per
+        # shard, excluded from the manifest's cell totals.
+        shard_records = [r for r in records if r["kind"] == "shard"]
+        assert shard_records
+        for record in shard_records:
+            assert "scheduler" in record
+        manifest = json.loads((tmp_path / "campaign.json").read_text())
+        assert manifest["telemetry"]["cells"] == 2

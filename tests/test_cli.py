@@ -365,3 +365,87 @@ class TestCommands:
     def test_ablation_skip_engine_check(self, capsys):
         assert main(["ablation", "--skip-engine-check"]) == 0
         assert "cross-check" not in capsys.readouterr().out
+
+
+class TestDispatchCommands:
+    def test_worker_option_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "campaign-worker",
+                "--store", "/tmp/camp",
+                "--shard-id", "host-a",
+                "--lease-seconds", "5",
+                "--poll-seconds", "0.1",
+                "--attach", "/tmp/other",
+                "--attach", "/tmp/more",
+                "--no-telemetry",
+            ]
+        )
+        assert args.store == "/tmp/camp"
+        assert args.shard_id == "host-a"
+        assert args.lease_seconds == 5.0
+        assert args.poll_seconds == 0.1
+        assert args.attach == ["/tmp/other", "/tmp/more"]
+        assert args.no_telemetry is True
+
+    def test_worker_requires_store_and_shard(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign-worker", "--store", "/tmp/c"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign-worker", "--shard-id", "0"])
+
+    def test_watch_option_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "campaign-watch",
+                "--store", "/tmp/camp",
+                "--once",
+                "--interval", "0.5",
+                "--timeout", "30",
+            ]
+        )
+        assert args.store == "/tmp/camp"
+        assert args.once is True
+        assert args.interval == 0.5
+        assert args.timeout == 30.0
+
+    def test_worker_completes_store_and_watch_reports(self, tmp_path, capsys):
+        from repro.dessim import seconds
+        from repro.experiments import CampaignStore, SimStudyConfig
+
+        config = SimStudyConfig(
+            n_values=(3,),
+            beamwidths_deg=(90.0,),
+            schemes=("ORTS-OCTS", "DRTS-DCTS"),
+            topologies=1,
+            sim_time_ns=seconds(0.1),
+        )
+        store_dir = tmp_path / "camp"
+        CampaignStore(store_dir, config)
+        code = main(
+            [
+                "campaign-worker",
+                "--store", str(store_dir),
+                "--shard-id", "w0",
+                "--no-telemetry",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard w0: 2 computed" in out
+        assert len(list(store_dir.glob("cell-*.json"))) == 2
+
+        assert main(["campaign-watch", "--store", str(store_dir), "--once"]) == 0
+        watch_out = capsys.readouterr().out
+        assert "[2/2]" in watch_out
+        assert "2/2 cells" in watch_out
+
+    def test_worker_rejects_directory_without_manifest(self, tmp_path):
+        with pytest.raises(ValueError, match="manifest"):
+            main(
+                [
+                    "campaign-worker",
+                    "--store", str(tmp_path),
+                    "--shard-id", "w0",
+                ]
+            )
