@@ -794,6 +794,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             attached=args.attach,
         )
         report = runner.run()
+        if not args.no_telemetry:
+            # run() returns only once the grid is complete, so this
+            # worker folds the telemetry summary into the manifest on
+            # its way out.  Workers exiting near-simultaneously are
+            # last-writer-wins; any later merge (a resume, another
+            # worker) recomputes the summary from the full JSONL.
+            runner.store.merge_telemetry_summary()
         print(
             f"shard {report.shard}: {report.computed} computed, "
             f"{report.imported} imported, {report.skipped} skipped, "

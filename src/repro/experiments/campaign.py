@@ -312,22 +312,18 @@ def config_fingerprint(config: SimStudyConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-#: Config class name -> the manifest ``study`` tag a store records, so
-#: CLI worker shards can resolve the right worker functions from the
-#: manifest alone (see :mod:`repro.experiments.dispatch.registry`).
-#: Unknown subclasses record their class name, which the registry
-#: rejects with a pointer at the Python API.
-_STUDY_TAGS = {
-    "SimStudyConfig": "sim",
-    "MultihopStudyConfig": "multihop",
-    "SlotStudyConfig": "slotsim",
-}
-
-
 def study_tag(config: SimStudyConfig) -> str:
-    """The manifest ``study`` tag for a config instance."""
-    name = type(config).__name__
-    return _STUDY_TAGS.get(name, name)
+    """The manifest ``study`` tag for a config instance.
+
+    Delegates to the dispatch registry's tag table (deferred import —
+    the dispatch package sits above this module), so a study family is
+    registered in exactly one place and a tag this store writes is
+    always one :func:`~repro.experiments.dispatch.registry.
+    resolve_study` can join.
+    """
+    from .dispatch.registry import study_tag as registry_study_tag
+
+    return registry_study_tag(config)
 
 
 class CampaignStore:
@@ -451,6 +447,16 @@ class CampaignStore:
         file, so a resumed campaign's manifest reflects every cell ever
         computed in the directory.  Returns ``None`` (and leaves the
         manifest untouched) when no telemetry exists.
+
+        This is a read-modify-write of the manifest, so it belongs to
+        whoever *finishes* a campaign — the single-host facade merges
+        once after all its shards exit, and a CLI worker merges after
+        its grid-complete run loop returns.  Shards never merge
+        mid-sweep.  Concurrent finishers (several CLI workers ending
+        near-simultaneously) stay safe — each write is atomic and last
+        writer wins — but the loser's late telemetry lines may be
+        missing from the embedded summary until the next merge (any
+        resume, or calling this again) recomputes it from the file.
         """
         records = self.load_telemetry()
         if not records:
@@ -464,7 +470,17 @@ class CampaignStore:
 
 
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
+    """Write ``text`` to ``path`` atomically via a writer-unique temp file.
+
+    The temp name embeds the pid so concurrent writers — shards
+    double-completing a cell, or several finishers folding the manifest
+    summary — never share a temp file: each ``os.replace`` installs its
+    own fully written bytes, and the target is always some writer's
+    complete payload (last writer wins).  A shared temp name would let
+    one writer rename the file out from under another mid-write,
+    installing a truncated artifact or crashing on the lost rename.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
 
@@ -685,7 +701,7 @@ class CampaignRunner:
         from concurrent.futures import ProcessPoolExecutor
         from contextlib import ExitStack
 
-        from .dispatch.events import EVENTS_FILENAME, read_events
+        from .dispatch.events import EVENTS_FILENAME, tail_events
         from .dispatch.shard import run_shard
 
         with ExitStack() as stack:
@@ -699,7 +715,9 @@ class CampaignRunner:
             else:
                 store = self.store
             events_path = store.directory / EVENTS_FILENAME
-            cursor = len(read_events(events_path))  # resumed stores keep old logs
+            # Resumed stores keep old logs: start tailing at the current
+            # end of file, so only this run's events drive progress.
+            offset = events_path.stat().st_size if events_path.exists() else 0
             by_key = {spec.key: spec for spec in pending}
             shards = min(self.workers, len(pending))
             pool = stack.enter_context(ProcessPoolExecutor(max_workers=shards))
@@ -718,11 +736,28 @@ class CampaignRunner:
                 for index in range(shards)
             ]
             while True:
+                failed = next(
+                    (
+                        future
+                        for future in futures
+                        if future.done() and future.exception() is not None
+                    ),
+                    None,
+                )
                 finished = all(future.done() for future in futures)
-                events = read_events(events_path)
-                for record in events[cursor:]:
+                events, offset = tail_events(events_path, offset)
+                for record in events:
                     self._observe_event(record, by_key)
-                cursor = len(events)
+                if failed is not None:
+                    # A shard raised a real error (not a crash the lease
+                    # protocol absorbs): surface it now instead of
+                    # letting survivors grind on.  Failed workers
+                    # release their leases, so peers retrying the same
+                    # cell fail fast too rather than idling out a
+                    # lease expiry; unstarted shards are cancelled.
+                    for future in futures:
+                        future.cancel()
+                    raise failed.exception()
                 if finished:
                     break
                 time.sleep(0.05)

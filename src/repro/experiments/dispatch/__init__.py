@@ -28,6 +28,7 @@ from .events import (
     WatchSummary,
     follow_events,
     read_events,
+    tail_events,
     watch_campaign,
 )
 from .queue import DEFAULT_LEASE_SECONDS, Lease, WorkQueue, backoff_seconds
@@ -52,5 +53,6 @@ __all__ = [
     "resolve_study",
     "study_tag",
     "run_shard",
+    "tail_events",
     "watch_campaign",
 ]

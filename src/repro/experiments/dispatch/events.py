@@ -35,6 +35,7 @@ __all__ = [
     "EVENTS_FILENAME",
     "EventLog",
     "read_events",
+    "tail_events",
     "follow_events",
     "watch_campaign",
     "WatchSummary",
@@ -107,6 +108,31 @@ def read_events(path: str | pathlib.Path) -> list[dict]:
     return _parse_lines(path.read_text())
 
 
+def tail_events(
+    path: str | pathlib.Path, offset: int = 0
+) -> tuple[list[dict], int]:
+    """Events appended after byte ``offset``: ``(events, new offset)``.
+
+    The incremental form of :func:`read_events`: a poll loop threads
+    the returned offset back in and never re-parses the log's prefix,
+    so following a long sweep costs O(new events) per poll instead of
+    O(whole file).  Only complete lines are consumed — the offset never
+    advances past a line still being appended, so a torn tail is
+    re-read (whole) on the next call.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    cut = chunk.rfind(b"\n")
+    if cut < 0:
+        return [], offset
+    complete = chunk[: cut + 1].decode(errors="replace")
+    return _parse_lines(complete), offset + cut + 1
+
+
 def follow_events(
     path: str | pathlib.Path,
     *,
@@ -117,27 +143,21 @@ def follow_events(
     """Tail the event log: yield events as shards append them.
 
     Yields every complete line from the start of the file, then polls
-    for growth.  Stops when ``done()`` returns true *and* the log has
-    been drained past its current end (so a consumer never misses the
-    final events of a finishing sweep).  With no ``done`` callback the
-    generator follows forever — callers bound it (``campaign-watch``
-    stops on grid completion or timeout).
+    for growth (via :func:`tail_events`, so each poll reads only what
+    was appended).  Stops when ``done()`` returns true *and* the log
+    has been drained past its current end (so a consumer never misses
+    the final events of a finishing sweep).  With no ``done`` callback
+    the generator follows forever — callers bound it
+    (``campaign-watch`` stops on grid completion or timeout).
     """
     import time
 
     path = pathlib.Path(path)
     sleep = time.sleep if sleep is None else sleep
     offset = 0
-    pending = ""
     while True:
-        if path.exists():
-            with open(path, "rb") as handle:
-                handle.seek(offset)
-                chunk = handle.read()
-            offset += len(chunk)
-            pending += chunk.decode(errors="replace")
-            complete, _, pending = pending.rpartition("\n")
-            yield from _parse_lines(complete)
+        events, offset = tail_events(path, offset)
+        yield from events
         if done is not None and done():
             return
         sleep(poll_seconds)

@@ -21,9 +21,13 @@ from typing import Callable
 
 __all__ = ["StudyKind", "resolve_study", "study_tag", "config_from_manifest"]
 
-#: Config class name -> manifest study tag.  Unknown subclasses fall
-#: back to their class name, which :func:`resolve_study` rejects with a
-#: pointer at the Python API (plugged-in studies are joined via
+#: Config class name -> manifest study tag.  The single source of
+#: truth for tagging — :func:`repro.experiments.campaign.study_tag`
+#: (which stamps manifests) delegates here, so registering a study
+#: means adding it to this table *and* a :func:`resolve_study` branch,
+#: in this one file.  Unknown subclasses fall back to their class
+#: name, which :func:`resolve_study` rejects with a pointer at the
+#: Python API (plugged-in studies are joined via
 #: :class:`~repro.experiments.dispatch.ShardRunner`, not the CLI).
 _TAGS = {
     "SimStudyConfig": "sim",

@@ -202,21 +202,28 @@ class ShardRunner:
                         progress = True
                         continue
                 cell_start = self._clock()
-                if self.telemetry:
-                    cell, record = self.worker_telemetry(spec)
-                else:
-                    cell, record = self.worker(spec), None
-                wrote = self.store.save_if_absent(spec, cell)
-                if record is not None:
-                    self.store.record_telemetry(record)
-                self.events.emit(
-                    "cell-completed",
-                    key=key,
-                    attempt=lease.attempt,
-                    recomputed=not wrote,
-                    wall_seconds=round(self._clock() - cell_start, 6),
-                )
-                self.queue.release(key)
+                try:
+                    if self.telemetry:
+                        cell, record = self.worker_telemetry(spec)
+                    else:
+                        cell, record = self.worker(spec), None
+                    wrote = self.store.save_if_absent(spec, cell)
+                    if record is not None:
+                        self.store.record_telemetry(record)
+                    self.events.emit(
+                        "cell-completed",
+                        key=key,
+                        attempt=lease.attempt,
+                        recomputed=not wrote,
+                        wall_seconds=round(self._clock() - cell_start, 6),
+                    )
+                finally:
+                    # Never exit holding the lease: a worker error
+                    # would otherwise park the cell for lease_seconds
+                    # before survivors could steal it.  Releasing here
+                    # lets them retry (or hit the same failure and
+                    # surface it) immediately.
+                    self.queue.release(key)
                 computed += 1
                 progress = True
             if all(self.store.has(spec.key) for spec in specs):
@@ -253,7 +260,10 @@ class ShardRunner:
                     scheduler=snapshot["counters"],
                 )
             )
-            self.store.merge_telemetry_summary()
+            # Folding the summary into the manifest is the *caller's*
+            # post-grid step (the facade parent, or the CLI worker
+            # entrypoint): shards finishing near-simultaneously would
+            # race the read-modify-write and lose each other's records.
         return report
 
 

@@ -8,6 +8,8 @@ primitives the multi-process path uses.  Real crashes are covered by
 """
 
 import json
+import os
+import time
 
 import pytest
 
@@ -23,6 +25,7 @@ from repro.experiments.dispatch import (
     WorkQueue,
     backoff_seconds,
     read_events,
+    tail_events,
     watch_campaign,
 )
 from repro.experiments.dispatch.queue import DEFAULT_LEASE_SECONDS, Lease
@@ -415,6 +418,140 @@ class TestEventStream:
     def test_watch_requires_a_store(self, tmp_path):
         with pytest.raises(ValueError, match="manifest"):
             watch_campaign(tmp_path, follow=False, echo=lambda _: None)
+
+
+class TestTailEvents:
+    def test_incremental_reads_only_new_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, shard="a", clock=FakeClock())
+        log.emit("shard-start")
+        events, offset = tail_events(path)
+        assert [e["event"] for e in events] == ["shard-start"]
+        assert offset == path.stat().st_size
+        # Nothing new: no events, offset unchanged.
+        assert tail_events(path, offset) == ([], offset)
+        log.emit("cell-completed", key="k1")
+        events, offset = tail_events(path, offset)
+        assert [e["event"] for e in events] == ["cell-completed"]
+
+    def test_torn_tail_not_consumed(self, tmp_path):
+        """The offset never advances past a line still being appended,
+        so the torn tail is re-read whole once its newline lands."""
+        path = tmp_path / "events.jsonl"
+        EventLog(path, shard="a", clock=FakeClock()).emit("shard-start")
+        _, offset = tail_events(path)
+        with open(path, "a") as handle:
+            handle.write('{"event": "cell-completed", "key": "k1"')
+        assert tail_events(path, offset) == ([], offset)
+        with open(path, "a") as handle:
+            handle.write("}\n")
+        events, offset = tail_events(path, offset)
+        assert [e["event"] for e in events] == ["cell-completed"]
+        assert offset == path.stat().st_size
+
+    def test_missing_file(self, tmp_path):
+        assert tail_events(tmp_path / "none.jsonl", 0) == ([], 0)
+
+
+def _failing_worker(spec, topology=None):
+    """Top-level (picklable) worker that always fails."""
+    raise RuntimeError("worker exploded")
+
+
+class TestWorkerFailure:
+    def test_failed_worker_releases_its_lease(self, tmp_path):
+        """A worker exception must not park the cell for lease_seconds:
+        the shard drops the lease on its way out, so survivors retry
+        (or surface the same failure) immediately."""
+        config = tiny_config()
+        CampaignStore(tmp_path / "camp", config)
+        runner = ShardRunner(
+            tmp_path / "camp",
+            config,
+            shard_id="w0",
+            telemetry=False,
+            worker=_failing_worker,
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            runner.run()
+        assert list((tmp_path / "camp" / "leases").glob("*.json")) == []
+
+    def test_facade_surfaces_shard_error_without_lease_wait(self, tmp_path):
+        """run_campaign's sharded path re-raises a worker failure as
+        soon as any shard dies on it, instead of letting survivors idle
+        out the (default 300 s) lease before failing."""
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_campaign(
+                tiny_config(),
+                workers=2,
+                directory=tmp_path / "camp",
+                telemetry=False,
+                worker=_failing_worker,
+            )
+        assert time.monotonic() - start < DEFAULT_LEASE_SECONDS / 4
+
+
+class TestAtomicWrites:
+    def test_tmp_file_is_writer_unique_and_cleaned_up(self, tmp_path):
+        """Concurrent writers (shards double-completing, finishers
+        merging the manifest) must never share a temp file: the temp
+        name embeds the pid, and nothing is left behind."""
+        import repro.experiments.campaign as campaign_mod
+
+        seen = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        campaign_mod.os.replace = recording_replace
+        try:
+            campaign_mod._atomic_write_text(tmp_path / "m.json", "{}")
+        finally:
+            campaign_mod.os.replace = real_replace
+        assert (tmp_path / "m.json").read_text() == "{}"
+        assert seen == [str(tmp_path / f"m.json.{os.getpid()}.tmp")]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestSummaryMergeOwnership:
+    def test_shard_leaves_manifest_merge_to_caller(self, tmp_path):
+        """ShardRunner appends telemetry but never merges the manifest
+        summary — shards finishing near-simultaneously would race the
+        read-modify-write.  Merging is the finisher's step (facade
+        parent or CLI worker exit) and stays re-runnable."""
+        config = tiny_config()
+        CampaignStore(tmp_path / "camp", config)
+        ShardRunner(tmp_path / "camp", config, shard_id="w0").run()
+        manifest = json.loads((tmp_path / "camp" / "campaign.json").read_text())
+        assert "telemetry" not in manifest
+        store = CampaignStore(tmp_path / "camp", config)
+        summary = store.merge_telemetry_summary()
+        assert summary["cells"] == 2
+        manifest = json.loads((tmp_path / "camp" / "campaign.json").read_text())
+        assert manifest["telemetry"]["cells"] == 2
+
+    def test_cli_worker_merges_on_exit(self, tmp_path):
+        from repro.cli import main
+
+        config = tiny_config()
+        CampaignStore(tmp_path / "camp", config)
+        assert (
+            main(
+                [
+                    "campaign-worker",
+                    "--store",
+                    str(tmp_path / "camp"),
+                    "--shard-id",
+                    "w0",
+                ]
+            )
+            == 0
+        )
+        manifest = json.loads((tmp_path / "camp" / "campaign.json").read_text())
+        assert manifest["telemetry"]["cells"] == 2
 
 
 class TestStudyRegistry:
