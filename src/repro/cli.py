@@ -377,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--seed", type=int, default=2003)
     profile.add_argument(
+        "--by-callback", action="store_true",
+        help="per-callback-type breakdown of the event loop (network "
+        "kernel): hooks the kernel dispatcher and times each fired "
+        "callback, grouped by layer and method; the hooked loop is "
+        "slower, so compare shares, not absolute seconds",
+    )
+    profile.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write a repro-profile-v1 JSON snapshot",
     )
@@ -457,11 +464,20 @@ def _run_profile(args: argparse.Namespace) -> int:
     """The ``repro profile`` subcommand: phases + throughput rates."""
     import json
 
-    from .obs import MetricsRegistry, PhaseProfiler, format_profile
+    from .obs import (
+        CallbackProfiler,
+        MetricsRegistry,
+        PhaseProfiler,
+        format_callback_profile,
+        format_profile,
+    )
 
     metrics = MetricsRegistry()
     profiler = PhaseProfiler()
+    callback_profiler = None
     rates: list[tuple[str, int, str]] = []
+    if args.by_callback and args.kernel != "network":
+        raise SystemExit("--by-callback requires --kernel network")
     if args.kernel == "network":
         from .experiments import replicate_seed, replicate_topology
         from .net.network import NetworkSimulation
@@ -476,6 +492,9 @@ def _run_profile(args: argparse.Namespace) -> int:
                 seed=replicate_seed(args.seed, args.n, 0),
                 metrics=metrics,
             )
+        if args.by_callback:
+            callback_profiler = CallbackProfiler()
+            simulation.sim.dispatch_hook = callback_profiler
         simulation.run(
             seconds(args.sim_seconds),
             warmup_ns=seconds(args.warmup_seconds) if args.warmup_seconds else 0,
@@ -522,6 +541,9 @@ def _run_profile(args: argparse.Namespace) -> int:
             f"{args.slots:,} slots x {args.batch} replicate(s)"
         )
     print(format_profile(profiler, rates))
+    if callback_profiler is not None:
+        print()
+        print(format_callback_profile(callback_profiler))
     if args.json:
         payload = {
             "format": "repro-profile-v1",
@@ -531,6 +553,11 @@ def _run_profile(args: argparse.Namespace) -> int:
             "rates": {
                 name: profiler.rate(count, label) for name, count, label in rates
             },
+            **(
+                {"callbacks": callback_profiler.as_dict()}
+                if callback_profiler is not None
+                else {}
+            ),
             **metrics.snapshot(),
         }
         with open(args.json, "w") as handle:

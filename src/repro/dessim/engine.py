@@ -1,9 +1,44 @@
 """The discrete-event simulation engine.
 
-A minimal, fast, deterministic event scheduler: a binary heap of
-``(time, sequence, Event)`` triples.  The sequence number breaks ties so
-that events scheduled earlier at the same timestamp fire first —
-determinism that the MAC layer's slot-aligned races depend on.
+Two interchangeable schedulers live here, bit-exact to each other:
+
+:class:`Simulator` (the default, ``scheduler="wheel"``)
+    A calendar queue keyed by *exact* absolute timestamp: a dict of
+    per-timestamp FIFO buckets plus a small int-heap of the distinct
+    times.  MAC workloads cluster heavily on slot boundaries, so the
+    heap shrinks by the clustering factor and every same-time event
+    costs one list append.  FIFO bucket order *is* the ``(time, seq)``
+    determinism contract — events scheduled earlier at the same
+    timestamp fire first — with no per-event comparison at all.  A
+    bucket holding a single event is stored as the event itself (no
+    list), which keeps the uncontended case as lean as a heap push.
+    Cancellation is an O(1) tombstone reclaimed when its bucket drains,
+    so cancelled timers leave no structure the pop path must wade
+    through, and :meth:`Simulator.reschedule` re-links a fired event's
+    own object in place, which removes allocation from the MAC's
+    hottest pattern (the backoff slot timer re-arming itself).
+    Anonymous fire-and-forget events (:meth:`Simulator.schedule_anon`)
+    recycle through a free-list pool.  The dict has an unbounded
+    horizon, so there is no overflow wheel and no promotion step for
+    far-future events — a far-future timestamp is just another dict
+    key.
+
+:class:`HeapSimulator` (``scheduler="heap"``)
+    The original binary heap of ``(time, sequence, Event)`` triples,
+    kept as the equivalence oracle: same seed ⇒ identical event order,
+    identical stats, byte-identical artifacts (pinned by the fuzz suite
+    in ``tests/dessim/test_scheduler_equivalence.py`` and a CI matrix
+    leg).  Cancelled events stay in the heap and are skipped on pop.
+
+Use :func:`make_simulator` to choose by name or by the
+``REPRO_SCHEDULER`` environment variable.
+
+Resume note: an event fires exactly once because firing flips its
+state flag, so a re-scan of a partially swept bucket skips consumed
+entries by state.  :meth:`Simulator.step` additionally keeps a cursor
+into the head bucket (``_head_pos``) which :meth:`Simulator.run`
+honors, so a reused event object re-linked into the *same* timestamp
+can never be revisited ahead of lower-sequence entries.
 
 This is our substitute for GloMoSim's kernel: the paper's experiments
 need nothing beyond sequential event-driven execution over a few dozen
@@ -12,68 +47,110 @@ nodes.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
     from ..obs.metrics import MetricsRegistry
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "HeapSimulator",
+    "SimulationError",
+    "make_simulator",
+    "SCHEDULERS",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised on scheduler misuse (scheduling into the past, etc.)."""
 
 
+# Event lifecycle states.  One int slot instead of booleans + detachable
+# hooks: the sweep decides everything about a bucket entry from a single
+# attribute read.  _POOLED marks a pending event owned by the engine's
+# free list (no caller holds a handle), so the sweep may recycle it the
+# moment it fires.
+_PENDING = 0
+_FIRED = 1
+_CANCELLED = 2
+_POOLED = 3
+
+#: Bounds on the recycling pools.  Beyond these sizes the steady-state
+#: working set is covered and extra retained objects are dead weight.
+_MAX_FREE_LISTS = 64
+_MAX_FREE_EVENTS = 512
+
+
+def _noop() -> None:  # pragma: no cover - pool placeholder, never fired
+    return None
+
+
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Hold on to the instance to :meth:`Simulator.cancel` it later.
+    Cancelling an event that already fired is inert (idempotent), so a
+    stale handle can never affect a later event.
 
     A ``__slots__`` class rather than a dataclass: one Event is
-    allocated per scheduled callback, so instance dicts were the
-    kernel's single largest allocation cost.
+    allocated per scheduled callback (except where the engine reuses
+    them), so instance dicts were the kernel's single largest
+    allocation cost.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_on_cancel")
+    __slots__ = ("time", "seq", "callback", "args", "_state", "_sim")
 
     def __init__(
         self,
         time: int,
         seq: int,
         callback: Callable[..., None],
-        args: tuple[Any, ...] = (),
-        cancelled: bool = False,
-        # Scheduler bookkeeping hook: fires exactly once, on the
-        # transition from pending to cancelled, and is detached when the
-        # event pops so a late cancel() on an already-fired event cannot
-        # double-count.
-        _on_cancel: Callable[[], None] | None = None,
+        args: tuple[Any, ...],
+        sim: "Simulator",
+        state: int = _PENDING,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
-        self.cancelled = cancelled
-        self._on_cancel = _on_cancel
+        self._state = state
+        self._sim = sim
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before firing."""
+        return self._state == _CANCELLED
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it (idempotent)."""
-        if not self.cancelled:
-            self.cancelled = True
-            if self._on_cancel is not None:
-                self._on_cancel()
+        """Mark the event so the scheduler skips it (idempotent).
+
+        The pending→cancelled transition happens at most once — a late
+        cancel on an already-fired event cannot double-decrement the
+        pending counter.
+        """
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            sim = self._sim
+            sim._pending -= 1
+            sim._cancelled_total += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "fired", "cancelled", "pending")[self._state]
         return (
             f"Event(time={self.time}, seq={self.seq}, "
-            f"callback={self.callback!r}, args={self.args!r}, "
-            f"cancelled={self.cancelled})"
+            f"callback={self.callback!r}, args={self.args!r}, {state})"
         )
 
 
 class Simulator:
     """A deterministic single-threaded discrete-event scheduler.
+
+    The default calendar-queue ("wheel") engine; see the module
+    docstring for the design and :class:`HeapSimulator` for the
+    bit-exact oracle.
 
     Example::
 
@@ -82,16 +159,38 @@ class Simulator:
         sim.run()
     """
 
+    scheduler_name = "wheel"
+
     def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
         self._pending: int = 0
-        # Bound once: attribute access on a method allocates a fresh
-        # bound-method object, and schedule() runs once per event.
-        self._note_cancelled_ref = self._note_cancelled
+        self._cancelled_total: int = 0
+        # The calendar: exact timestamp -> bucket.  A bucket is either a
+        # single Event (the uncontended case) or a FIFO list of them;
+        # `_times` is a heap of the distinct timestamps, pushed once per
+        # bucket rather than once per event.
+        self._buckets: dict[int, Event | list[Event]] = {}
+        self._times: list[int] = []
+        # Cursor into the head bucket, advanced only by step(): events
+        # at positions < _head_pos are consumed.  run() drains any
+        # partially stepped bucket through a positional sweep before
+        # entering its iterator-based fast path (which always starts
+        # buckets at position 0).
+        self._head_pos: int = 0
+        # Recycled empty bucket lists and recycled anonymous events.
+        self._free_lists: list[list[Event]] = []
+        self._free_events: list[Event] = []
+        self._buckets_created: int = 0
+        self._event_reuse: int = 0
+        # Observational dispatch hook (see
+        # repro.obs.profile.CallbackProfiler): when set, run() routes
+        # every fire through ``hook(event)`` instead of calling the
+        # callback directly.  The hook must invoke the callback exactly
+        # once; it exists to *time* dispatch, never to steer it.
+        self.dispatch_hook: Callable[[Event], None] | None = None
         # Telemetry is harvested (deltas of the existing counters pushed
         # into the registry when run() returns), never incremented per
         # event: the inner loop stays exactly as hot as before whether
@@ -117,8 +216,7 @@ class Simulator:
         """Number of scheduled, not-yet-fired, not-cancelled events.
 
         A live counter — incremented on schedule, decremented on cancel
-        and on pop — rather than a rescan of the whole heap, which made
-        every introspection O(queue) including its cancelled garbage.
+        and on fire — rather than a rescan of the whole structure.
         """
         return self._pending
 
@@ -126,23 +224,67 @@ class Simulator:
     # Scheduling.
     # ------------------------------------------------------------------
 
+    def _link(self, event: Event, time: int) -> None:
+        """Insert ``event`` into its timestamp bucket (FIFO position).
+
+        Inlined by the hot entry points (:meth:`schedule`,
+        :meth:`reschedule`, :meth:`schedule_anon`,
+        :meth:`~repro.dessim.Timer.start`) — kept as a method for the
+        cold ones and as the reference for what they inline.  When a
+        single-event bucket gains a second entry, a consumed first
+        entry (fired or cancelled) is dropped rather than carried into
+        the list: the sweep has already passed it, and re-listing it
+        ahead of newer events would replay it out of sequence order.
+        """
+        buckets = self._buckets
+        cur = buckets.get(time)
+        if cur is None:
+            buckets[time] = event
+            heappush(self._times, time)
+            self._buckets_created += 1
+        elif type(cur) is list:
+            cur.append(event)
+        else:
+            free = self._free_lists
+            lst = free.pop() if free else []
+            st = cur._state
+            if st == _PENDING or st == _POOLED:
+                lst.append(cur)
+            lst.append(event)
+            buckets[time] = lst
+
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now.
 
-        The hottest scheduler entry point (timers route every MAC
-        timeout through here), so the :meth:`schedule_at` body is
-        inlined rather than delegated — one call frame per event saved.
+        ``delay`` must be a true ``int`` (``bool`` is explicitly
+        rejected even though it subclasses ``int`` — a boolean delay is
+        always a bug upstream).
         """
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an int (ns), got {type(delay).__name__}"
+            )
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
         time = self._now + delay
-        if not isinstance(time, int):
-            raise SimulationError(
-                f"event times must be integers (ns), got {type(time).__name__}"
-            )
         seq = self._seq
-        event = Event(time, seq, callback, args, False, self._note_cancelled_ref)
-        heappush(self._queue, (time, seq, event))
+        event = Event(time, seq, callback, args, self)
+        buckets = self._buckets
+        cur = buckets.get(time)
+        if cur is None:
+            buckets[time] = event
+            heappush(self._times, time)
+            self._buckets_created += 1
+        elif type(cur) is list:
+            cur.append(event)
+        else:
+            free = self._free_lists
+            lst = free.pop() if free else []
+            st = cur._state
+            if st == _PENDING or st == _POOLED:
+                lst.append(cur)
+            lst.append(event)
+            buckets[time] = lst
         self._seq = seq + 1
         self._pending += 1
         return event
@@ -151,7 +293,7 @@ class Simulator:
         self, time: int, callback: Callable[..., None], *args: Any
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time`` ns."""
-        if not isinstance(time, int):
+        if type(time) is not int:
             raise SimulationError(
                 f"event times must be integers (ns), got {type(time).__name__}"
             )
@@ -160,21 +302,104 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         seq = self._seq
-        event = Event(time, seq, callback, args, False, self._note_cancelled_ref)
-        heappush(self._queue, (time, seq, event))
+        event = Event(time, seq, callback, args, self)
+        self._link(event, time)
         self._seq = seq + 1
         self._pending += 1
         return event
 
-    def _note_cancelled(self) -> None:
-        self._pending -= 1
+    def reschedule(
+        self,
+        previous: Event | None,
+        delay: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> Event:
+        """Supersede ``previous`` with a fresh arm ``delay`` ns from now.
+
+        The restart-in-place primitive behind :class:`~repro.dessim.Timer`:
+
+        - ``previous`` already fired (the dominant pattern — a slot
+          timer re-arming from its own callback): its object is
+          re-linked in place with a new ``(time, seq)``, zero
+          allocation.  Safe because the sweep consumed the fired bucket
+          entry, so the object has exactly one live entry again.
+        - ``previous`` still pending: it is tombstoned and a fresh
+          object is linked.  Reusing the object here would leave *two*
+          live bucket entries pointing at it, so the fresh allocation
+          is what keeps the wheel bit-exact with the heap oracle.
+        - ``previous`` is ``None`` or cancelled: plain schedule.
+
+        Consumes exactly one sequence number, like the cancel+schedule
+        pair it replaces.
+        """
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an int (ns), got {type(delay).__name__}"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self._now + delay
+        seq = self._seq
+        if previous is not None and previous._state == _FIRED:
+            event = previous
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event._state = _PENDING
+            self._event_reuse += 1
+        else:
+            if previous is not None and previous._state == _PENDING:
+                previous._state = _CANCELLED
+                self._pending -= 1
+                self._cancelled_total += 1
+            event = Event(time, seq, callback, args, self)
+        self._link(event, time)
+        self._seq = seq + 1
+        self._pending += 1
+        return event
+
+    def schedule_anon(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule a fire-and-forget callback (no handle, not cancellable).
+
+        The bulk fan-out path: the event object comes from and returns
+        to an engine-owned free list, so per-receiver signal start/end
+        scheduling in :meth:`repro.phy.Channel.transmit` allocates
+        nothing in steady state.  Use only when no caller needs to
+        cancel — there is deliberately no way to reach the event again.
+        """
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an int (ns), got {type(delay).__name__}"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self._now + delay
+        seq = self._seq
+        pool = self._free_events
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event._state = _POOLED
+            self._event_reuse += 1
+        else:
+            event = Event(time, seq, callback, args, self, _POOLED)
+        self._link(event, time)
+        self._seq = seq + 1
+        self._pending += 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent).
 
-        Cancelled events stay in the heap but are skipped when popped —
-        O(1) cancellation at the cost of a little heap garbage, the
-        standard DES trade-off.
+        O(1): the event becomes a tombstone in its bucket, reclaimed in
+        a single skip when the bucket drains — no structure to search,
+        no garbage for the pop path to wade through.
         """
         event.cancel()
 
@@ -188,17 +413,107 @@ class Simulator:
         Returns:
             ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        while self._queue:
-            time, _seq, event = heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._pending -= 1
-            event._on_cancel = None
-            self._now = time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
+        if self._running:
+            raise SimulationError("cannot step() while run() is active")
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            entry = buckets[t]
+            if type(entry) is list:
+                pos = self._head_pos
+                n = len(entry)
+                while pos < n:
+                    event = entry[pos]
+                    pos += 1
+                    st = event._state
+                    if st == _PENDING or st == _POOLED:
+                        # Cursor saved before the callback runs: the
+                        # event is consumed even if the callback raises.
+                        self._head_pos = pos
+                        event._state = _FIRED
+                        self._pending -= 1
+                        self._now = t
+                        self._events_processed += 1
+                        event.callback(*event.args)
+                        if st == _POOLED:
+                            self._recycle(event)
+                        return True
+                heappop(times)
+                del buckets[t]
+                entry.clear()
+                if len(self._free_lists) < _MAX_FREE_LISTS:
+                    self._free_lists.append(entry)
+                self._head_pos = 0
+            else:
+                # Single-event bucket: drained *before* the callback
+                # runs, so a fired event re-linked elsewhere can never
+                # linger under this timestamp as a stale dict value.
+                heappop(times)
+                del buckets[t]
+                st = entry._state
+                if st == _PENDING or st == _POOLED:
+                    entry._state = _FIRED
+                    self._pending -= 1
+                    self._now = t
+                    self._events_processed += 1
+                    entry.callback(*entry.args)
+                    if st == _POOLED:
+                        self._recycle(entry)
+                    return True
+                # else: a cancelled tombstone, reclaimed with its slot.
         return False
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired pool-owned event to the free list."""
+        if len(self._free_events) < _MAX_FREE_EVENTS:
+            event.callback = _noop
+            event.args = ()
+            self._free_events.append(event)
+
+    def _drain_stepped_bucket(self, horizon: int | None) -> None:
+        """Finish a bucket partially consumed by :meth:`step`.
+
+        Sweeps positionally from the saved cursor so entries already
+        fired through step() are never revisited, then releases the
+        bucket and clears the cursor.  If the bucket lies beyond the
+        horizon the cursor is kept for a later run.
+        """
+        times = self._times
+        buckets = self._buckets
+        if not times:
+            self._head_pos = 0
+            return
+        t = times[0]
+        if horizon is not None and t > horizon:
+            return
+        entry = buckets[t]
+        if type(entry) is not list:
+            # Defensive: step() only sets the cursor on list buckets.
+            self._head_pos = 0
+            return
+        pos = self._head_pos
+        n = len(entry)
+        while pos < n:
+            event = entry[pos]
+            pos += 1
+            st = event._state
+            if st == _PENDING or st == _POOLED:
+                self._head_pos = pos
+                event._state = _FIRED
+                self._pending -= 1
+                self._now = t
+                self._events_processed += 1
+                event.callback(*event.args)
+                if st == _POOLED:
+                    self._recycle(event)
+                n = len(entry)
+        heappop(times)
+        del buckets[t]
+        entry.clear()
+        if len(self._free_lists) < _MAX_FREE_LISTS:
+            self._free_lists.append(entry)
+        self._head_pos = 0
 
     def run(self, until: int | None = None) -> None:
         """Run until the queue drains or the clock passes ``until`` ns.
@@ -212,13 +527,306 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until t={until} before now={self._now}"
             )
+        if self.dispatch_hook is not None:
+            self._run_hooked(until)
+            return
         self._running = True
         processed_before = self._events_processed
         scheduled_before = self._seq
-        # Hot loop: the queue, pop, and the horizon are hoisted to
+        cancelled_before = self._cancelled_total
+        buckets_before = self._buckets_created
+        reuse_before = self._event_reuse
+        # Hot loop: the structures and the horizon are hoisted to
         # locals — attribute reads per event add up over millions of
         # events.  ``self._now`` / ``self._events_processed`` stay live
-        # on the instance because callbacks read them mid-run.
+        # on the instance because callbacks read them mid-run.  The
+        # bucket sweep is a plain ``for`` over the list: a CPython list
+        # iterator picks up elements appended during iteration, which
+        # is exactly the semantics same-time events scheduled from a
+        # callback need.
+        times = self._times
+        buckets = self._buckets
+        free_lists = self._free_lists
+        free_events = self._free_events
+        pop = heappop
+        horizon = until
+        try:
+            if self._head_pos:
+                # A bucket partially consumed by step(): drain it
+                # through the positional slow path so already-fired
+                # positions are never revisited, then fall through to
+                # the fast loop (which always starts buckets at 0).
+                self._drain_stepped_bucket(horizon)
+            while times:
+                t = times[0]
+                if horizon is not None and t > horizon:
+                    break
+                entry = buckets[t]
+                if type(entry) is list:
+                    for event in entry:
+                        st = event._state
+                        if st == _PENDING:
+                            event._state = _FIRED
+                            self._pending -= 1
+                            self._now = t
+                            self._events_processed += 1
+                            event.callback(*event.args)
+                        elif st == _POOLED:
+                            event._state = _FIRED
+                            self._pending -= 1
+                            self._now = t
+                            self._events_processed += 1
+                            event.callback(*event.args)
+                            if len(free_events) < _MAX_FREE_EVENTS:
+                                event.callback = _noop
+                                event.args = ()
+                                free_events.append(event)
+                        # else: tombstone or consumed — skipped, and
+                        # reclaimed with the bucket right below.
+                    pop(times)
+                    del buckets[t]
+                    entry.clear()
+                    if len(free_lists) < _MAX_FREE_LISTS:
+                        free_lists.append(entry)
+                else:
+                    # Single-event bucket: drained *before* the
+                    # callback runs, so a fired event re-linked
+                    # elsewhere never lingers as a stale dict value,
+                    # and a callback scheduling at this same timestamp
+                    # simply creates the bucket afresh.
+                    pop(times)
+                    del buckets[t]
+                    st = entry._state
+                    if st == _PENDING:
+                        entry._state = _FIRED
+                        self._pending -= 1
+                        self._now = t
+                        self._events_processed += 1
+                        entry.callback(*entry.args)
+                    elif st == _POOLED:
+                        entry._state = _FIRED
+                        self._pending -= 1
+                        self._now = t
+                        self._events_processed += 1
+                        entry.callback(*entry.args)
+                        if len(free_events) < _MAX_FREE_EVENTS:
+                            entry.callback = _noop
+                            entry.args = ()
+                            free_events.append(entry)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            if self._metrics is not None:
+                self._harvest(
+                    processed_before,
+                    scheduled_before,
+                    cancelled_before,
+                    buckets_before,
+                    reuse_before,
+                )
+
+    def _run_hooked(self, until: int | None) -> None:
+        """The instrumented run loop: every fire goes through
+        ``dispatch_hook(event)``.  Identical observable semantics to
+        :meth:`run`, deliberately unoptimized — profiling runs pay for
+        what they measure.
+        """
+        hook = self.dispatch_hook
+        assert hook is not None
+        self._running = True
+        processed_before = self._events_processed
+        scheduled_before = self._seq
+        cancelled_before = self._cancelled_total
+        buckets_before = self._buckets_created
+        reuse_before = self._event_reuse
+        times = self._times
+        buckets = self._buckets
+        try:
+            while times:
+                t = times[0]
+                if until is not None and t > until:
+                    break
+                entry = buckets[t]
+                if type(entry) is list:
+                    # Positional sweep from the cursor: identical
+                    # consumption order to the fast loop, and resumes a
+                    # step()-touched bucket for free.
+                    pos = self._head_pos
+                    n = len(entry)
+                    while pos < n:
+                        event = entry[pos]
+                        pos += 1
+                        st = event._state
+                        if st == _PENDING or st == _POOLED:
+                            self._head_pos = pos
+                            event._state = _FIRED
+                            self._pending -= 1
+                            self._now = t
+                            self._events_processed += 1
+                            hook(event)
+                            if st == _POOLED:
+                                self._recycle(event)
+                            n = len(entry)
+                    heappop(times)
+                    del buckets[t]
+                    entry.clear()
+                    if len(self._free_lists) < _MAX_FREE_LISTS:
+                        self._free_lists.append(entry)
+                    self._head_pos = 0
+                else:
+                    heappop(times)
+                    del buckets[t]
+                    st = entry._state
+                    if st == _PENDING or st == _POOLED:
+                        entry._state = _FIRED
+                        self._pending -= 1
+                        self._now = t
+                        self._events_processed += 1
+                        hook(entry)
+                        if st == _POOLED:
+                            self._recycle(entry)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            if self._metrics is not None:
+                self._harvest(
+                    processed_before,
+                    scheduled_before,
+                    cancelled_before,
+                    buckets_before,
+                    reuse_before,
+                )
+
+    def _harvest(
+        self,
+        processed_before: int,
+        scheduled_before: int,
+        cancelled_before: int,
+        buckets_before: int,
+        reuse_before: int,
+    ) -> None:
+        metrics = self._metrics
+        assert metrics is not None
+        metrics.counter("dessim.runs").inc()
+        metrics.counter("dessim.events").inc(
+            self._events_processed - processed_before
+        )
+        metrics.counter("dessim.scheduled").inc(self._seq - scheduled_before)
+        metrics.counter("dessim.cancelled").inc(
+            self._cancelled_total - cancelled_before
+        )
+        metrics.gauge("dessim.pending").set(self._pending)
+        metrics.counter("dessim.wheel.buckets").inc(
+            self._buckets_created - buckets_before
+        )
+        metrics.counter("dessim.wheel.event_reuse").inc(
+            self._event_reuse - reuse_before
+        )
+
+
+class HeapSimulator(Simulator):
+    """The original binary-heap scheduler, kept as the bit-exactness
+    oracle (``scheduler="heap"``).
+
+    Same public API and same observable behavior as :class:`Simulator`
+    — identical ``(time, seq)`` firing order, identical
+    ``pending_events`` accounting, identical validation — implemented
+    as a heap of ``(time, sequence, Event)`` triples where cancelled
+    events stay queued and are skipped on pop.  Not optimized further
+    on purpose: its job is to stay simple and obviously correct.
+    """
+
+    scheduler_name = "heap"
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
+        super().__init__(metrics)
+        self._queue: list[tuple[int, int, Event]] = []
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an int (ns), got {type(delay).__name__}"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self._now + delay
+        seq = self._seq
+        event = Event(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, event))
+        self._seq = seq + 1
+        self._pending += 1
+        return event
+
+    def schedule_at(
+        self, time: int, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        if type(time) is not int:
+            raise SimulationError(
+                f"event times must be integers (ns), got {type(time).__name__}"
+            )
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        seq = self._seq
+        event = Event(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, event))
+        self._seq = seq + 1
+        self._pending += 1
+        return event
+
+    def reschedule(
+        self,
+        previous: Event | None,
+        delay: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> Event:
+        """Cancel-then-schedule, consuming one sequence number — the
+        exact dance :class:`~repro.dessim.Timer` performed by hand on
+        this engine before the wheel existed."""
+        if previous is not None:
+            previous.cancel()
+        return self.schedule(delay, callback, *args)
+
+    def schedule_anon(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Plain schedule without returning the handle (no pooling: the
+        oracle keeps allocation simple and lets garbage collection do
+        its thing)."""
+        self.schedule(delay, callback, *args)
+
+    def step(self) -> bool:
+        if self._running:
+            raise SimulationError("cannot step() while run() is active")
+        queue = self._queue
+        while queue:
+            time, _seq, event = heappop(queue)
+            if event._state != _PENDING:
+                continue
+            event._state = _FIRED
+            self._pending -= 1
+            self._now = time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} before now={self._now}"
+            )
+        hook = self.dispatch_hook
+        self._running = True
+        processed_before = self._events_processed
+        scheduled_before = self._seq
+        cancelled_before = self._cancelled_total
         queue = self._queue
         pop = heappop
         horizon = until
@@ -228,23 +836,52 @@ class Simulator:
                 if horizon is not None and time > horizon:
                     break
                 pop(queue)
-                if event.cancelled:
+                if event._state != _PENDING:
                     continue
+                event._state = _FIRED
                 self._pending -= 1
-                event._on_cancel = None
                 self._now = time
                 self._events_processed += 1
-                event.callback(*event.args)
+                if hook is None:
+                    event.callback(*event.args)
+                else:
+                    hook(event)
             if until is not None:
                 self._now = max(self._now, until)
         finally:
             self._running = False
             if self._metrics is not None:
-                self._metrics.counter("dessim.runs").inc()
-                self._metrics.counter("dessim.events").inc(
-                    self._events_processed - processed_before
+                self._harvest(
+                    processed_before,
+                    scheduled_before,
+                    cancelled_before,
+                    self._buckets_created,
+                    self._event_reuse,
                 )
-                self._metrics.counter("dessim.scheduled").inc(
-                    self._seq - scheduled_before
-                )
-                self._metrics.gauge("dessim.pending").set(self._pending)
+
+
+#: Scheduler registry for :func:`make_simulator` and the CI matrix.
+SCHEDULERS: dict[str, type[Simulator]] = {
+    "wheel": Simulator,
+    "heap": HeapSimulator,
+}
+
+
+def make_simulator(
+    metrics: "MetricsRegistry | None" = None, scheduler: str | None = None
+) -> Simulator:
+    """Build a scheduler by name.
+
+    Resolution order: explicit ``scheduler`` argument, then the
+    ``REPRO_SCHEDULER`` environment variable (how the CI matrix runs
+    the whole tier-1 suite on both engines), then ``"wheel"``.  Both
+    engines are bit-exact, so the choice never changes results — only
+    speed.
+    """
+    name = scheduler or os.environ.get("REPRO_SCHEDULER") or "wheel"
+    cls = SCHEDULERS.get(name)
+    if cls is None:
+        raise SimulationError(
+            f"unknown scheduler {name!r} (choose one of {sorted(SCHEDULERS)})"
+        )
+    return cls(metrics)

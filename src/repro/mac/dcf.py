@@ -103,8 +103,8 @@ class DcfMac:
 
         self.backoff = BackoffManager(params, rng)
         self.nav = Nav()
-        # Hoisted: the backoff countdown re-arms its timer once per
-        # slot, and two dataclass-attribute hops per tick add up.
+        # Hoisted: the backoff freeze/resume arithmetic runs on every
+        # medium transition, and two dataclass-attribute hops add up.
         self._slot_time_ns = params.slot_time_ns
 
         self.phase = DcfPhase.NO_PACKET
@@ -121,7 +121,9 @@ class DcfMac:
 
         # Timers.
         self._ifs_timer = Timer(sim, f"n{self.node_id}-ifs", self._on_ifs_expired)
-        self._slot_timer = Timer(sim, f"n{self.node_id}-slot", self._on_slot_expired)
+        self._slot_timer = Timer(
+            sim, f"n{self.node_id}-backoff", self._on_backoff_expired
+        )
         self._cts_timer = Timer(sim, f"n{self.node_id}-cts-to", self._on_cts_timeout)
         self._ack_timer = Timer(sim, f"n{self.node_id}-ack-to", self._on_ack_timeout)
         self._data_timer = Timer(
@@ -197,26 +199,42 @@ class DcfMac:
         self._ifs_timer.start(ifs)
 
     def _interrupt_access(self) -> None:
-        """Medium went busy during DIFS/backoff: freeze."""
+        """Medium went busy during DIFS/backoff: freeze.
+
+        The countdown runs as a single timer over the remaining slots
+        (see :meth:`_on_ifs_expired`), so freezing converts time left
+        back into whole slots.  The slot in progress has not completed,
+        so it stays owed in full: ceiling division, which lands on the
+        same counter value the slot-at-a-time countdown kept.
+        """
         if self.phase in (DcfPhase.ACCESS_IFS, DcfPhase.ACCESS_BACKOFF):
             self._ifs_timer.cancel()
-            self._slot_timer.cancel()
+            expiry = self._slot_timer.expiry
+            if expiry is not None:
+                left = expiry - self.sim.now
+                self._backoff_remaining = -(-left // self._slot_time_ns)
+                self._slot_timer.cancel()
             self.phase = DcfPhase.ACCESS_WAIT
 
     def _on_ifs_expired(self) -> None:
-        if self._backoff_remaining > 0:
+        remaining = self._backoff_remaining
+        if remaining > 0:
             self.phase = DcfPhase.ACCESS_BACKOFF
-            self._slot_timer.start(self._slot_time_ns)
+            # One event for the whole countdown instead of one per
+            # slot.  Equivalent to the slot-at-a-time loop because the
+            # intermediate slot boundaries had no observable effect —
+            # an interruption recomputes the counter in
+            # _interrupt_access, and a signal arriving in the final
+            # slot was sent after this timer was armed (propagation
+            # delay < slot time), so on an exact tie the ``(time,
+            # seq)`` order fires this expiry first either way.
+            self._slot_timer.start(remaining * self._slot_time_ns)
         else:
             self._transmit_rts()
 
-    def _on_slot_expired(self) -> None:
-        remaining = self._backoff_remaining - 1
-        self._backoff_remaining = remaining
-        if remaining <= 0:
-            self._transmit_rts()
-        else:
-            self._slot_timer.start(self._slot_time_ns)
+    def _on_backoff_expired(self) -> None:
+        self._backoff_remaining = 0
+        self._transmit_rts()
 
     def _on_nav_expired(self) -> None:
         self._maybe_begin_ifs()

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 
 import networkx as nx
 
-from ..dessim.engine import Simulator
+from ..dessim.engine import make_simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
     from ..obs.metrics import MetricsRegistry
@@ -131,6 +131,7 @@ class MultihopNetworkSimulation:
         trace: bool = False,
         metrics: "MetricsRegistry | None" = None,
         link_cache: bool = True,
+        scheduler: str | None = None,
     ) -> None:
         """Build the network.
 
@@ -149,6 +150,8 @@ class MultihopNetworkSimulation:
             ttl: per-packet hop budget (forwarding-loop guard).
             metrics: optional telemetry registry; purely observational.
             link_cache: channel fast-path flag, as on
+                :class:`~repro.net.network.NetworkSimulation`.
+            scheduler: event-scheduler choice, as on
                 :class:`~repro.net.network.NetworkSimulation`.
         """
         if scheme not in POLICIES:
@@ -170,7 +173,7 @@ class MultihopNetworkSimulation:
         self.beamwidth = beamwidth
         self.router_name = router
         self.metrics = metrics
-        self.sim = Simulator(metrics=metrics)
+        self.sim = make_simulator(metrics=metrics, scheduler=scheduler)
         self.tracer = Tracer(enabled=trace, capacity=None)
         self.rng = RngRegistry(seed)
         phy = phy_params if phy_params is not None else PhyParameters()

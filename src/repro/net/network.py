@@ -16,7 +16,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..dessim.engine import Simulator
+from ..dessim.engine import make_simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
     from ..obs.metrics import MetricsRegistry
@@ -98,6 +98,7 @@ class NetworkSimulation:
         trace: bool = False,
         metrics: "MetricsRegistry | None" = None,
         link_cache: bool = True,
+        scheduler: str | None = None,
     ) -> None:
         """Build the network.
 
@@ -120,6 +121,10 @@ class NetworkSimulation:
                 keeps the naive O(N) trig scan.  Results are
                 bit-identical either way (the equivalence suite pins
                 this) — the flag exists for that comparison.
+            scheduler: event-scheduler choice (``"wheel"`` or
+                ``"heap"``); ``None`` defers to the ``REPRO_SCHEDULER``
+                environment variable and then the wheel default.  Both
+                engines are bit-exact — the flag trades speed only.
         """
         if scheme not in POLICIES:
             raise KeyError(
@@ -131,7 +136,7 @@ class NetworkSimulation:
         self.scheme = scheme
         self.beamwidth = beamwidth
         self.metrics = metrics
-        self.sim = Simulator(metrics=metrics)
+        self.sim = make_simulator(metrics=metrics, scheduler=scheduler)
         self.tracer = Tracer(enabled=trace, capacity=None)
         self.rng = RngRegistry(seed)
         phy = phy_params if phy_params is not None else PhyParameters()

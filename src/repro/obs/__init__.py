@@ -25,7 +25,15 @@ from .metrics import (
     MetricsRegistry,
     exponential_bounds,
 )
-from .profile import PhaseProfiler, PhaseRecord, format_profile, wall_clock
+from .profile import (
+    CallbackProfiler,
+    PhaseProfiler,
+    PhaseRecord,
+    classify_callback,
+    format_callback_profile,
+    format_profile,
+    wall_clock,
+)
 from .telemetry import (
     TELEMETRY_FORMAT,
     append_telemetry,
@@ -41,8 +49,11 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "exponential_bounds",
+    "CallbackProfiler",
     "PhaseProfiler",
     "PhaseRecord",
+    "classify_callback",
+    "format_callback_profile",
     "format_profile",
     "wall_clock",
     "TELEMETRY_FORMAT",

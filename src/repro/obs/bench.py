@@ -99,9 +99,9 @@ def _paired_calibration() -> float:
 
 
 def _case_event_kernel(chains: int, depth: int) -> int:
-    from ..dessim import Simulator
+    from ..dessim import make_simulator
 
-    sim = Simulator()
+    sim = make_simulator()
     count = 0
 
     def tick(n: int) -> None:
@@ -115,6 +115,44 @@ def _case_event_kernel(chains: int, depth: int) -> int:
     sim.run()
     assert count == chains * depth
     return count
+
+
+def _case_timer_churn(restarts: int) -> int:
+    """Timer start/cancel/restart churn: the zero-garbage-cancel bench.
+
+    A bank of timers is restarted long before expiry, so nearly every
+    start supersedes a still-pending event — the tombstone path — while
+    a driver timer re-arms from its own callback each round (the
+    reuse-in-place path).  The case moves when scheduling,
+    cancellation, or reschedule cost regresses; the final drain keeps
+    bucket reclamation in the measurement.  Work unit: start
+    operations.
+    """
+    from ..dessim import Timer, make_simulator
+
+    sim = make_simulator()
+
+    def ignore() -> None:
+        return None
+
+    bank = [Timer(sim, f"churn{i}", ignore) for i in range(8)]
+    ops = 0
+
+    def drive() -> None:
+        nonlocal ops
+        if ops >= restarts:
+            return
+        for timer in bank:
+            # Far expiry, restarted every round: always superseded.
+            timer.start(50_000)
+            ops += 1
+        driver.start(1_000)
+
+    driver = Timer(sim, "churn-driver", drive)
+    driver.start(0)
+    sim.run()
+    assert sim.pending_events == 0
+    return ops
 
 
 def _case_slotsim(slots: int) -> int:
@@ -165,7 +203,11 @@ def _case_network_cell(sim_seconds: float) -> int:
     net = NetworkSimulation(topology, "ORTS-OCTS", math.pi, seed=1, metrics=metrics)
     result = net.run(seconds(sim_seconds))
     assert result.duration_ns > 0
-    return int(metrics.counter("dessim.events").value)
+    assert metrics.counter("dessim.events").value > 0
+    # Work unit: simulated nanoseconds.  The workload is fixed by the
+    # config, so the unit survives scheduler/MAC changes to how many
+    # kernel events the same simulated second takes.
+    return result.duration_ns
 
 
 def _case_network_large(sim_seconds: float) -> int:
@@ -188,7 +230,9 @@ def _case_network_large(sim_seconds: float) -> int:
     )
     result = net.run(seconds(sim_seconds))
     assert result.duration_ns > 0
-    return int(metrics.counter("dessim.events").value)
+    assert metrics.counter("dessim.events").value > 0
+    # Work unit: simulated nanoseconds (see _case_network_cell).
+    return result.duration_ns
 
 
 def _case_multihop_medium(sim_seconds: float) -> int:
@@ -218,7 +262,9 @@ def _case_multihop_medium(sim_seconds: float) -> int:
     )
     result = net.run(seconds(sim_seconds))
     assert result.packets_originated > 0
-    return int(metrics.counter("dessim.events").value)
+    assert metrics.counter("dessim.events").value > 0
+    # Work unit: simulated nanoseconds (see _case_network_cell).
+    return result.duration_ns
 
 
 def _case_mobility_churn(sim_seconds: float) -> int:
@@ -229,7 +275,7 @@ def _case_mobility_churn(sim_seconds: float) -> int:
     the link cache to rebuild rows.  This case moves when invalidation
     or rebuild cost regresses, which the static cases cannot see.
     """
-    from ..dessim import Simulator, seconds
+    from ..dessim import make_simulator, seconds
     from ..dessim.rng import RngRegistry
     from ..dessim.units import MILLISECOND
     from ..mac.config import DSSS_MAC
@@ -242,7 +288,7 @@ def _case_mobility_churn(sim_seconds: float) -> int:
     from ..phy.radio import Radio
     from ..traffic.cbr import SaturatedCbrSource
 
-    sim = Simulator()
+    sim = make_simulator()
     channel = Channel(sim, propagation=UnitDiskPropagation(range_m=250.0))
     rng = RngRegistry(13)
     n = 12
@@ -290,7 +336,9 @@ def _case_mobility_churn(sim_seconds: float) -> int:
     sim.run(until=seconds(sim_seconds))
     cache = channel.cache
     assert cache is not None and cache.move_seq > len(movers)
-    return sim.events_processed
+    assert sim.events_processed > 0
+    # Work unit: simulated nanoseconds (see _case_network_cell).
+    return sim.now
 
 
 def _case_lint_full_tree() -> int:
@@ -352,6 +400,7 @@ def run_suite(
     repeats: int = 3,
     *,
     kernel_events: int = 20_000,
+    timer_churn_restarts: int = 30_000,
     slotsim_slots: int = 10_000,
     slotsim_batch_slots: int = 300,
     network_sim_seconds: float = 0.2,
@@ -364,6 +413,7 @@ def run_suite(
     cases: dict[str, dict] = {}
     suite: Sequence[tuple[str, Callable[[], int]]] = (
         ("dessim_event_kernel", lambda: _case_event_kernel(chains, depth)),
+        ("timer_churn", lambda: _case_timer_churn(timer_churn_restarts)),
         ("slotsim_loop", lambda: _case_slotsim(slotsim_slots)),
         ("slotsim_batch", lambda: _case_slotsim_batch(slotsim_batch_slots)),
         ("network_cell", lambda: _case_network_cell(network_sim_seconds)),
@@ -464,6 +514,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--kernel-events", type=int, default=20_000)
+    parser.add_argument("--timer-churn-restarts", type=int, default=30_000)
     parser.add_argument("--slotsim-slots", type=int, default=10_000)
     parser.add_argument("--slotsim-batch-slots", type=int, default=300)
     parser.add_argument("--network-sim-seconds", type=float, default=0.2)
@@ -472,6 +523,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     payload = run_suite(
         args.repeats,
         kernel_events=args.kernel_events,
+        timer_churn_restarts=args.timer_churn_restarts,
         slotsim_slots=args.slotsim_slots,
         slotsim_batch_slots=args.slotsim_batch_slots,
         network_sim_seconds=args.network_sim_seconds,

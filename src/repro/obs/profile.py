@@ -25,7 +25,10 @@ __all__ = [
     "epoch_seconds",
     "PhaseRecord",
     "PhaseProfiler",
+    "CallbackProfiler",
+    "classify_callback",
     "format_profile",
+    "format_callback_profile",
 ]
 
 
@@ -123,6 +126,123 @@ class PhaseProfiler:
     def as_dict(self) -> dict[str, float]:
         """``{label: seconds}`` in first-entered order (JSON-ready)."""
         return dict(self._seconds)
+
+
+# Dispatch groups, matched by the callback owner's module prefix.  The
+# first hit wins, so list the most specific prefixes first.
+_CALLBACK_GROUPS = (
+    ("repro.mac", "mac"),
+    ("repro.phy", "phy"),
+    ("repro.traffic", "traffic"),
+    ("repro.route", "route"),
+    ("repro.net", "net"),
+    ("repro.dessim", "dessim"),
+)
+
+
+def classify_callback(callback: Callable[..., object]) -> str:
+    """``group: Qualname`` key for a dispatched event callback.
+
+    Bound methods classify by their *owner's* module (a
+    ``DcfMac._on_backoff_expired`` fire is ``mac:`` work no matter
+    which module defined the base class); plain functions by their own.
+    Anything outside the known layers — test lambdas, ``list.append``
+    — lands in ``other``.
+    """
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        module = type(owner).__module__ or ""
+    else:
+        module = getattr(callback, "__module__", None) or ""
+    qualname = getattr(callback, "__qualname__", None) or repr(callback)
+    for prefix, group in _CALLBACK_GROUPS:
+        if module.startswith(prefix):
+            return f"{group}: {qualname}"
+    return f"other: {qualname}"
+
+
+class CallbackProfiler:
+    """Per-callback-type host-time breakdown of the event loop.
+
+    Attach as the kernel's dispatch hook and run::
+
+        profiler = CallbackProfiler()
+        sim.dispatch_hook = profiler
+        sim.run()
+        print(format_callback_profile(profiler))
+
+    The hook *is* the dispatcher: the kernel hands it each fired
+    :class:`~repro.dessim.Event` and this object invokes the callback,
+    timing it and accumulating under :func:`classify_callback`'s key.
+    The hooked loop is deliberately unoptimized — profiling runs pay
+    for what they measure — so compare shares, not absolute seconds.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = wall_clock if clock is None else clock
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        # classify_callback is pure string work keyed only on the
+        # callback's (module, qualname); memoize so hot callbacks pay
+        # for it once.
+        self._keys: dict[tuple[str, str], str] = {}
+
+    def __call__(self, event) -> None:
+        callback = event.callback
+        start = self._clock()
+        callback(*event.args)
+        elapsed = self._clock() - start
+        owner = getattr(callback, "__self__", None)
+        module = (
+            type(owner).__module__
+            if owner is not None
+            else getattr(callback, "__module__", None)
+        ) or ""
+        memo = (module, getattr(callback, "__qualname__", "") or repr(callback))
+        key = self._keys.get(memo)
+        if key is None:
+            key = self._keys[memo] = classify_callback(callback)
+        self._seconds[key] = self._seconds.get(key, 0.0) + elapsed
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    @property
+    def records(self) -> tuple[PhaseRecord, ...]:
+        """Per-callback records, most expensive first."""
+        return tuple(
+            PhaseRecord(key, self._seconds[key], self._counts[key])
+            for key in sorted(
+                self._seconds, key=self._seconds.__getitem__, reverse=True
+            )
+        )
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """``{key: {"seconds": ..., "calls": ...}}``, most expensive first."""
+        return {
+            record.label: {"seconds": record.seconds, "calls": record.entries}
+            for record in self.records
+        }
+
+
+def format_callback_profile(profiler: CallbackProfiler) -> str:
+    """Render the per-callback breakdown as an aligned text table."""
+    records = profiler.records
+    if not records:
+        return "no callbacks dispatched"
+    total = profiler.total_seconds
+    width = max(len("callback"), *(len(r.label) for r in records))
+    lines = [f"{'callback':<{width}}      calls    seconds      share"]
+    for record in records:
+        share = record.seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{record.label:<{width}} {record.entries:>10,} "
+            f"{record.seconds:10.4f}  {share:8.1%}"
+        )
+    lines.append(f"{'total':<{width}} {sum(r.entries for r in records):>10,} {total:10.4f}  {1.0:8.1%}")
+    return "\n".join(lines)
 
 
 def format_profile(

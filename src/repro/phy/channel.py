@@ -217,8 +217,13 @@ class Channel:
         self._next_tx_id += 1
         self.stats.record(frame, airtime)
 
+        # Bulk fan-out: per-receiver delay/power come straight off the
+        # cached link row, and the start/end events go through the
+        # engine's pooled fire-and-forget path — nobody holds a handle
+        # to a signal event, so the scheduler recycles the objects and
+        # the per-receiver loop allocates nothing in steady state.
         radios = self._radios
-        schedule = self.sim.schedule
+        schedule = self.sim.schedule_anon
         if self._cache is not None:
             for node_id, _bearing, delay, power in self._cache.audible_entries(
                 sender.node_id, pattern

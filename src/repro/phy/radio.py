@@ -172,7 +172,9 @@ class Radio:
             self.sim.now, "phy", self.node_id, "tx-start",
             ftype=frame.ftype.value, dst=frame.dst, tx_id=tx.tx_id,
         )
-        self.sim.schedule(tx.airtime_ns, self._finish_transmit, frame)
+        # Fire-and-forget (TX-done is never cancelled), so the pooled
+        # path applies: one recycled event per transmission.
+        self.sim.schedule_anon(tx.airtime_ns, self._finish_transmit, frame)
         self._update_carrier()
 
     # ------------------------------------------------------------------

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.dessim import SimulationError, Simulator
+from repro.dessim import SimulationError, Simulator, make_simulator
 
 
 class TestScheduling:
@@ -56,6 +56,29 @@ class TestScheduling:
     def test_non_integer_time_rejected(self):
         with pytest.raises(SimulationError):
             Simulator().schedule_at(1.5, lambda: None)
+
+    @pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+    def test_bool_delay_rejected(self, scheduler):
+        # bool subclasses int, so the old isinstance check let
+        # schedule(True, ...) through; a boolean delay is always an
+        # upstream bug and must be rejected explicitly.
+        sim = make_simulator(scheduler=scheduler)
+        with pytest.raises(SimulationError):
+            sim.schedule(True, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(False, lambda: None)
+
+    @pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+    def test_float_delay_rejected(self, scheduler):
+        sim = make_simulator(scheduler=scheduler)
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.reschedule(None, 2.5, lambda: None, ())
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            make_simulator(scheduler="splay-tree")
 
     def test_events_scheduled_from_callbacks(self):
         sim = Simulator()
@@ -253,10 +276,11 @@ class TestPendingCounter:
                 st.booleans(),
             ),
             max_size=30,
-        )
+        ),
+        st.sampled_from(["wheel", "heap"]),
     )
-    def test_counter_matches_heap_scan(self, spec):
-        sim = Simulator()
+    def test_counter_matches_structure_scan(self, spec, scheduler):
+        sim = make_simulator(scheduler=scheduler)
         events = []
         for delay, cancel, double_cancel in spec:
             event = sim.schedule(delay, lambda: None)
@@ -265,7 +289,17 @@ class TestPendingCounter:
             if double_cancel:
                 event.cancel()
             events.append(event)
-        scan = sum(1 for _, _, ev in sim._queue if not ev.cancelled)
+        if scheduler == "heap":
+            scan = sum(1 for _, _, ev in sim._queue if not ev.cancelled)
+        else:
+            # A wheel bucket is a bare Event until a second entry
+            # arrives at the same timestamp.
+            scan = sum(
+                1
+                for bucket in sim._buckets.values()
+                for ev in (bucket if type(bucket) is list else [bucket])
+                if not ev.cancelled
+            )
         assert sim.pending_events == scan
         sim.run()
         assert sim.pending_events == 0

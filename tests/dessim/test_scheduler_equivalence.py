@@ -1,0 +1,239 @@
+"""Wheel-vs-heap bit-exactness: the oracle suite for the calendar queue.
+
+The calendar-queue engine (``scheduler="wheel"``) claims the exact
+``(time, seq)`` determinism contract of the original binary heap
+(``scheduler="heap"``).  These tests hold it to that claim three ways:
+
+* randomized kernel programs — schedule/cancel/restart/anonymous
+  interleavings with heavy equal-timestamp ties, ``run(until)``
+  horizons, and ``step()`` interleaves — must produce identical firing
+  traces and identical live accounting on both engines;
+* a Fig. 6/7-style :class:`~repro.net.NetworkSimulation` cell must
+  produce identical results, MacStats, and ChannelStats;
+* a campaign run under each scheduler must write byte-identical
+  result artifacts (timing sidecars are compared modulo host
+  wall-clock fields, which legitimately differ between runs).
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dessim import Timer, make_simulator
+from repro.dessim.units import seconds
+
+
+def _run_program(engine: str, seed: int, horizons: bool, steps: int) -> list:
+    """Execute a seeded random scheduler workout; return its trace.
+
+    Every decision comes from one seeded RNG consumed in callback
+    order, so two engines produce the same trace if and only if they
+    fire the same callbacks in the same order at the same times.
+    """
+    sim = make_simulator(scheduler=engine)
+    rng = random.Random(seed)
+    trace: list = []
+    handles: list = []
+    counter = [0]
+
+    def act() -> None:
+        roll = rng.random()
+        if roll < 0.3:
+            tag = counter[0]
+            counter[0] += 1
+            handles.append(sim.schedule(rng.randrange(0, 25), fire, tag))
+        elif roll < 0.45:
+            tag = counter[0]
+            counter[0] += 1
+            sim.schedule_anon(rng.randrange(0, 25), fire, tag)
+        elif roll < 0.6 and handles:
+            # Cancel anywhere in history: late cancels must be inert.
+            handles[rng.randrange(len(handles))].cancel()
+        elif roll < 0.8:
+            timers[rng.randrange(len(timers))].start(rng.randrange(0, 25))
+        elif roll < 0.9:
+            timers[rng.randrange(len(timers))].cancel()
+        # else: do nothing this turn
+
+    def fire(tag: int) -> None:
+        trace.append(("fire", tag, sim.now, sim.pending_events))
+        for _ in range(rng.randrange(0, 3)):
+            act()
+
+    def timer_fired(index: int) -> None:
+        trace.append(("timer", index, sim.now, sim.pending_events))
+        for _ in range(rng.randrange(0, 3)):
+            act()
+
+    timers = [
+        Timer(sim, f"t{i}", lambda i=i: timer_fired(i)) for i in range(4)
+    ]
+    for timer in timers:
+        timer.start(rng.randrange(0, 10))
+    for _ in range(20):
+        act()
+
+    if steps:
+        for _ in range(steps):
+            sim.step()
+        trace.append(("stepped", sim.now, sim.pending_events))
+    if horizons:
+        # step() may already have advanced past the first horizon.
+        sim.run(until=max(sim.now, 40))
+        trace.append(("horizon", sim.now, sim.pending_events))
+        for _ in range(5):
+            act()
+        sim.run(until=max(sim.now, 80))
+        trace.append(("horizon", sim.now, sim.pending_events))
+    sim.run()
+    trace.append(("end", sim.now, sim.events_processed, sim.pending_events))
+    assert sim.pending_events == 0
+    return trace
+
+
+class TestKernelPrograms:
+    @given(seed=st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings_trace_identical(self, seed):
+        assert _run_program("wheel", seed, False, 0) == _run_program(
+            "heap", seed, False, 0
+        )
+
+    @given(seed=st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_run_until_horizons_trace_identical(self, seed):
+        assert _run_program("wheel", seed, True, 0) == _run_program(
+            "heap", seed, True, 0
+        )
+
+    @given(seed=st.integers(0, 10**9), steps=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_step_interleaved_trace_identical(self, seed, steps):
+        assert _run_program("wheel", seed, True, steps) == _run_program(
+            "heap", seed, True, steps
+        )
+
+    def test_equal_timestamp_fifo_order(self):
+        # All at one timestamp: firing order must be schedule order on
+        # both engines, interleaved cancellations notwithstanding.
+        for engine in ("wheel", "heap"):
+            sim = make_simulator(scheduler=engine)
+            order = []
+            handles = [
+                sim.schedule(5, order.append, i) for i in range(20)
+            ]
+            for i in range(0, 20, 3):
+                handles[i].cancel()
+            sim.run()
+            assert order == [i for i in range(20) if i % 3 != 0], engine
+
+
+class TestNetworkEquivalence:
+    """A Fig. 6/7-style cell must not care which engine runs it."""
+
+    def _run_cell(self, engine: str, scheme: str):
+        from repro.dessim.rng import RngRegistry
+        from repro.net import (
+            NetworkSimulation,
+            TopologyConfig,
+            generate_ring_topology,
+        )
+
+        placement = RngRegistry(41).stream("placement")
+        topology = generate_ring_topology(TopologyConfig(n=5), placement)
+        net = NetworkSimulation(
+            topology,
+            scheme,
+            math.pi / 2,
+            seed=7,
+            scheduler=engine,
+        )
+        return net.run(seconds(0.05)), net.channel.stats
+
+    def test_fig_cell_stats_identical(self):
+        for scheme in ("ORTS-OCTS", "DRTS-OCTS"):
+            wheel_result, wheel_channel = self._run_cell("wheel", scheme)
+            heap_result, heap_channel = self._run_cell("heap", scheme)
+            assert wheel_result.stats == heap_result.stats, scheme
+            assert wheel_channel == heap_channel, scheme
+            assert (
+                wheel_result.inner_throughput_bps
+                == heap_result.inner_throughput_bps
+            ), scheme
+            assert (
+                wheel_result.inner_mean_delay_s == heap_result.inner_mean_delay_s
+            ), scheme
+
+
+class TestCampaignArtifacts:
+    def test_campaign_artifacts_byte_identical(self, tmp_path, monkeypatch):
+        from repro.experiments import SimStudyConfig
+        from repro.experiments.campaign import run_campaign
+
+        config = SimStudyConfig(
+            n_values=(3,),
+            beamwidths_deg=(90.0,),
+            schemes=("ORTS-OCTS", "DRTS-OCTS"),
+            topologies=1,
+            sim_time_ns=seconds(0.05),
+        )
+        results = {}
+        for engine in ("wheel", "heap"):
+            monkeypatch.setenv("REPRO_SCHEDULER", engine)
+            directory = tmp_path / engine
+            results[engine] = run_campaign(
+                config, workers=1, directory=directory
+            )
+        assert results["wheel"] == results["heap"]
+
+        import json
+
+        wheel_files = sorted(
+            p for p in (tmp_path / "wheel").rglob("*") if p.is_file()
+        )
+        heap_files = sorted(
+            p for p in (tmp_path / "heap").rglob("*") if p.is_file()
+        )
+        names = [p.relative_to(tmp_path / "wheel") for p in wheel_files]
+        assert names == [p.relative_to(tmp_path / "heap") for p in heap_files]
+        assert any(p.name.startswith("cell-") for p in wheel_files), (
+            "campaign wrote no cell artifacts"
+        )
+        def strip_host_timing(record: dict) -> dict:
+            # Wall-clock fields legitimately differ between runs, and
+            # dessim.wheel.* counters only exist on the wheel engine;
+            # everything else — including dessim.events — must match.
+            record = dict(record)
+            for key in ("wall_seconds", "events_per_sec", "phases"):
+                record.pop(key, None)
+            if isinstance(record.get("counters"), dict):
+                record["counters"] = {
+                    name: value
+                    for name, value in record["counters"].items()
+                    if not name.startswith("dessim.wheel.")
+                }
+            return record
+
+        for wheel_file, heap_file in zip(wheel_files, heap_files):
+            if wheel_file.name == "campaign.json":
+                wheel_manifest = json.loads(wheel_file.read_text())
+                heap_manifest = json.loads(heap_file.read_text())
+                assert strip_host_timing(
+                    wheel_manifest.pop("telemetry", {})
+                ) == strip_host_timing(heap_manifest.pop("telemetry", {}))
+                assert wheel_manifest == heap_manifest
+                continue
+            if wheel_file.name == "telemetry.jsonl":
+                wheel_lines = wheel_file.read_text().splitlines()
+                heap_lines = heap_file.read_text().splitlines()
+                assert len(wheel_lines) == len(heap_lines)
+                for wheel_line, heap_line in zip(wheel_lines, heap_lines):
+                    assert strip_host_timing(
+                        json.loads(wheel_line)
+                    ) == strip_host_timing(json.loads(heap_line))
+                continue
+            assert wheel_file.read_bytes() == heap_file.read_bytes(), (
+                wheel_file.name
+            )

@@ -16,6 +16,7 @@ from repro.obs.bench import (
 # Tiny workloads: these tests exercise plumbing, not performance.
 TINY = dict(
     kernel_events=200,
+    timer_churn_restarts=200,
     slotsim_slots=200,
     slotsim_batch_slots=10,
     network_sim_seconds=0.01,
@@ -33,6 +34,7 @@ class TestRunSuite:
         assert payload["calibration_seconds"] > 0
         assert set(payload["cases"]) == {
             "dessim_event_kernel",
+            "timer_churn",
             "slotsim_loop",
             "slotsim_batch",
             "network_cell",

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.obs.profile import PhaseProfiler, format_profile, wall_clock
+from repro.obs.profile import (
+    CallbackProfiler,
+    PhaseProfiler,
+    classify_callback,
+    format_callback_profile,
+    format_profile,
+    wall_clock,
+)
 
 
 class FakeClock:
@@ -94,6 +101,108 @@ class TestFormatProfile:
 
     def test_empty_profiler_renders_placeholder(self):
         assert "no phases recorded" in format_profile(PhaseProfiler(clock=FakeClock()))
+
+
+class TestClassifyCallback:
+    def test_bound_methods_classify_by_owner_module(self):
+        from repro.dessim import Simulator, Timer
+
+        sim = Simulator()
+        timer = Timer(sim, "t", lambda: None)
+        assert classify_callback(sim.run).startswith("dessim: Simulator.run")
+        assert classify_callback(timer.cancel).startswith("dessim: Timer.cancel")
+
+    def test_plain_functions_classify_by_own_module(self):
+        from repro.dessim.units import seconds
+
+        assert classify_callback(seconds) == "dessim: seconds"
+
+    def test_unknown_callables_land_in_other(self):
+        assert classify_callback(lambda: None).startswith("other: ")
+        assert classify_callback([].append).startswith("other: ")
+
+
+class TestCallbackProfiler:
+    def test_dispatch_hook_breaks_down_a_run_by_callback(self):
+        """Hooked run: same observable behavior, per-callback buckets."""
+        from repro.dessim import Simulator
+
+        sim = Simulator()
+        fired = []
+        profiler = CallbackProfiler(clock=FakeClock(step=0.5))
+        sim.dispatch_hook = profiler
+        for delay in (5, 5, 10):
+            sim.schedule(delay, fired.append, len(fired))
+        sim.run()
+        assert len(fired) == 3
+        assert sim.events_processed == 3
+        records = profiler.records
+        assert len(records) == 1  # all three fires share one key
+        assert records[0].entries == 3
+        assert records[0].seconds == 1.5
+        assert profiler.total_seconds == 1.5
+
+    def test_records_sorted_most_expensive_first(self):
+        class Slow:
+            def cb(self):
+                pass
+
+        clock = FakeClock(step=0.0)
+
+        def stepping():
+            # 1s for the first callback, 3s for every later one.
+            clock.step = 3.0 if clock.now else 1.0
+            return clock()
+
+        from repro.dessim import Simulator
+
+        sim = Simulator()
+        profiler = CallbackProfiler(clock=stepping)
+        sim.dispatch_hook = profiler
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, Slow().cb)
+        sim.run()
+        labels = [record.label for record in profiler.records]
+        assert labels[0].endswith("Slow.cb")
+        assert profiler.as_dict()[labels[0]]["calls"] == 1
+
+    def test_format_renders_table_and_empty_placeholder(self):
+        assert "no callbacks dispatched" in format_callback_profile(
+            CallbackProfiler(clock=FakeClock())
+        )
+
+        from repro.dessim import Simulator
+
+        sim = Simulator()
+        profiler = CallbackProfiler(clock=FakeClock(step=1.0))
+        sim.dispatch_hook = profiler
+        sim.schedule(1, lambda: None)
+        sim.run()
+        table = format_callback_profile(profiler)
+        assert "callback" in table and "total" in table
+        assert "100.0%" in table
+
+    def test_hooked_run_matches_plain_run_on_both_engines(self):
+        from repro.dessim import make_simulator
+
+        for engine in ("wheel", "heap"):
+            traces = []
+            for hooked in (False, True):
+                sim = make_simulator(scheduler=engine)
+                trace = []
+
+                def chain(n):
+                    trace.append((sim.now, n))
+                    if n:
+                        sim.schedule(7, chain, n - 1)
+
+                if hooked:
+                    sim.dispatch_hook = CallbackProfiler(clock=FakeClock())
+                sim.schedule(0, chain, 5)
+                sim.schedule(14, trace.append, "tie")
+                sim.run()
+                traces.append(trace)
+            assert traces[0] == traces[1], engine
 
 
 class TestWallClock:

@@ -182,6 +182,53 @@ def test_point_cache_reused_across_row_rebuilds():
     assert cache.cached_pairs() == warm
 
 
+def test_neighbors_of_served_from_cache_not_naive_sweep():
+    """neighbors_of routes through the LinkCache, not the O(N) sweep.
+
+    Once the sender's row is warm, a repeat query on a static topology
+    must not touch the propagation model at all; the naive channel
+    pays N-1 reachability checks per query.  This pins the cache
+    routing in ``Channel.neighbors_of`` so it cannot silently regress
+    to the trig scan.
+    """
+    calls = {"cached": 0, "naive": 0}
+
+    class CountingPropagation(UnitDiskPropagation):
+        label = ""
+
+        def reaches(self, src, dst):
+            calls[self.label] += 1
+            return super().reaches(src, dst)
+
+    rng = random.Random(13)
+    positions = _random_positions(rng, 10)
+    worlds = {}
+    for label, link_cache in (("cached", True), ("naive", False)):
+        propagation = CountingPropagation(range_m=RANGE_M)
+        object.__setattr__(propagation, "label", label)  # frozen dataclass
+        sim = Simulator()
+        channel = Channel(sim, propagation=propagation, link_cache=link_cache)
+        for node_id, pos in enumerate(positions):
+            Radio(sim, node_id, pos, channel)
+        worlds[label] = channel
+    cached_channel, naive_channel = worlds["cached"], worlds["naive"]
+
+    for node_id in range(10):
+        assert cached_channel.neighbors_of(node_id) == naive_channel.neighbors_of(
+            node_id
+        )
+    warm_calls = calls["cached"]
+    assert calls["naive"] == 10 * 9
+
+    calls["cached"] = calls["naive"] = 0
+    for node_id in range(10):
+        cached_channel.neighbors_of(node_id)
+        naive_channel.neighbors_of(node_id)
+    assert calls["cached"] == 0, "warm cache row must not re-run the sweep"
+    assert calls["naive"] == 10 * 9
+    assert warm_calls <= 10 * 9  # cold build never exceeds the naive cost
+
+
 def test_full_network_run_identical_with_and_without_cache():
     """Determinism guard: the fast path changes nothing observable.
 

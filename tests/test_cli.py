@@ -264,6 +264,43 @@ class TestCommands:
         assert "event loop" in out
         assert "events/sec" in out
 
+    def test_profile_network_by_callback(self, tmp_path, capsys):
+        report = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--kernel", "network",
+                "--n", "3",
+                "--sim-seconds", "0.05",
+                "--by-callback",
+                "--json", str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The per-callback table groups fires by layer and method.
+        assert "callback" in out
+        assert "mac: " in out
+        assert "phy: " in out
+        import json
+
+        payload = json.loads(report.read_text())
+        callbacks = payload["callbacks"]
+        assert any(key.startswith("mac: ") for key in callbacks)
+        assert all(
+            entry["calls"] > 0 and entry["seconds"] >= 0
+            for entry in callbacks.values()
+        )
+        # The hooked dispatcher must not change what runs: every kernel
+        # event is accounted to exactly one callback bucket.
+        assert sum(entry["calls"] for entry in callbacks.values()) == int(
+            payload["counters"]["dessim.events"]
+        )
+
+    def test_profile_by_callback_requires_network_kernel(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--kernel", "slotsim", "--by-callback"])
+
     def test_profile_slotsim_with_json(self, tmp_path, capsys):
         report = tmp_path / "profile.json"
         code = main(
