@@ -280,6 +280,60 @@ def build_parser() -> argparse.ArgumentParser:
         "rerunning with the same configuration skips finished cells",
     )
 
+    sinr = sub.add_parser(
+        "sinr",
+        help="SINR/capture reception study: capture threshold x beamwidth "
+        "vs the unit-disk baseline (one campaign arm per threshold)",
+    )
+    sinr.add_argument(
+        "--n-values", type=_int_tuple, default=(3,),
+        help="comma-separated densities N (default 3)",
+    )
+    sinr.add_argument(
+        "--beamwidths", type=_float_tuple, default=(30.0, 90.0, 150.0),
+        help="comma-separated beamwidths in degrees (default 30,90,150)",
+    )
+    sinr.add_argument(
+        "--scheme", type=_str_tuple, default=None, metavar="LIST",
+        help="comma-separated schemes (default: the paper's three)",
+    )
+    sinr.add_argument(
+        "--capture-db", type=_float_tuple, default=(3.0, 10.0),
+        metavar="LIST",
+        help="comma-separated capture thresholds in dB, one SINR "
+        "campaign arm each (default 3,10)",
+    )
+    sinr.add_argument(
+        "--pathloss-exponent", type=float, default=3.0,
+        help="log-distance path-loss exponent (default 3.0)",
+    )
+    sinr.add_argument(
+        "--shadowing-sigma-db", type=float, default=6.0,
+        help="lognormal shadowing sigma in dB (0 disables; default 6)",
+    )
+    sinr.add_argument(
+        "--sensitivity-dbm", type=float, default=-94.0,
+        help="receiver sensitivity floor in dBm (default -94)",
+    )
+    sinr.add_argument(
+        "--topologies", type=int, default=2,
+        help="random topologies per configuration",
+    )
+    sinr.add_argument(
+        "--sim-seconds", type=float, default=0.5,
+        help="simulated seconds per run",
+    )
+    sinr.add_argument("--seed", type=int, default=2003, help="base seed")
+    sinr.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign worker processes (default: REPRO_WORKERS or 1)",
+    )
+    sinr.add_argument(
+        "--campaign-dir", default=None, metavar="DIR",
+        help="persist each study arm as a campaign under DIR/unitdisk "
+        "and DIR/capture-<v>db; rerunning resumes finished cells",
+    )
+
     baselines = sub.add_parser(
         "baselines",
         help="analytical ladder: CSMA / busy tone / RTS-CTS / directional",
@@ -716,6 +770,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{config.topologies} topologies x {args.slots:,} slots"
         )
         print(format_slotsim_table(run_slot_study(config, **_campaign_options(args))))
+    elif args.command == "sinr":
+        from .experiments.multihop import normalize_scheme
+        from .experiments.sinr_study import (
+            SinrStudyConfig,
+            format_sinr_table,
+            run_sinr_study,
+        )
+
+        schemes = (
+            tuple(normalize_scheme(s) for s in args.scheme)
+            if args.scheme
+            else ("ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
+        )
+        config = SinrStudyConfig(
+            n_values=args.n_values,
+            beamwidths_deg=args.beamwidths,
+            schemes=schemes,
+            topologies=args.topologies,
+            sim_time_ns=seconds(args.sim_seconds),
+            base_seed=args.seed,
+            pathloss_exponent=args.pathloss_exponent,
+            shadowing_sigma_db=args.shadowing_sigma_db,
+            sensitivity_dbm=args.sensitivity_dbm,
+        )
+        print(
+            f"SINR/capture study: thresholds {args.capture_db} dB, "
+            f"sigma={args.shadowing_sigma_db:g} dB, "
+            f"{config.topologies} topologies, {args.sim_seconds:g}s simulated"
+        )
+        print(
+            format_sinr_table(
+                run_sinr_study(
+                    config,
+                    capture_db_values=args.capture_db,
+                    **_campaign_options(args),
+                )
+            )
+        )
     elif args.command == "baselines":
         from .experiments import format_baseline_table, run_baseline_ladder
 

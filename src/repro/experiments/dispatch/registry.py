@@ -33,6 +33,7 @@ _TAGS = {
     "SimStudyConfig": "sim",
     "MultihopStudyConfig": "multihop",
     "SlotStudyConfig": "slotsim",
+    "SinrStudyConfig": "sinr",
 }
 
 
@@ -84,6 +85,19 @@ def resolve_study(tag: str) -> StudyKind:
             SlotStudyConfig,
             run_slot_cell_spec,
             run_slot_cell_spec_telemetry,
+        )
+    if tag == "sinr":
+        from ..sinr_study import (
+            SinrStudyConfig,
+            run_sinr_cell_spec,
+            run_sinr_cell_spec_telemetry,
+        )
+
+        return StudyKind(
+            "sinr",
+            SinrStudyConfig,
+            run_sinr_cell_spec,
+            run_sinr_cell_spec_telemetry,
         )
     raise ValueError(
         f"unknown study {tag!r}: this store was built by a study plugged "

@@ -114,6 +114,10 @@ def _replicate_decoder(kind: str):
         from .slotsim_study import SlotReplicateMetrics
 
         return SlotReplicateMetrics.from_record
+    if kind == "sinr":
+        from .sinr_study import SinrReplicateMetrics
+
+        return SinrReplicateMetrics.from_record
     raise ValueError(f"unknown replicate kind {kind!r}")
 
 

@@ -126,7 +126,7 @@ class FingerprintRule(ProjectRule):
         "allow": [],
         #: Basenames of the config dataclasses whose fields must all be
         #: fingerprinted.
-        "roots": ["SimStudyConfig", "MultihopStudyConfig"],
+        "roots": ["SimStudyConfig", "MultihopStudyConfig", "SinrStudyConfig"],
         #: Basenames of functions that compute the fingerprint.
         "fingerprints": ["config_fingerprint"],
     }

@@ -39,6 +39,7 @@ from ..phy.channel import Channel
 from ..phy.frames import PhyParameters
 from ..phy.propagation import UnitDiskPropagation
 from ..phy.radio import Radio
+from ..phy.reception import PhyConfig
 from ..traffic.cbr import DEFAULT_PACKET_BYTES, CbrSource, SaturatedCbrSource
 from .topology import Topology
 
@@ -54,6 +55,11 @@ class SimulationResult:
     duration_ns: int
     inner_ids: tuple[int, ...]
     stats: dict[int, MacStats] = field(repr=False)
+    #: Frames delivered despite overlapping interference (SINR model;
+    #: always 0 under the unit-disk reception model).
+    frames_captured: int = 0
+    #: Receptions dropped mid-air by a later interferer (SINR model).
+    frames_sinr_dropped: int = 0
 
     @property
     def inner_throughput_bps(self) -> float:
@@ -99,6 +105,7 @@ class NetworkSimulation:
         metrics: "MetricsRegistry | None" = None,
         link_cache: bool = True,
         scheduler: str | None = None,
+        phy_config: PhyConfig | None = None,
     ) -> None:
         """Build the network.
 
@@ -106,6 +113,12 @@ class NetworkSimulation:
             seed: master seed for the run's :class:`RngRegistry`;
                 required (no default) so replicate seeds are always
                 plumbed explicitly from the experiment driver.
+            phy_config: reception-model selection
+                (:class:`~repro.phy.reception.PhyConfig`); ``None`` or
+                the default config give the paper's unit-disk model,
+                bit-identical to builds that predate the knob.  The
+                SINR model draws its shadowing streams from this run's
+                registry, so link budgets are seed-deterministic.
             cbr_interval_ns: ``None`` (default) gives the paper's
                 always-backlogged saturated sources; a positive value
                 gives fixed-interval CBR sources instead, for
@@ -140,11 +153,17 @@ class NetworkSimulation:
         self.tracer = Tracer(enabled=trace, capacity=None)
         self.rng = RngRegistry(seed)
         phy = phy_params if phy_params is not None else PhyParameters()
+        self.phy_config = phy_config if phy_config is not None else PhyConfig()
+        reception = self.phy_config.build(
+            UnitDiskPropagation(range_m=topology.config.range_m),
+            phy,
+            self.rng,
+        )
         self.channel = Channel(
             self.sim,
             phy=phy,
-            propagation=UnitDiskPropagation(range_m=topology.config.range_m),
             link_cache=link_cache,
+            reception=reception,
         )
         policy = POLICIES[scheme]
 
@@ -219,15 +238,21 @@ class NetworkSimulation:
                 self.sim.run(until=self.sim.now + warmup_ns)
                 for mac in self.macs.values():
                     mac.stats.reset()
+                for radio in self.channel.radios.values():
+                    radio.receiver.captures = 0
+                    radio.receiver.sinr_drops = 0
         with profiler.phase("event loop") if profiler else nullcontext():
             self.sim.run(until=self.sim.now + duration_ns)
         with profiler.phase("metrics reduction") if profiler else nullcontext():
+            radios = self.channel.radios.values()
             result = SimulationResult(
                 scheme=self.scheme,
                 beamwidth=self.beamwidth,
                 duration_ns=duration_ns,
                 inner_ids=tuple(self.topology.inner_ids),
                 stats={nid: mac.stats for nid, mac in self.macs.items()},
+                frames_captured=sum(r.receiver.captures for r in radios),
+                frames_sinr_dropped=sum(r.receiver.sinr_drops for r in radios),
             )
             if self.metrics is not None:
                 self.metrics.gauge("net.nodes").set(len(self.macs))

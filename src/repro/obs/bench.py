@@ -3,9 +3,10 @@
 Runs a small fixed suite over the simulation substrates — the dessim
 event kernel, the slotsim Monte-Carlo loop (scalar and the vectorized
 batch engine at ~10^4 nodes), a saturated network cell,
-a ~200-node directional cell (the link-cache transmit scan), a
-mobility-churn case (link-cache invalidation), and a routed multi-hop
-cell (the relay plane) — and writes a
+a ~200-node directional cell (the link-cache transmit scan), the same
+cell under SINR/capture reception (the reception-subsystem hot path),
+a mobility-churn case (link-cache invalidation), and a routed
+multi-hop cell (the relay plane) — and writes a
 schema-versioned ``BENCH_telemetry.json`` snapshot.  ``--check`` compares the snapshot against a committed
 baseline (``benchmarks/baselines/bench_baseline.json``) and exits
 non-zero on a >tolerance regression; that exit code *is* the CI
@@ -235,6 +236,39 @@ def _case_network_large(sim_seconds: float) -> int:
     return result.duration_ns
 
 
+def _case_network_sinr(sim_seconds: float) -> int:
+    """The ~200-node directional cell under SINR/capture reception.
+
+    Identical workload to ``network_large`` but with
+    :class:`~repro.phy.reception.SinrCaptureReception` supplying link
+    budgets and per-signal SINR tracking, so this case moves when the
+    reception subsystem's hot path (linear-power bookkeeping, shadowed
+    link budgets through the cache) regresses — separately from the
+    unit-disk fast path, which ``network_large`` keeps honest.
+    """
+    from ..dessim import seconds
+    from ..dessim.rng import RngRegistry
+    from ..net import NetworkSimulation, TopologyConfig, generate_ring_topology
+    from ..phy.reception import PhyConfig
+
+    placement = RngRegistry(7).stream("placement")
+    topology = generate_ring_topology(TopologyConfig(n=8, rings=5), placement)
+    metrics = MetricsRegistry()
+    net = NetworkSimulation(
+        topology,
+        "DRTS-OCTS",
+        math.pi / 3,
+        seed=1,
+        metrics=metrics,
+        phy_config=PhyConfig(model="sinr"),
+    )
+    result = net.run(seconds(sim_seconds))
+    assert result.duration_ns > 0
+    assert metrics.counter("dessim.events").value > 0
+    # Work unit: simulated nanoseconds (see _case_network_cell).
+    return result.duration_ns
+
+
 def _case_multihop_medium(sim_seconds: float) -> int:
     """Routed flows over a connected two-ring cell: the relay-plane bench.
 
@@ -418,6 +452,7 @@ def run_suite(
         ("slotsim_batch", lambda: _case_slotsim_batch(slotsim_batch_slots)),
         ("network_cell", lambda: _case_network_cell(network_sim_seconds)),
         ("network_large", lambda: _case_network_large(network_sim_seconds)),
+        ("network_sinr", lambda: _case_network_sinr(network_sim_seconds)),
         ("mobility_churn", lambda: _case_mobility_churn(network_sim_seconds)),
         ("multihop_medium", lambda: _case_multihop_medium(network_sim_seconds)),
         ("lint_full_tree", _case_lint_full_tree),

@@ -20,6 +20,17 @@ from .frames import CAPTURE_PHY, DSSS_PHY, FRAME_SIZES, Frame, FrameType, PhyPar
 from .linkcache import DEFAULT_SECTORS, Link, LinkCache
 from .propagation import Position, UnitDiskPropagation
 from .radio import MacListener, Radio, RadioError, RadioState
+from .reception import (
+    RECEPTION_MODELS,
+    PhyConfig,
+    ReceptionModel,
+    Receiver,
+    RxOutcome,
+    SinrCaptureReception,
+    SinrReceiver,
+    UnitDiskReception,
+    UnitDiskReceiver,
+)
 
 __all__ = [
     "AntennaPattern",
@@ -45,4 +56,13 @@ __all__ = [
     "RadioError",
     "RadioState",
     "MacListener",
+    "ReceptionModel",
+    "Receiver",
+    "RxOutcome",
+    "PhyConfig",
+    "RECEPTION_MODELS",
+    "UnitDiskReception",
+    "UnitDiskReceiver",
+    "SinrCaptureReception",
+    "SinrReceiver",
 ]

@@ -1,13 +1,16 @@
 """The shared single-channel radio medium.
 
 The channel knows every radio's position and, for each transmission,
-computes *who can hear it*: exactly the radios within range ``R`` whose
-bearing from the transmitter lies inside the transmit antenna pattern
-(complete attenuation outside the beam, per the paper's model).  Each
-audible radio gets a ``signal start`` event after the propagation delay
-and a ``signal end`` event one air time later; everything else —
-collision detection, capture-free corruption, deafness while
-transmitting — is the receiving radio's business.
+computes *who can hear it*: exactly the radios whose link budget under
+the channel's :mod:`~repro.phy.reception` model says the signal is
+audible (for the default unit-disk model: within range ``R``) and
+whose bearing from the transmitter lies inside the transmit antenna
+pattern (complete attenuation outside the beam, per the paper's
+model).  Each audible radio gets a ``signal start`` event after the
+propagation delay and a ``signal end`` event one air time later;
+everything else — collision detection, corruption, capture, deafness
+while transmitting — is the receiving radio's reception model's
+business.
 
 Audibility is resolved through a :class:`~repro.phy.linkcache.LinkCache`
 by default — per-pair geometry cached with epoch invalidation and
@@ -27,6 +30,8 @@ from .antenna import AntennaPattern
 from .frames import Frame, FrameType, PhyParameters
 from .linkcache import DEFAULT_SECTORS, Link, LinkCache
 from .propagation import Position, UnitDiskPropagation
+from .reception.base import ReceptionModel
+from .reception.unitdisk import UnitDiskReception
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs.metrics import MetricsRegistry
@@ -101,17 +106,38 @@ class Channel:
         propagation: UnitDiskPropagation | None = None,
         link_cache: bool = True,
         sectors: int = DEFAULT_SECTORS,
+        reception: ReceptionModel | None = None,
     ) -> None:
+        """Build the medium.
+
+        Args:
+            reception: the who-hears-what physics; ``None`` (default)
+                builds a :class:`~repro.phy.reception.unitdisk.
+                UnitDiskReception` over ``propagation`` with the PHY's
+                legacy ``capture_threshold`` — exactly the
+                pre-subsystem channel semantics.  When a model is
+                passed, its own propagation is used and ``propagation``
+                must be omitted (one source of geometry per medium).
+        """
         self.sim = sim
         self.phy = phy if phy is not None else PhyParameters()
-        self.propagation = (
-            propagation if propagation is not None else UnitDiskPropagation()
-        )
+        if reception is None:
+            reception = UnitDiskReception(
+                propagation if propagation is not None else UnitDiskPropagation(),
+                capture_threshold=self.phy.capture_threshold,
+            )
+        elif propagation is not None and propagation is not reception.propagation:
+            raise ValueError(
+                "pass either a propagation or a reception model, not "
+                "conflicting both (the reception model owns its propagation)"
+            )
+        self.reception = reception
+        self.propagation = reception.propagation
         self._radios: dict[int, "Radio"] = {}
         self._next_tx_id = 0
         self.stats = ChannelStats()
         self._cache: LinkCache | None = (
-            LinkCache(self.propagation, self._radios, sectors=sectors)
+            LinkCache(reception, self._radios, sectors=sectors)
             if link_cache
             else None
         )
@@ -149,10 +175,13 @@ class Channel:
                 for entry in self._cache.audible_entries(sender.node_id, pattern)
             ]
         audible = []
+        link_budget = self.reception.link_budget
         for node_id, radio in self._radios.items():
             if node_id == sender.node_id:
                 continue
-            if not self.propagation.reaches(sender.position, radio.position):
+            if not link_budget(
+                sender.node_id, node_id, sender.position, radio.position
+            )[0]:
                 continue
             bearing = sender.position.bearing_to(radio.position)
             if not pattern.covers(bearing):
@@ -161,15 +190,16 @@ class Channel:
         return audible
 
     def neighbors_of(self, node_id: int) -> list[int]:
-        """Node ids within range of the given node (omni ground truth)."""
+        """Node ids audible from the given node (omni ground truth)."""
         if self._cache is not None:
             return self._cache.neighbors_of(node_id)
         me = self._radios[node_id]
+        link_budget = self.reception.link_budget
         return [
             other_id
             for other_id, radio in self._radios.items()
             if other_id != node_id
-            and self.propagation.reaches(me.position, radio.position)
+            and link_budget(node_id, other_id, me.position, radio.position)[0]
         ]
 
     def position_of(self, node_id: int) -> Position:
@@ -187,12 +217,13 @@ class Channel:
             return self._cache.link(src_id, dst_id)
         src = self._radios[src_id].position
         dst = self._radios[dst_id].position
+        audible, rx_power = self.reception.link_budget(src_id, dst_id, src, dst)
         return Link(
-            in_range=self.propagation.reaches(src, dst),
+            in_range=audible,
             distance_m=src.distance_to(dst),
             bearing=src.bearing_to(dst),
             delay_ns=self.propagation.delay(src, dst),
-            rx_power=self.propagation.rx_power(src, dst),
+            rx_power=rx_power,
         )
 
     # ------------------------------------------------------------------
@@ -235,7 +266,9 @@ class Channel:
         for node_id in self.audible_nodes(sender, pattern):
             radio = radios[node_id]
             delay = self.propagation.delay(sender.position, radio.position)
-            power = self.propagation.rx_power(sender.position, radio.position)
+            _, power = self.reception.link_budget(
+                sender.node_id, node_id, sender.position, radio.position
+            )
             schedule(delay, radio.on_signal_start, tx, power)
             schedule(delay + airtime, radio.on_signal_end, tx)
         return tx

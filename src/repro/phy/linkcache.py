@@ -30,10 +30,12 @@ every pair record whose endpoints did not move, so the trig cost of a
 rebuild is proportional to how many nodes actually moved.
 
 Determinism: the cache is bit-identical to the naive scan by
-construction — bearings, delays and powers come from the same
-:class:`~repro.phy.propagation.UnitDiskPropagation` calls on the same
-:class:`~repro.phy.propagation.Position` values, and audible sets are
-emitted in the same attach order the naive loop iterates in
+construction — audibility and powers come from the same
+:class:`~repro.phy.reception.base.ReceptionModel` link-budget calls on
+the same :class:`~repro.phy.propagation.Position` values (shadowing
+draws, where the model has them, are memoized per ordered pair, so
+cache misses cannot re-roll them), and audible sets are emitted in the
+same attach order the naive loop iterates in
 (``tests/phy/test_linkcache.py`` pins the equivalence property).
 """
 
@@ -43,10 +45,10 @@ import math
 from typing import TYPE_CHECKING, NamedTuple
 
 from .antenna import AntennaPattern, normalize_angle
-from .propagation import UnitDiskPropagation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .radio import Radio
+    from .reception.base import ReceptionModel
 
 __all__ = ["Link", "LinkCache", "DEFAULT_SECTORS"]
 
@@ -98,13 +100,14 @@ class LinkCache:
 
     def __init__(
         self,
-        propagation: UnitDiskPropagation,
+        reception: "ReceptionModel",
         radios: dict[int, "Radio"],
         sectors: int = DEFAULT_SECTORS,
     ) -> None:
         if sectors < 1:
             raise ValueError(f"sectors must be >= 1, got {sectors}")
-        self.propagation = propagation
+        self.reception = reception
+        self.propagation = reception.propagation
         self.sectors = sectors
         self._width = _TWO_PI / sectors
         self._radios = radios
@@ -145,13 +148,13 @@ class LinkCache:
             return cached[2]
         src = self._radios[src_id].position
         dst = self._radios[dst_id].position
-        propagation = self.propagation
+        audible, rx_power = self.reception.link_budget(src_id, dst_id, src, dst)
         link = Link(
-            in_range=propagation.reaches(src, dst),
+            in_range=audible,
             distance_m=src.distance_to(dst),
             bearing=src.bearing_to(dst),
-            delay_ns=propagation.delay(src, dst),
-            rx_power=propagation.rx_power(src, dst),
+            delay_ns=self.propagation.delay(src, dst),
+            rx_power=rx_power,
         )
         self._links[key] = (epoch_src, epoch_dst, link)
         return link

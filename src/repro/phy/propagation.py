@@ -44,33 +44,27 @@ class Position:
 
 @dataclass(frozen=True)
 class UnitDiskPropagation:
-    """Range-``R`` disk propagation with a constant delay.
+    """Range-``R`` disk geometry with a constant delay.
 
-    Audibility is binary (the paper's model), but each audible signal
-    also carries a received power from a free-space-style path loss,
-    which the radio can use for SNR capture decisions
-    (GloMoSim's RADIO-ACCNOISE behaviour).
+    This class answers the purely geometric questions — can a signal
+    cover the distance, and how long does it take?  What a receiver
+    *makes* of an audible signal (received power, collisions, capture)
+    is the business of a :mod:`repro.phy.reception` model; the
+    received-power law lives there, in exactly one place.
 
     Attributes:
         range_m: the common transmission/reception range ``R``.
         delay_ns: fixed propagation delay (Table 1: 1 us).
-        pathloss_exponent: exponent ``alpha`` of the ``d**-alpha`` power
-            law used for relative received powers.
     """
 
     range_m: float = 300.0
     delay_ns: int = microseconds(1)
-    pathloss_exponent: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.range_m > 0:
             raise ValueError(f"range must be positive, got {self.range_m!r}")
         if self.delay_ns < 0:
             raise ValueError(f"delay must be >= 0, got {self.delay_ns!r}")
-        if not self.pathloss_exponent > 0:
-            raise ValueError(
-                f"pathloss exponent must be positive, got {self.pathloss_exponent!r}"
-            )
 
     def reaches(self, src: Position, dst: Position) -> bool:
         """Whether a transmission from ``src`` can impinge on ``dst``.
@@ -83,12 +77,3 @@ class UnitDiskPropagation:
     def delay(self, src: Position, dst: Position) -> int:
         """Propagation delay from ``src`` to ``dst`` in nanoseconds."""
         return self.delay_ns
-
-    def rx_power(self, src: Position, dst: Position) -> float:
-        """Relative received power under the ``d**-alpha`` path loss.
-
-        Normalized so a receiver 1 m away sees power 1.0; distances
-        below 1 m are clamped to avoid singularities.
-        """
-        distance = max(src.distance_to(dst), 1.0)
-        return distance**-self.pathloss_exponent

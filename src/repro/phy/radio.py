@@ -1,16 +1,20 @@
-"""The transceiver: carrier sense, reception, collisions, deafness.
+"""The transceiver: carrier sense, reception events, deafness.
 
 Semantics implemented here, straight from the paper's assumptions:
 
 * **Omni-directional reception** — a radio decodes whatever impinges on
   it, regardless of the direction it last transmitted in.
-* **No capture** — if two audible signals overlap in time at a receiver,
-  both are corrupted, whatever their relative timing.
 * **Deaf while transmitting** — a transmitting node "appears blind to
   other directions": it cannot carrier-sense nor begin decoding a frame
   while its own transmitter is on.  A signal that *starts* during our
   transmission can never be decoded (we missed its preamble), though its
   energy still counts for carrier sense once we stop transmitting.
+
+*What a signal overlap means* — collision-corrupts-everything, SNR
+capture, SINR tracking — is delegated to the per-radio
+:class:`~repro.phy.reception.base.Receiver` created by the channel's
+reception model; this class keeps the counters, the trace records and
+the carrier-sense edges.
 
 The radio reports four things upward to the MAC: decoded frames, failed
 receptions (for EIFS), medium busy/idle transitions, and transmit
@@ -20,7 +24,6 @@ completion.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Protocol
 
 from ..dessim.engine import Simulator
@@ -29,8 +32,13 @@ from .antenna import AntennaPattern, OmniAntenna
 from .channel import Channel, Transmission
 from .frames import Frame
 from .propagation import Position
+from .reception.base import RxOutcome
 
 __all__ = ["Radio", "RadioState", "MacListener", "RadioError"]
+
+# Hoisted enum members: on_signal_end runs once per signal per radio.
+_DELIVERED = RxOutcome.DELIVERED
+_FAILED = RxOutcome.FAILED
 
 
 class RadioError(RuntimeError):
@@ -61,16 +69,6 @@ class MacListener(Protocol):
         """Our own transmission left the antenna completely."""
 
 
-@dataclass
-class _SignalRecord:
-    """Book-keeping for one signal currently impinging on this radio."""
-
-    tx: Transmission
-    power: float = 1.0
-    corrupted: bool = False
-    missed: bool = False  # preamble lost (we were deaf when it started)
-
-
 class Radio:
     """A single half-duplex transceiver bound to one position."""
 
@@ -89,8 +87,15 @@ class Radio:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.state = RadioState.IDLE
         self._mac: MacListener | None = None
-        self._incoming: dict[int, _SignalRecord] = {}
-        self._rx_current: int | None = None
+        self.receiver = channel.reception.make_receiver()
+        # Bound-method aliases: the signal-edge path runs once per
+        # (transmission, audible radio) pair and the attribute chain
+        # through ``self.receiver`` costs there.
+        self._receiver_start = self.receiver.signal_start
+        self._receiver_end = self.receiver.signal_end
+        # The live-signal table is mutated in place, never replaced, so
+        # carrier sense can hold a direct reference.
+        self._signals = self.receiver.records
         self._was_busy = False
         # Counters (cheap, always on).
         self.frames_sent = 0
@@ -146,7 +151,7 @@ class Radio:
         """
         # `transmitting` inlined: this property sits on the carrier-
         # sense path of every signal edge.
-        return self.state is RadioState.TRANSMITTING or bool(self._incoming)
+        return self.state is RadioState.TRANSMITTING or bool(self._signals)
 
     def transmit(self, frame: Frame, pattern: AntennaPattern | None = None) -> None:
         """Radiate a frame with the given antenna pattern (omni default).
@@ -161,9 +166,7 @@ class Radio:
             pattern = OmniAntenna()
 
         # Abandon any in-progress decode; the energy stays tracked.
-        for record in self._incoming.values():
-            record.missed = True
-        self._rx_current = None
+        self.receiver.abandon()
 
         self.state = RadioState.TRANSMITTING
         self.frames_sent += 1
@@ -184,74 +187,36 @@ class Radio:
     def on_signal_start(self, tx: Transmission, power: float = 1.0) -> None:
         """A signal begins impinging on this radio.
 
-        With ``capture_threshold = None`` (the paper's analytical
-        physics) any overlap of audible signals corrupts everything.
-        With a threshold, an ongoing reception survives as long as its
-        signal-to-interference ratio stays at or above it, and a new
-        signal can be captured over background garbage if strong enough.
+        What the overlap (if any) does to receptions in progress is the
+        reception model's rule set — collision-corrupts-everything for
+        the paper's unit-disk model without a capture threshold, SNR or
+        SINR capture otherwise.  Deafness is universal: a signal that
+        starts during our own transmission lost its preamble forever.
         """
-        record = _SignalRecord(tx=tx, power=power)
-        threshold = self.channel.phy.capture_threshold
-        if self.transmitting:
-            # Deaf: the preamble is lost forever.
-            record.missed = True
+        deaf = self.state is RadioState.TRANSMITTING
+        if deaf:
             self.receptions_missed += 1
-        elif self._incoming:
-            if threshold is None:
-                # No capture: everything in the air here is garbage.
-                record.corrupted = True
-                for other in self._incoming.values():
-                    other.corrupted = True
-                self._rx_current = None
-            elif self._rx_current is not None:
-                # SNR check for the ongoing reception; the newcomer's
-                # preamble overlapped it either way.
-                current = self._incoming[self._rx_current]
-                interference = (
-                    sum(s.power for s in self._incoming.values())
-                    - current.power
-                    + power
-                )
-                if current.power < threshold * interference:
-                    current.corrupted = True
-                    self._rx_current = None
-                record.missed = True
-            else:
-                # Background garbage only: capture the newcomer if it
-                # dominates the sum of everything else.
-                interference = sum(s.power for s in self._incoming.values())
-                if power >= threshold * interference:
-                    self._rx_current = tx.tx_id
-                else:
-                    record.missed = True
-        else:
-            # Clean start on an idle medium: begin decoding.
-            self._rx_current = tx.tx_id
-        self._incoming[tx.tx_id] = record
+        decoding = self._receiver_start(tx, power, deaf)
         self.tracer.record(
             self.sim.now, "phy", self.node_id, "signal-start",
             src=tx.sender, ftype=tx.frame.ftype.value,
-            clean=self._rx_current == tx.tx_id,
+            clean=decoding,
         )
         self._update_carrier()
 
     def on_signal_end(self, tx: Transmission) -> None:
         """A signal stops impinging on this radio."""
-        record = self._incoming.pop(tx.tx_id, None)
-        if record is None:  # pragma: no cover - channel never double-ends
+        outcome = self._receiver_end(tx, self.state is RadioState.TRANSMITTING)
+        if outcome is None:  # pragma: no cover - channel never double-ends
             return
-        decoded = self._rx_current == tx.tx_id
-        if decoded:
-            self._rx_current = None
-
-        if decoded and not record.corrupted and not record.missed:
+        if outcome is _DELIVERED:
             self.frames_received += 1
             self.tracer.record(
                 self.sim.now, "phy", self.node_id, "rx-ok",
                 src=tx.sender, ftype=tx.frame.ftype.value,
             )
             self.mac.on_frame_received(tx.frame)
-        elif record.corrupted and not record.missed and not self.transmitting:
+        elif outcome is _FAILED:
             # We heard noise start-to-finish: 802.11 reacts with EIFS.
             self.receptions_corrupted += 1
             self.tracer.record(
@@ -285,5 +250,5 @@ class Radio:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Radio(node={self.node_id}, state={self.state.value}, "
-            f"incoming={len(self._incoming)})"
+            f"incoming={len(self.receiver.records)})"
         )

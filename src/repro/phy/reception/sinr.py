@@ -1,0 +1,248 @@
+"""SINR/capture reception: path loss, shadowing, sensitivity, capture.
+
+The interference-limited physics the paper deliberately abstracts
+away (and arXiv:1509.02325 analyses for directional antennas):
+
+* **Log-distance path loss** — received power in dBm is
+  ``tx_power_dbm - (reference_loss_db
+  + 10 * pathloss_exponent * log10(d / reference_distance_m))``.
+* **Lognormal shadowing** — a zero-mean gaussian in the dB domain,
+  scaled by ``shadowing_sigma_db``, drawn once per *ordered* node pair
+  from a registry-named RNG stream (``shadow-{src}-{dst}``).  The draw
+  is memoized on first query, so link budgets are a pure function of
+  ``(registry seed, src, dst)`` regardless of query order, and the two
+  directions of a pair shadow independently — the model can express a
+  node that hears a neighbor it cannot reach back (the classic
+  asymmetric link).
+* **Sensitivity** — a signal below ``sensitivity_dbm`` at the receiver
+  is not audible at all: the channel never schedules its edges, so it
+  neither decodes nor interferes.  (LoRa-style reception tables make
+  the same cut before any collision reasoning.)
+* **SINR capture** — the receiver locks onto a signal only while its
+  power over ``noise + sum of all other impinging powers`` (linear
+  domain) stays at or above the capture threshold.  Every later
+  arrival re-checks the ongoing reception, so a frame can die mid-air;
+  conversely a frame that overlaps weaker garbage end-to-end is
+  *captured* and delivered where the unit-disk model corrupts both.
+  A frame is delivered iff it was being decoded for its whole airtime.
+
+Determinism contract: all randomness flows through the injected
+:class:`~repro.dessim.rng.RngRegistry`; equal seeds give equal
+shadowing maps, equal audibility, and equal outcomes, bit-for-bit,
+on every platform the registry's SHA-256 derivation covers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...dessim.rng import RngRegistry
+from ..propagation import Position, UnitDiskPropagation
+from .base import Receiver, ReceptionModel, RxOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..channel import Transmission
+
+__all__ = ["SinrCaptureReception", "SinrReceiver", "dbm_to_mw", "mw_to_dbm"]
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Linear power (mW) of a dBm level."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """dBm level of a linear power (mW); requires ``mw > 0``."""
+    if mw <= 0:
+        raise ValueError(f"power must be positive, got {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+@dataclass(slots=True)
+class _SinrSignal:
+    """Book-keeping for one signal impinging on a SINR receiver."""
+
+    tx: "Transmission"
+    power_mw: float
+    corrupted: bool = False
+    missed: bool = False
+    #: Whether any other signal overlapped this one while decoding it.
+    overlapped: bool = False
+
+
+class SinrReceiver(Receiver):
+    """Whole-airtime SINR tracking with capture and mid-air drops."""
+
+    __slots__ = ("noise_mw", "capture_ratio", "_rx_current")
+
+    def __init__(self, noise_mw: float, capture_ratio: float) -> None:
+        super().__init__()
+        self.noise_mw = noise_mw
+        #: Linear SINR the decoded signal must keep for its whole airtime.
+        self.capture_ratio = capture_ratio
+        self._rx_current: int | None = None
+
+    def signal_start(self, tx: "Transmission", power: float, deaf: bool) -> bool:
+        record = _SinrSignal(tx, power)
+        records = self.records
+        if deaf:
+            record.missed = True
+        elif records:
+            if self._rx_current is not None:
+                # Re-check the ongoing reception against the grown
+                # interference; the newcomer's preamble overlapped a
+                # locked decode either way, so it can never be taken.
+                current = records[self._rx_current]
+                current.overlapped = True
+                interference = (
+                    self.noise_mw
+                    + sum(s.power_mw for s in records.values())
+                    - current.power_mw
+                    + power
+                )
+                if current.power_mw < self.capture_ratio * interference:
+                    current.corrupted = True
+                    self._rx_current = None
+                    self.sinr_drops += 1
+                record.missed = True
+            else:
+                # Only garbage in the air: capture the newcomer if it
+                # clears noise plus everything else by the threshold.
+                interference = self.noise_mw + sum(
+                    s.power_mw for s in records.values()
+                )
+                if power >= self.capture_ratio * interference:
+                    self._rx_current = tx.tx_id
+                    record.overlapped = True
+                else:
+                    record.missed = True
+        else:
+            # Idle medium: lock on iff the signal clears the noise floor.
+            if power >= self.capture_ratio * self.noise_mw:
+                self._rx_current = tx.tx_id
+            else:
+                record.missed = True
+        records[tx.tx_id] = record
+        return self._rx_current == tx.tx_id
+
+    def signal_end(self, tx: "Transmission", transmitting: bool) -> RxOutcome | None:
+        record = self.records.pop(tx.tx_id, None)
+        if record is None:  # pragma: no cover - channel never double-ends
+            return None
+        decoded = self._rx_current == tx.tx_id
+        if decoded:
+            self._rx_current = None
+        if decoded and not record.corrupted and not record.missed:
+            if record.overlapped:
+                self.captures += 1
+            return RxOutcome.DELIVERED
+        if record.corrupted and not record.missed and not transmitting:
+            return RxOutcome.FAILED
+        return RxOutcome.SILENT
+
+    def abandon(self) -> None:
+        for record in self.records.values():
+            record.missed = True
+        self._rx_current = None
+
+
+class SinrCaptureReception(ReceptionModel):
+    """Log-distance + shadowing link budgets with SINR capture receivers."""
+
+    name = "sinr"
+
+    def __init__(
+        self,
+        propagation: UnitDiskPropagation,
+        registry: RngRegistry,
+        *,
+        tx_power_dbm: float = 20.0,
+        pathloss_exponent: float = 3.0,
+        reference_distance_m: float = 1.0,
+        reference_loss_db: float = 40.0,
+        shadowing_sigma_db: float = 6.0,
+        sensitivity_dbm: float = -94.0,
+        noise_dbm: float = -104.0,
+        capture_threshold_db: float = 10.0,
+    ) -> None:
+        super().__init__(propagation)
+        if not pathloss_exponent > 0:
+            raise ValueError(
+                f"pathloss exponent must be positive, got {pathloss_exponent!r}"
+            )
+        if not reference_distance_m > 0:
+            raise ValueError(
+                f"reference distance must be positive, got {reference_distance_m!r}"
+            )
+        if shadowing_sigma_db < 0:
+            raise ValueError(
+                f"shadowing sigma must be >= 0, got {shadowing_sigma_db!r}"
+            )
+        if sensitivity_dbm < noise_dbm:
+            raise ValueError(
+                f"sensitivity ({sensitivity_dbm} dBm) below the noise floor "
+                f"({noise_dbm} dBm) would deliver pure-noise receptions"
+            )
+        self.registry = registry
+        self.tx_power_dbm = tx_power_dbm
+        self.pathloss_exponent = pathloss_exponent
+        self.reference_distance_m = reference_distance_m
+        self.reference_loss_db = reference_loss_db
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.sensitivity_dbm = sensitivity_dbm
+        self.noise_dbm = noise_dbm
+        self.capture_threshold_db = capture_threshold_db
+        self._sensitivity_mw = dbm_to_mw(sensitivity_dbm)
+        self._noise_mw = dbm_to_mw(noise_dbm)
+        self._capture_ratio = dbm_to_mw(capture_threshold_db)  # dB -> ratio
+        self._shadowing_db: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+
+    def shadowing_db(self, src_id: int, dst_id: int) -> float:
+        """The pair's shadowing term (dB), drawn once and memoized.
+
+        One ``shadow-{src}-{dst}`` stream per ordered pair: a unit
+        gaussian scaled by ``shadowing_sigma_db``, so the value is a
+        pure function of the registry seed and the pair — independent
+        of when (or how often) the link is queried, and stable across
+        mobility (per-pair, not per-position, the standard
+        simplification).
+        """
+        key = (src_id, dst_id)
+        value = self._shadowing_db.get(key)
+        if value is None:
+            draw = self.registry.stream(f"shadow-{src_id}-{dst_id}").gauss(0.0, 1.0)
+            value = draw * self.shadowing_sigma_db
+            self._shadowing_db[key] = value
+        return value
+
+    def rx_power_dbm(
+        self, src_id: int, dst_id: int, src: Position, dst: Position
+    ) -> float:
+        """Received power (dBm) under log-distance loss + shadowing."""
+        distance = max(src.distance_to(dst), self.reference_distance_m)
+        path_loss_db = self.reference_loss_db + (
+            10.0
+            * self.pathloss_exponent
+            * math.log10(distance / self.reference_distance_m)
+        )
+        return self.tx_power_dbm - path_loss_db + self.shadowing_db(src_id, dst_id)
+
+    def link_budget(
+        self, src_id: int, dst_id: int, src: Position, dst: Position
+    ) -> tuple[bool, float]:
+        """Audible iff the received power clears the sensitivity floor.
+
+        Powers are linear (mW) so receivers can sum interference
+        directly; sub-sensitivity signals are invisible — they neither
+        decode nor interfere, which is what makes asymmetric links
+        possible at the MAC layer.
+        """
+        power_mw = dbm_to_mw(self.rx_power_dbm(src_id, dst_id, src, dst))
+        return (power_mw >= self._sensitivity_mw, power_mw)
+
+    def make_receiver(self) -> SinrReceiver:
+        return SinrReceiver(self._noise_mw, self._capture_ratio)

@@ -505,6 +505,29 @@ class TestFingerprint:  # SL010
         )
         assert findings == []
 
+    def test_sinr_config_is_a_default_root(self, check):
+        # SinrStudyConfig ships in the default roots: a reception knob
+        # that never reaches the fingerprint must be flagged, or two
+        # SINR campaigns differing only in that knob would share a
+        # directory.
+        findings = check(
+            "SL010",
+            """
+            import dataclasses
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SinrStudyConfig:
+                n_values: tuple
+                capture_threshold_db: float = 10.0
+
+            def config_fingerprint(config):
+                return {"n_values": config.n_values}
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["SL010"]
+        assert "'capture_threshold_db'" in findings[0].message
+
     def test_cross_module_subclass_fields(self, tmp_path):
         result = lint_tree(
             tmp_path,

@@ -39,6 +39,7 @@ class TestRunSuite:
             "slotsim_batch",
             "network_cell",
             "network_large",
+            "network_sinr",
             "mobility_churn",
             "multihop_medium",
             "lint_full_tree",

@@ -18,6 +18,7 @@ from repro.phy import (
     Position,
     Radio,
     UnitDiskPropagation,
+    UnitDiskReception,
 )
 
 from .conftest import RecordingMac
@@ -122,25 +123,29 @@ class TestCaptureOverGarbage:
 
 
 class TestRxPowerModel:
+    """The relative ``d**-alpha`` power law (now on UnitDiskReception)."""
+
+    @staticmethod
+    def power(model, x):
+        return model.link_budget(0, 1, Position(0, 0), Position(x, 0))[1]
+
     def test_inverse_square(self):
-        prop = UnitDiskPropagation(range_m=300.0)
-        p100 = prop.rx_power(Position(0, 0), Position(100, 0))
-        p200 = prop.rx_power(Position(0, 0), Position(200, 0))
-        assert p100 / p200 == pytest.approx(4.0)
+        model = UnitDiskReception(UnitDiskPropagation(range_m=300.0))
+        assert self.power(model, 100) / self.power(model, 200) == pytest.approx(4.0)
 
     def test_close_range_clamped(self):
-        prop = UnitDiskPropagation(range_m=300.0)
-        assert prop.rx_power(Position(0, 0), Position(0.5, 0)) == pytest.approx(1.0)
+        model = UnitDiskReception(UnitDiskPropagation(range_m=300.0))
+        assert self.power(model, 0.5) == pytest.approx(1.0)
 
     def test_custom_exponent(self):
-        prop = UnitDiskPropagation(range_m=300.0, pathloss_exponent=4.0)
-        p100 = prop.rx_power(Position(0, 0), Position(100, 0))
-        p200 = prop.rx_power(Position(0, 0), Position(200, 0))
-        assert p100 / p200 == pytest.approx(16.0)
+        model = UnitDiskReception(
+            UnitDiskPropagation(range_m=300.0), pathloss_exponent=4.0
+        )
+        assert self.power(model, 100) / self.power(model, 200) == pytest.approx(16.0)
 
     def test_rejects_bad_exponent(self):
         with pytest.raises(ValueError):
-            UnitDiskPropagation(pathloss_exponent=0.0)
+            UnitDiskReception(UnitDiskPropagation(), pathloss_exponent=0.0)
 
     def test_capture_threshold_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,246 @@
+"""Tests for the SINR/capture reception model (phy/reception/sinr.py).
+
+Deterministic geometry, zero shadowing unless a test wants it:
+receiver at the origin, a *close* sender at 50 m and a *far* one at
+290 m.  Under the default budget (20 dBm, 40 dB reference loss at 1 m,
+exponent 3.0) the close signal lands at about -71 dBm and the far one
+at -93.9 dBm — just above the -94 dBm sensitivity floor, and ~23 dB
+below the close signal, comfortably past the 10 dB capture threshold.
+"""
+
+import math
+
+import pytest
+
+from repro.dessim import Simulator
+from repro.dessim.rng import RngRegistry
+from repro.phy import (
+    Channel,
+    Frame,
+    FrameType,
+    PhyConfig,
+    PhyParameters,
+    Position,
+    Radio,
+    SinrCaptureReception,
+    UnitDiskPropagation,
+    UnitDiskReception,
+)
+from repro.phy.reception import dbm_to_mw, mw_to_dbm
+
+from .conftest import RecordingMac
+
+
+def sinr_model(seed=0, **knobs):
+    knobs.setdefault("shadowing_sigma_db", 0.0)
+    return SinrCaptureReception(
+        UnitDiskPropagation(range_m=300.0), RngRegistry(seed), **knobs
+    )
+
+
+def make_net(reception):
+    sim = Simulator()
+    channel = Channel(sim, reception=reception)
+
+    def node(nid, x, y):
+        radio = Radio(sim, nid, Position(x, y), channel)
+        mac = RecordingMac(sim)
+        radio.set_mac(mac)
+        return radio, mac
+
+    return sim, channel, node
+
+
+def data(src, dst):
+    return Frame(FrameType.DATA, src=src, dst=dst, size_bytes=1460)
+
+
+def rts(src, dst):
+    return Frame(FrameType.RTS, src=src, dst=dst, size_bytes=20)
+
+
+class TestLinkBudget:
+    def test_log_distance_path_loss(self):
+        model = sinr_model()
+        # 20 dBm - (40 + 30*log10(50)) at 50 m.
+        expected = 20.0 - (40.0 + 30.0 * math.log10(50.0))
+        got = model.rx_power_dbm(1, 2, Position(0, 0), Position(50, 0))
+        assert got == pytest.approx(expected)
+
+    def test_distance_clamped_to_reference(self):
+        model = sinr_model()
+        at_zero = model.rx_power_dbm(1, 2, Position(0, 0), Position(0, 0))
+        at_ref = model.rx_power_dbm(1, 2, Position(0, 0), Position(1, 0))
+        assert at_zero == at_ref == pytest.approx(20.0 - 40.0)
+
+    def test_sensitivity_cut(self):
+        model = sinr_model()
+        # -93.9 dBm at 290 m clears the -94 dBm floor; 300 m does not.
+        assert model.link_budget(1, 2, Position(0, 0), Position(290, 0))[0]
+        assert not model.link_budget(1, 2, Position(0, 0), Position(300, 0))[0]
+
+    def test_budget_power_is_linear_milliwatts(self):
+        model = sinr_model()
+        audible, power_mw = model.link_budget(
+            1, 2, Position(0, 0), Position(50, 0)
+        )
+        assert audible
+        assert mw_to_dbm(power_mw) == pytest.approx(
+            model.rx_power_dbm(1, 2, Position(0, 0), Position(50, 0))
+        )
+
+    def test_dbm_mw_round_trip(self):
+        assert mw_to_dbm(dbm_to_mw(-71.5)) == pytest.approx(-71.5)
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"pathloss_exponent": 0.0},
+            {"reference_distance_m": 0.0},
+            {"shadowing_sigma_db": -1.0},
+            {"sensitivity_dbm": -110.0, "noise_dbm": -104.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            SinrCaptureReception(
+                UnitDiskPropagation(range_m=300.0), RngRegistry(0), **knobs
+            )
+
+
+class TestShadowingDeterminism:
+    def test_same_seed_same_shadowing(self):
+        a = sinr_model(seed=7, shadowing_sigma_db=6.0)
+        b = sinr_model(seed=7, shadowing_sigma_db=6.0)
+        assert a.shadowing_db(3, 4) == b.shadowing_db(3, 4)
+
+    def test_memoized_and_query_order_independent(self):
+        a = sinr_model(seed=7, shadowing_sigma_db=6.0)
+        first = a.shadowing_db(1, 2)
+        assert a.shadowing_db(1, 2) == first
+        # Querying the reverse pair first must not shift the draw.
+        b = sinr_model(seed=7, shadowing_sigma_db=6.0)
+        b.shadowing_db(2, 1)
+        assert b.shadowing_db(1, 2) == first
+
+    def test_zero_sigma_zero_shadow(self):
+        assert sinr_model(seed=7).shadowing_db(1, 2) == 0.0
+
+    def test_directions_shadow_independently(self):
+        model = sinr_model(seed=7, shadowing_sigma_db=6.0)
+        assert model.shadowing_db(1, 2) != model.shadowing_db(2, 1)
+
+
+class TestAsymmetricLink:
+    """The classic hidden-terminal ingredient the unit-disk model
+    cannot express: A hears B, B cannot hear A."""
+
+    # Pinned by search: under registry seed 1, the 280 m pair (1, 2)
+    # shadows +2.6 dB forward and -6.8 dB backward across the -94 dBm
+    # floor.
+    SEED = 1
+    DISTANCE = 280.0
+
+    def model(self):
+        return SinrCaptureReception(
+            UnitDiskPropagation(range_m=300.0), RngRegistry(self.SEED)
+        )
+
+    def test_budget_is_directional(self):
+        model = self.model()
+        a, b = Position(0, 0), Position(self.DISTANCE, 0)
+        assert model.link_budget(1, 2, a, b)[0]
+        assert not model.link_budget(2, 1, b, a)[0]
+
+    def test_frames_flow_one_way_only(self):
+        sim, _ch, node = make_net(self.model())
+        a, mac_a = node(1, 0, 0)
+        b, mac_b = node(2, self.DISTANCE, 0)
+        a.transmit(data(1, 2))
+        sim.run()
+        assert [f.src for _, f in mac_b.received] == [1]
+        b.transmit(data(2, 1))
+        sim.run()
+        # The reverse signal is below sensitivity: A never even hears
+        # a busy edge, let alone the frame.
+        assert mac_a.received == []
+        assert mac_a.failures == []
+
+
+class TestCaptureRescue:
+    """An overlap the unit-disk model corrupts is delivered under SINR."""
+
+    def test_strong_frame_survives_weak_overlap(self):
+        sim, channel, node = make_net(sinr_model())
+        _rx, mac_rx = node(0, 0, 0)
+        close, _ = node(1, 50, 0)
+        far, _ = node(2, 290, 0)
+        close.transmit(data(1, 0))
+        sim.schedule(1_000_000, far.transmit, rts(2, 0))
+        sim.run()
+        assert [f.ftype for _, f in mac_rx.received] == [FrameType.DATA]
+        assert channel.radios[0].receiver.captures == 1
+
+    def test_same_overlap_corrupts_under_unit_disk(self):
+        reception = UnitDiskReception(
+            UnitDiskPropagation(range_m=300.0), capture_threshold=None
+        )
+        sim, channel, node = make_net(reception)
+        _rx, mac_rx = node(0, 0, 0)
+        close, _ = node(1, 50, 0)
+        far, _ = node(2, 290, 0)
+        close.transmit(data(1, 0))
+        sim.schedule(1_000_000, far.transmit, rts(2, 0))
+        sim.run()
+        assert mac_rx.received == []
+        assert channel.radios[0].receiver.captures == 0
+
+    def test_weak_frame_dies_mid_air(self):
+        sim, channel, node = make_net(sinr_model())
+        _rx, mac_rx = node(0, 0, 0)
+        far, _ = node(2, 290, 0)
+        close, _ = node(1, 50, 0)
+        far.transmit(data(2, 0))
+        sim.schedule(1_000_000, close.transmit, rts(1, 0))
+        sim.run()
+        # The far DATA was being decoded, then the close interferer
+        # crushed its SINR mid-air: a reception failure, counted.
+        assert all(f.ftype is not FrameType.DATA for _, f in mac_rx.received)
+        assert channel.radios[0].receiver.sinr_drops == 1
+        assert mac_rx.failures
+
+    def test_sub_threshold_signal_never_locks(self):
+        # 20 dB capture over a -104 dBm floor needs -84 dBm; 290 m
+        # delivers only -93.9 dBm, so the receiver never locks on.
+        sim, channel, node = make_net(sinr_model(capture_threshold_db=20.0))
+        _rx, mac_rx = node(0, 0, 0)
+        far, _ = node(2, 290, 0)
+        far.transmit(data(2, 0))
+        sim.run()
+        assert mac_rx.received == []
+        assert mac_rx.failures == []
+
+
+class TestPhyConfig:
+    def test_default_is_unit_disk(self):
+        model = PhyConfig().build(
+            UnitDiskPropagation(range_m=300.0), PhyParameters(), RngRegistry(0)
+        )
+        assert isinstance(model, UnitDiskReception)
+        assert model.capture_threshold is None
+
+    def test_sinr_model_gets_all_knobs(self):
+        cfg = PhyConfig(model="sinr", capture_threshold_db=3.0,
+                        shadowing_sigma_db=0.0)
+        model = cfg.build(
+            UnitDiskPropagation(range_m=300.0), PhyParameters(), RngRegistry(0)
+        )
+        assert isinstance(model, SinrCaptureReception)
+        assert model.capture_threshold_db == 3.0
+        assert model.shadowing_sigma_db == 0.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown reception model"):
+            PhyConfig(model="raytrace")
